@@ -1,0 +1,81 @@
+// Experiment E9 (introduction / footnote 1): the restorable scheme versus
+// the Afek et al. base-set method. Both restore every single-edge failure
+// exactly; the difference the main theorem buys is OBJECT SIZE -- n(n-1)
+// selected paths versus a base set of up to ~m(n-1) members -- and the
+// restoration search space (midpoint scan over n vertices versus a scan
+// over all m middle edges).
+#include <iostream>
+
+#include "core/restoration.h"
+#include "core/rpts.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "rp/base_set.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+namespace restorable {
+namespace {
+
+void run_row(Table& table, const std::string& family, const Graph& g,
+             uint64_t seed) {
+  IsolationRpts pi(g, IsolationAtw(seed));
+  const BaseSetStats base = count_base_set(pi);
+  const size_t scheme_paths =
+      static_cast<size_t>(g.num_vertices()) * (g.num_vertices() - 1);
+
+  // Restoration success + timing on a query sample, both methods.
+  size_t queries = 0, ok_concat = 0, ok_base = 0;
+  double sec_concat = 0, sec_base = 0;
+  for (Vertex s = 0; s < g.num_vertices(); s += std::max<Vertex>(1, g.num_vertices() / 6)) {
+    const Spt tree = pi.spt(s);
+    for (Vertex t = 0; t < g.num_vertices();
+         t += std::max<Vertex>(1, g.num_vertices() / 6)) {
+      if (t == s || !tree.reachable(t)) continue;
+      const Path path = tree.path_to(t);
+      for (EdgeId e : path.edges) {
+        if (bfs_distance(g, s, t, FaultSet{e}) == kUnreachable) continue;
+        ++queries;
+        Stopwatch w1;
+        if (restore_by_concatenation(pi, s, t, e).restored()) ++ok_concat;
+        sec_concat += w1.seconds();
+        Stopwatch w2;
+        if (restore_via_base_set(pi, s, t, e).restored()) ++ok_base;
+        sec_base += w2.seconds();
+      }
+    }
+  }
+  table.add_row(family, g.num_vertices(), g.num_edges(), scheme_paths,
+                base.total(),
+                static_cast<double>(base.total()) /
+                    static_cast<double>(scheme_paths),
+                std::to_string(ok_concat) + "/" + std::to_string(queries),
+                std::to_string(ok_base) + "/" + std::to_string(queries),
+                queries ? 1e3 * sec_concat / queries : 0.0,
+                queries ? 1e3 * sec_base / queries : 0.0);
+}
+
+}  // namespace
+}  // namespace restorable
+
+int main() {
+  using namespace restorable;
+  std::cout << "E9: restorable scheme (Thm 2) vs Afek et al. base set\n"
+            << "'paths' = objects that must be stored/encodable; both\n"
+            << "methods must restore every query exactly.\n\n";
+  Table table({"family", "n", "m", "scheme paths", "base-set size",
+               "blowup", "concat ok", "base-set ok", "concat ms/q",
+               "base ms/q"});
+  run_row(table, "gnp(60,.1)", gnp_connected(60, 0.10, 3), 1);
+  run_row(table, "gnp(120,.08)", gnp_connected(120, 0.08, 4), 2);
+  run_row(table, "gnp(120,.25)", gnp_connected(120, 0.25, 5), 3);
+  run_row(table, "torus(8x8)", torus(8, 8), 4);
+  run_row(table, "hypercube(6)", hypercube(6), 5);
+  run_row(table, "complete(40)", complete(40), 6);
+  table.print();
+  std::cout << "\nExpected shape: both columns of successes are full; the\n"
+               "base-set blowup grows with density (m/n), reaching ~deg x\n"
+               "on dense graphs -- the overhead the paper's Theorem 2\n"
+               "eliminates.\n";
+  return 0;
+}

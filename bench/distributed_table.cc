@@ -1,0 +1,112 @@
+// Experiment E6 (Lemmas 34/36, Theorem 8(1), Corollary 9(1)): round and
+// congestion accounting for the distributed constructions on the CONGEST
+// simulator.
+#include <iostream>
+
+#include "congest/dist_preserver.h"
+#include "congest/dist_spt.h"
+#include "core/rpts.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "preserver/verify.h"
+#include "util/table.h"
+
+namespace restorable {
+namespace {
+
+std::vector<Vertex> spread_sources(const Graph& g, size_t sigma) {
+  std::vector<Vertex> s;
+  for (size_t i = 0; i < sigma; ++i)
+    s.push_back(static_cast<Vertex>((i * g.num_vertices()) / sigma));
+  return s;
+}
+
+void spt_rows(Table& table) {
+  struct Spec {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Spec> specs;
+  specs.push_back({"torus(8x8)", torus(8, 8)});
+  specs.push_back({"grid(4x32)", grid(4, 32)});
+  specs.push_back({"gnp(256,.03)", gnp_connected(256, 0.03, 5)});
+  specs.push_back({"hypercube(8)", hypercube(8)});
+  for (const auto& spec : specs) {
+    const IsolationAtw atw(17);
+    const auto res = congest::run_distributed_spt(spec.g, atw, 0);
+    // Cross-check against the centralized scheme.
+    IsolationRpts pi(spec.g, atw);
+    const Spt central = pi.spt(0);
+    bool exact = true;
+    for (Vertex v = 0; v < spec.g.num_vertices(); ++v)
+      if (central.parent[v] != res.spt.parent[v] ||
+          central.hops[v] != res.spt.hops[v])
+        exact = false;
+    table.add_row(spec.name, spec.g.num_vertices(), diameter(spec.g),
+                  res.stats.rounds, res.stats.max_edge_messages,
+                  exact ? "exact" : "MISMATCH");
+  }
+}
+
+void preserver_rows(Table& table) {
+  for (size_t sigma : {4u, 8u, 16u, 32u}) {
+    Graph g = torus(8, 8);
+    const auto sources = spread_sources(g, sigma);
+    const auto res =
+        congest::build_distributed_1ft_ss_preserver(g, sources, 100 + sigma);
+    // Verify 1-FT subset preservation on a sample of fault sets.
+    Graph h = g.edge_subgraph(res.edges);
+    const auto viol = verify_distances_sampled(
+        g, h, sources, sources, /*f=*/1, /*slack=*/0, /*samples=*/150, 7);
+    const double edge_bound =
+        static_cast<double>(sigma) * (g.num_vertices() - 1);
+    table.add_row("torus(8x8)", g.num_vertices(), diameter(g), sigma,
+                  res.stats.rounds, res.stats.max_edge_messages,
+                  res.edges.size(), edge_bound,
+                  viol ? std::string("VIOLATED") : std::string("ok"));
+  }
+}
+
+void spanner_rows(Table& table) {
+  for (Vertex side : {6u, 8u, 10u}) {
+    Graph g = torus(side, side);
+    const auto res = congest::build_distributed_1ft_plus4_spanner(g, 77);
+    Graph h = g.edge_subgraph(res.edges);
+    std::vector<Vertex> all;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) all.push_back(v);
+    const auto viol = verify_distances_sampled(g, h, all, all, 1, 4, 150, 9);
+    table.add_row("torus", g.num_vertices(), res.sigma, res.stats.rounds,
+                  res.edges.size(), g.num_edges(),
+                  viol ? std::string("VIOLATED") : std::string("<=+4 ok"));
+  }
+}
+
+}  // namespace
+}  // namespace restorable
+
+int main() {
+  using namespace restorable;
+  std::cout << "E6a: distributed tiebroken SPT (Lemma 34): O(D) rounds, O(1) "
+               "msgs/edge\n\n";
+  Table spt({"graph", "n", "D", "rounds", "max_msgs/edge", "vs centralized"});
+  spt_rows(spt);
+  spt.print();
+
+  std::cout << "\nE6b: distributed 1-FT S x S preserver (Lemma 36 / Thm 8(1)):"
+               "\nO~(D + sigma) rounds, <= sigma(n-1) edges\n\n";
+  Table pres({"graph", "n", "D", "sigma", "rounds", "congestion", "edges",
+              "sigma*n bound", "1-FT check"});
+  preserver_rows(pres);
+  pres.print();
+
+  std::cout << "\nE6c: distributed 1-FT +4 spanner (Corollary 9(1))\n\n";
+  Table span({"graph", "n", "sigma", "rounds", "spanner_edges", "graph_edges",
+              "stretch"});
+  spanner_rows(span);
+  span.print();
+
+  std::cout << "\nExpected shape: SPT rounds track D; preserver rounds track\n"
+               "D + sigma (congestion-limited), not D * sigma; all checks "
+               "pass.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Experiment E7 (Theorem 27, Figures 2-3): the adversarial consistent+stable
+// scheme on G*_f(V, E, W) forces Omega(n^{2-1/2^f} sigma^{1/2^f}) overlay
+// edges; we build the exact construction and measure the forced overlay.
+#include <iostream>
+
+#include "core/bounds.h"
+#include "preserver/lower_bound.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+namespace restorable {
+namespace {
+
+void run_row(Table& table, int f, Vertex n, int sigma) {
+  Stopwatch w;
+  const auto inst = build_lower_bound_instance(f, n, sigma);
+  const auto res = measure_bad_tiebreak_overlay(inst);
+  const double bound =
+      lower_bound_edges(inst.g.num_vertices(), sigma, f);
+  table.add_row(f, sigma, inst.g.num_vertices(), inst.g.num_edges(), inst.d,
+                res.overlay_edges, bound,
+                static_cast<double>(res.overlay_edges) / bound,
+                std::to_string(res.forced_covered) + "/" +
+                    std::to_string(res.forced_total),
+                w.seconds());
+}
+
+}  // namespace
+}  // namespace restorable
+
+int main() {
+  using namespace restorable;
+  std::cout
+      << "E7: Theorem 27 lower-bound family (Figures 2-3)\n"
+      << "Overlay of the W-selected S x V replacement paths must contain\n"
+      << "the forced bipartite gadget: Omega(n^{2-1/2^f} sigma^{1/2^f}).\n\n";
+  Table table({"f", "sigma", "n", "m", "d", "overlay", "Omega bound",
+               "overlay/bound", "forced covered", "sec"});
+  for (Vertex n : {400u, 800u, 1600u, 3200u}) run_row(table, 1, n, 1);
+  for (int sigma : {2, 4}) run_row(table, 1, 1600, sigma);
+  for (Vertex n : {800u, 1600u, 3200u}) run_row(table, 2, n, 1);
+  table.print();
+  std::cout << "\nExpected shape: overlay/bound approaches a constant (the\n"
+               "bipartite gadget dominates) and 'forced covered' is always\n"
+               "complete -- bad-but-legal tiebreaking really does pay the\n"
+               "Omega bound, unlike the restorable scheme of E3.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Experiment E1 (Figure 1 + Theorem 2 + Theorem 37).
+//
+// For every (s, t) pair and every edge e on the selected path pi(s, t), try
+// restoration-by-concatenation. Rows contrast:
+//   * the restorable ATW scheme (must succeed on 100% of restorable cases,
+//     with exactly-shortest replacement paths), and
+//   * a plausible per-root BFS tiebreaker (the paper's Figure-1 bad case:
+//     it misses or returns suboptimal detours on a measurable fraction).
+#include <iostream>
+#include <memory>
+
+#include "core/restoration.h"
+#include "core/rpts.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+namespace restorable {
+namespace {
+
+struct Tally {
+  size_t queries = 0;
+  size_t restored = 0;
+  size_t suboptimal = 0;
+  size_t no_candidate = 0;
+  size_t disconnected = 0;
+  double seconds = 0;
+};
+
+Tally run_scheme(const Graph& g, const IRpts& pi, size_t max_sources) {
+  Tally tally;
+  Stopwatch watch;
+  std::vector<Spt> trees(g.num_vertices());
+  std::vector<char> have(g.num_vertices(), 0);
+  auto tree_of = [&](Vertex v) -> const Spt& {
+    if (!have[v]) {
+      trees[v] = pi.spt(v);
+      have[v] = 1;
+    }
+    return trees[v];
+  };
+  for (Vertex s = 0; s < g.num_vertices() && s < max_sources; ++s) {
+    const Spt& from_s = tree_of(s);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      if (t == s || !from_s.reachable(t)) continue;
+      const Path base = from_s.path_to(t);
+      const Spt& from_t = tree_of(t);
+      for (EdgeId e : base.edges) {
+        const int32_t opt = bfs_distance(g, s, t, FaultSet{e});
+        const auto out = restore_with_trees(g, from_s, from_t, e, opt);
+        ++tally.queries;
+        switch (out.status) {
+          case RestorationOutcome::Status::kRestored: ++tally.restored; break;
+          case RestorationOutcome::Status::kSuboptimal:
+            ++tally.suboptimal;
+            break;
+          case RestorationOutcome::Status::kNoCandidate:
+            ++tally.no_candidate;
+            break;
+          case RestorationOutcome::Status::kNoReplacementExists:
+            ++tally.disconnected;
+            break;
+        }
+      }
+    }
+  }
+  tally.seconds = watch.seconds();
+  return tally;
+}
+
+void add_rows(Table& table, const std::string& family, const Graph& g,
+              uint64_t seed, size_t max_sources) {
+  IsolationRpts restorable_pi(g, IsolationAtw(seed));
+  ArbitraryRpts naive_pi(g);
+  for (const IRpts* pi :
+       std::initializer_list<const IRpts*>{&restorable_pi, &naive_pi}) {
+    const Tally t = run_scheme(g, *pi, max_sources);
+    const size_t live = t.queries - t.disconnected;
+    const double fail_pct =
+        live == 0 ? 0.0
+                  : 100.0 * static_cast<double>(t.suboptimal + t.no_candidate) /
+                        static_cast<double>(live);
+    table.add_row(family, g.num_vertices(), g.num_edges(), pi->name(),
+                  t.queries, t.restored, t.suboptimal + t.no_candidate,
+                  fail_pct, t.seconds);
+  }
+}
+
+}  // namespace
+}  // namespace restorable
+
+int main() {
+  using namespace restorable;
+  std::cout << "E1: restoration-by-concatenation (Fig. 1, Thm 2, Thm 37)\n"
+            << "Failure% counts on-path faults where the scheme's non-faulty\n"
+            << "trees cannot assemble an exactly-shortest replacement path.\n\n";
+  Table table({"family", "n", "m", "scheme", "queries", "restored", "failed",
+               "fail%", "sec"});
+  add_rows(table, "C4", cycle(4), 1, 4);
+  add_rows(table, "cycle(12)", cycle(12), 2, 12);
+  add_rows(table, "theta(4,4)", theta_graph(4, 4), 3, 8);
+  add_rows(table, "grid(6x6)", grid(6, 6), 4, 12);
+  add_rows(table, "hypercube(4)", hypercube(4), 5, 16);
+  add_rows(table, "gnp(60,.08)", gnp_connected(60, 0.08, 11), 6, 12);
+  add_rows(table, "gnp(120,.05)", gnp_connected(120, 0.05, 12), 7, 8);
+  add_rows(table, "dumbbell(8,4)", dumbbell(8, 4), 8, 10);
+  table.print();
+  std::cout << "\nExpected shape (paper): the ATW scheme never fails; the\n"
+               "arbitrary BFS scheme fails on tie-rich families (Figure 1).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Experiment E12: the dual-failure subset oracle (Definition 17, f = 2, as
+// a data structure) -- preprocessing cost, space, and query latency against
+// recompute-from-scratch BFS.
+#include <iostream>
+
+#include "core/rpts.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "rp/two_fault_oracle.h"
+#include "util/random.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+namespace restorable {
+namespace {
+
+void run_row(Table& table, const std::string& family, const Graph& g,
+             size_t sigma, uint64_t seed) {
+  std::vector<Vertex> sources;
+  for (size_t i = 0; i < sigma; ++i)
+    sources.push_back(static_cast<Vertex>((i * g.num_vertices()) / sigma));
+  IsolationRpts pi(g, IsolationAtw(seed));
+
+  Stopwatch prep;
+  const TwoFaultSubsetOracle oracle(pi, sources);
+  const double prep_s = prep.seconds();
+
+  // Random two-fault queries, verified and timed both ways.
+  Rng rng(seed + 1);
+  size_t kQueries = 0;
+  size_t correct = 0;
+  double oracle_s = 0, bfs_s = 0;
+  while (kQueries < 300) {
+    const Vertex s1 = sources[rng.next_below(sources.size())];
+    const Vertex s2 = sources[rng.next_below(sources.size())];
+    if (s1 == s2) continue;
+    ++kQueries;
+    const FaultSet f{static_cast<EdgeId>(rng.next_below(g.num_edges())),
+                     static_cast<EdgeId>(rng.next_below(g.num_edges()))};
+    Stopwatch w1;
+    const int32_t got = oracle.query(s1, s2, f);
+    oracle_s += w1.seconds();
+    Stopwatch w2;
+    const int32_t truth = bfs_distance(g, s1, s2, f);
+    bfs_s += w2.seconds();
+    if (got == truth) ++correct;
+  }
+  table.add_row(family, g.num_vertices(), g.num_edges(), sigma,
+                oracle.trees_stored(), prep_s,
+                1e6 * oracle_s / kQueries, 1e6 * bfs_s / kQueries,
+                std::to_string(correct) + "/" + std::to_string(kQueries));
+}
+
+}  // namespace
+}  // namespace restorable
+
+int main() {
+  using namespace restorable;
+  std::cout << "E12: dual-failure subset distance oracle (2-restorability as\n"
+               "a data structure); query latency vs recompute BFS.\n\n";
+  Table table({"family", "n", "m", "sigma", "trees", "prep_s", "oracle us/q",
+               "bfs us/q", "correct"});
+  run_row(table, "gnp(200,.08)", gnp_connected(200, 0.08, 3), 6, 21);
+  run_row(table, "gnp(400,.05)", gnp_connected(400, 0.05, 4), 6, 22);
+  run_row(table, "torus(12x12)", torus(12, 12), 8, 23);
+  run_row(table, "cliquechain(20,10)", clique_chain(20, 10), 6, 24);
+  table.print();
+  std::cout
+      << "\nExpected shape: all queries correct -- that is the\n"
+         "2-restorability guarantee (Definition 17) doing the work: three\n"
+         "precomputed trees per query suffice for ANY two faults. Query\n"
+         "cost is Theta(n) midpoint scanning independent of m; plain BFS\n"
+         "remains competitive at laptop scales (it early-exits on small\n"
+         "diameters) but grows with m while the oracle does not.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// MPLS-style failover (the paper's motivating application, Section 1).
+//
+// An MPLS network pre-installs label-switched paths in routing tables and
+// can concatenate existing paths cheaply. We carry TWO next-hop tables (the
+// scheme pi and its reverse), and when a link fails we restore every
+// affected route purely by table scans -- no shortest path recomputation.
+//
+//   ./mpls_failover
+#include <iostream>
+
+#include "core/routing.h"
+#include "core/rpts.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+int main() {
+  using namespace restorable;
+
+  // A mid-size service-provider-ish random topology.
+  const Graph g = gnp_connected(40, 0.08, 7);
+  std::cout << "topology: n=" << g.num_vertices() << " m=" << g.num_edges()
+            << "\n";
+
+  const auto pi = make_default_rpts(g, /*seed=*/99);
+  const RoutingTables tables(*pi);
+  std::cout << "installed 2 next-hop tables (" << tables.entries()
+            << " entries total)\n\n";
+
+  // Fail every edge in turn; re-route a fixed set of demands by table scans.
+  const std::pair<Vertex, Vertex> demands[] = {{0, 39}, {5, 31}, {12, 20}};
+  size_t affected = 0, restored = 0, rerouted_exact = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (const auto& [s, t] : demands) {
+      const Path route = tables.walk(s, t);
+      if (route.empty() || !route.uses_edge(e)) continue;
+      ++affected;
+      const RestorationOutcome out = tables.restore(s, t, e);
+      if (out.status == RestorationOutcome::Status::kNoReplacementExists)
+        continue;
+      ++restored;
+      if (out.restored()) ++rerouted_exact;
+    }
+  }
+  std::cout << "single-link failure sweep over all " << g.num_edges()
+            << " links:\n"
+            << "  demand-routes affected:        " << affected << "\n"
+            << "  restored by concatenation:     " << restored << "\n"
+            << "  restored with EXACT distance:  " << rerouted_exact << "\n";
+
+  // Show one concrete failover.
+  const Path route = tables.walk(0, 39);
+  const EdgeId failing = route.edges[route.edges.size() / 2];
+  const auto out = tables.restore(0, 39, failing);
+  std::cout << "\nexample: route 0->39 = " << route.to_string() << "\n"
+            << "link " << failing << " fails; midpoint x=" << out.midpoint
+            << "\n  pi(0,x) + reverse(pi(39,x)) = " << out.path.to_string()
+            << "\n  hops " << out.hops << " (optimal " << out.optimal_hops
+            << ")\n";
+  return 0;
+}

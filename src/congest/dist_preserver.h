@@ -1,0 +1,42 @@
+// Distributed fault-tolerant preservers and spanners (Lemma 36, Theorem 8(1),
+// Corollary 9(1)).
+//
+// The 1-FT S x S preserver is the paper's flagship distributed corollary:
+// build one tiebroken SPT per source with the *same* restorable weight
+// function (all instances run in parallel under the random-delay schedule),
+// and simply keep the union of the tree edges -- O(|S| n) edges, O~(D + |S|)
+// rounds. 1-restorability of the shared weight function is what upgrades
+// the union of trees to a 1-fault subset preserver.
+//
+// The +4 additive spanner (Corollary 9(1)) adds local clustering: centers
+// announce themselves in one round; every vertex then locally keeps either
+// f+1 = 2 center edges or its full edge set; the preserver over the centers
+// supplies the long-range paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/dist_spt.h"
+#include "graph/graph.h"
+
+namespace restorable::congest {
+
+struct DistPreserverResult {
+  std::vector<EdgeId> edges;  // the preserver/spanner, as base-graph edge ids
+  NetworkStats stats;         // rounds include every distributed phase
+  size_t sigma = 0;
+};
+
+// Lemma 36: distributed 1-FT S x S preserver. `seed` fixes both the shared
+// tiebreaking weight function (one round of weight exchange in the paper;
+// hash-derived here) and the random-delay schedule.
+DistPreserverResult build_distributed_1ft_ss_preserver(
+    const Graph& g, std::span<const Vertex> sources, uint64_t seed);
+
+// Corollary 9(1): distributed 1-FT +4 additive spanner with
+// sigma = ceil(sqrt(n log n)) sampled centers.
+DistPreserverResult build_distributed_1ft_plus4_spanner(const Graph& g,
+                                                        uint64_t seed);
+
+}  // namespace restorable::congest

@@ -1,0 +1,47 @@
+// Distributed tiebroken shortest path trees in CONGEST.
+//
+//  * run_distributed_spt: Lemma 34. Layered BFS where each vertex picks its
+//    parent by minimizing the perturbed distance dist*(s, .); O(D) rounds,
+//    O(1) messages per edge. Weights are hash-derived from the shared seed,
+//    so every vertex evaluates its incident arc perturbations locally.
+//  * run_parallel_spts: the multi-source execution behind Lemma 36. sigma
+//    SPT instances run concurrently; each instance's start is delayed by a
+//    (seeded) random offset, and per directed edge a FIFO queue serializes
+//    the at-most-one-message-per-round CONGEST constraint across instances
+//    -- the random delay approach of Theorem 35 in executable form. Under
+//    delivery delays a vertex can learn of a better parent late, so nodes
+//    run distance-vector style (re-announce on improvement); at quiescence
+//    every instance holds its exact tiebroken SPT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.h"
+#include "core/perturbation.h"
+#include "core/spt.h"
+#include "graph/graph.h"
+
+namespace restorable::congest {
+
+struct DistSptResult {
+  Spt spt;  // matches the centralized tiebroken SPT exactly
+  NetworkStats stats;
+};
+
+DistSptResult run_distributed_spt(const Graph& g, const IsolationAtw& atw,
+                                  Vertex root);
+
+struct ParallelSptResult {
+  std::vector<Spt> spts;  // one per source, same order
+  NetworkStats stats;
+  int max_delay = 0;  // largest random start offset used
+};
+
+// Runs one SPT instance per source concurrently with random start delays in
+// [0, sigma) derived from `schedule_seed`.
+ParallelSptResult run_parallel_spts(const Graph& g, const IsolationAtw& atw,
+                                    std::span<const Vertex> sources,
+                                    uint64_t schedule_seed);
+
+}  // namespace restorable::congest

@@ -1,0 +1,118 @@
+// Synchronous CONGEST network simulator (Peleg's model, Section 4.5).
+//
+// The network is the input graph; one processor per vertex. Computation
+// proceeds in synchronous rounds; per round, each processor may send at most
+// one message of at most `bandwidth_bits` bits over each incident edge *per
+// direction*. The simulator enforces both constraints and keeps the
+// accounting the paper's theorems are stated in: total rounds, total
+// messages, and per-edge congestion (Theorem 35's `c` parameter).
+//
+// Messages carry a small fixed struct with a declared bit size; algorithms
+// must declare honestly (asserted against the bandwidth). Tiebreaking
+// weights never travel on the wire: they are hash-derived from a shared
+// seed, matching the paper's "each vertex samples the weights of its
+// incident edges" setup up to one initial round.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace restorable::congest {
+
+struct Message {
+  uint32_t instance = 0;  // algorithm-instance tag (multi-source runs)
+  int32_t hops = 0;
+  int64_t tie = 0;
+  int bits = 0;  // declared size on the wire
+};
+
+struct Delivery {
+  Vertex from;
+  EdgeId edge;
+  Message msg;
+};
+
+struct NetworkStats {
+  int rounds = 0;
+  size_t messages = 0;
+  size_t max_edge_messages = 0;  // congestion: max total messages over one edge
+};
+
+class SyncNetwork {
+ public:
+  explicit SyncNetwork(const Graph& g, int bandwidth_bits = 64)
+      : g_(&g),
+        bandwidth_(bandwidth_bits),
+        inbox_(g.num_vertices()),
+        staged_(g.num_vertices()),
+        sent_this_round_(2 * g.num_edges(), 0),
+        edge_messages_(g.num_edges(), 0) {}
+
+  const Graph& graph() const { return *g_; }
+  int bandwidth_bits() const { return bandwidth_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  // Messages delivered to v in the round that just completed.
+  std::span<const Delivery> inbox(Vertex v) const { return inbox_[v]; }
+
+  // Stages a message from `from` over edge e; it is delivered to the other
+  // endpoint at the end of the current round. Throws if the CONGEST
+  // constraints are violated.
+  void send(Vertex from, EdgeId e, const Message& msg) {
+    if (msg.bits > bandwidth_)
+      throw std::runtime_error("CONGEST: message exceeds bandwidth");
+    const Edge& ed = g_->endpoints(e);
+    const bool is_u = ed.u == from;
+    assert(is_u || ed.v == from);
+    const size_t slot = 2 * static_cast<size_t>(e) + (is_u ? 0 : 1);
+    if (sent_this_round_[slot])
+      throw std::runtime_error(
+          "CONGEST: two messages on one directed edge in one round");
+    sent_this_round_[slot] = 1;
+    staged_[is_u ? ed.v : ed.u].push_back(Delivery{from, e, msg});
+    ++edge_messages_[e];
+    ++stats_.messages;
+    any_sent_ = true;
+  }
+
+  // Runs one round: `step(v)` is invoked for every vertex (it may read
+  // inbox(v) -- last round's deliveries -- and call send). Returns true if
+  // any message was sent (used for quiescence detection).
+  bool round(const std::function<void(Vertex)>& step) {
+    any_sent_ = false;
+    std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0);
+    for (Vertex v = 0; v < g_->num_vertices(); ++v) step(v);
+    for (Vertex v = 0; v < g_->num_vertices(); ++v) {
+      inbox_[v].swap(staged_[v]);
+      staged_[v].clear();
+    }
+    ++stats_.rounds;
+    finalize_congestion();
+    return any_sent_;
+  }
+
+ private:
+  void finalize_congestion() {
+    size_t mx = stats_.max_edge_messages;
+    for (size_t c : edge_messages_)
+      if (c > mx) mx = c;
+    stats_.max_edge_messages = mx;
+  }
+
+  const Graph* g_;
+  int bandwidth_;
+  NetworkStats stats_;
+  std::vector<std::vector<Delivery>> inbox_;
+  std::vector<std::vector<Delivery>> staged_;
+  std::vector<char> sent_this_round_;
+  std::vector<size_t> edge_messages_;
+  bool any_sent_ = false;
+};
+
+}  // namespace restorable::congest

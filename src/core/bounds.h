@@ -1,0 +1,44 @@
+// Closed-form size bounds from the paper, used by benches and tests to
+// report measured-vs-claimed ratios.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace restorable {
+
+// Theorem 26: f-FT S x V preserver size O(n^{2 - 1/2^f} * sigma^{1/2^f}).
+inline double sv_preserver_bound(double n, double sigma, int f) {
+  const double inv = 1.0 / std::pow(2.0, f);
+  return std::pow(n, 2.0 - inv) * std::pow(sigma, inv);
+}
+
+// Theorem 31: (f+1)-FT S x S preserver has the same bound (it *is* the
+// union of sigma f-FT {s} x V preservers).
+inline double ss_preserver_bound(double n, double sigma, int f) {
+  return sv_preserver_bound(n, sigma, f);
+}
+
+// Theorem 33: (f+1)-FT +4 additive spanner size O(n^{1 + 2^f/(2^f + 1)}).
+inline double spanner_bound(double n, int f) {
+  const double p = std::pow(2.0, f);
+  return std::pow(n, 1.0 + p / (p + 1.0));
+}
+
+// Theorem 33's balancing choice sigma = n^{1/(2^f + 1)}.
+inline double spanner_center_count(double n, int f) {
+  return std::pow(n, 1.0 / (std::pow(2.0, f) + 1.0));
+}
+
+// Theorem 30: (f+1)-FT distance label size O(n^{2 - 1/2^f} log n) bits.
+inline double label_bits_bound(double n, int f) {
+  return sv_preserver_bound(n, 1.0, f) * std::log2(n);
+}
+
+// Theorem 27 (Appendix B): adversarial consistent+stable schemes force
+// Omega(n^{2 - 1/2^f} sigma^{1/2^f}) edges.
+inline double lower_bound_edges(double n, double sigma, int f) {
+  return sv_preserver_bound(n, sigma, f);
+}
+
+}  // namespace restorable

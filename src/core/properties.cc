@@ -1,0 +1,248 @@
+#include "core/properties.h"
+
+#include <map>
+#include <sstream>
+
+#include "graph/bfs.h"
+
+namespace restorable {
+
+std::string PropertyViolation::to_string() const {
+  std::ostringstream ss;
+  ss << property << " violated for s=" << s << " t=" << t
+     << " F=" << faults.to_string();
+  if (!detail.empty()) ss << ": " << detail;
+  return ss.str();
+}
+
+CheckResult check_shortest_paths(const IRpts& pi, const FaultSet& faults) {
+  const Graph& g = pi.graph();
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    const Spt tree = pi.spt(s, faults, Direction::kOut);
+    const auto truth = bfs_distances(g, s, faults);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      if (tree.hops[t] != truth[t]) {
+        return PropertyViolation{
+            "shortest-paths", s, t, faults,
+            "selected hops " + std::to_string(tree.hops[t]) + " != BFS " +
+                std::to_string(truth[t])};
+      }
+      if (t != s && tree.reachable(t)) {
+        const Path p = tree.path_to(t);
+        if (!g.is_valid_path(p, faults) || p.source() != s || p.target() != t)
+          return PropertyViolation{"shortest-paths", s, t, faults,
+                                   "selected path invalid: " + p.to_string()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+CheckResult check_consistency(const IRpts& pi, const FaultSet& faults,
+                              size_t max_pairs) {
+  const Graph& g = pi.graph();
+  size_t checked = 0;
+  for (Vertex s = 0; s < g.num_vertices() && checked < max_pairs; ++s) {
+    const Spt tree = pi.spt(s, faults, Direction::kOut);
+    for (Vertex t = 0; t < g.num_vertices() && checked < max_pairs; ++t) {
+      if (t == s || !tree.reachable(t)) continue;
+      ++checked;
+      const Path p = tree.path_to(t);
+      for (size_t i = 0; i < p.vertices.size(); ++i) {
+        for (size_t j = i + 1; j < p.vertices.size(); ++j) {
+          const Vertex u = p.vertices[i], v = p.vertices[j];
+          const Path sub = pi.path(u, v, faults);
+          Path expect;
+          expect.vertices.assign(p.vertices.begin() + i,
+                                 p.vertices.begin() + j + 1);
+          expect.edges.assign(p.edges.begin() + i, p.edges.begin() + j);
+          if (sub != expect)
+            return PropertyViolation{
+                "consistency", s, t, faults,
+                "pi(" + std::to_string(u) + "," + std::to_string(v) +
+                    ") = " + sub.to_string() + " but subpath is " +
+                    expect.to_string()};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+CheckResult check_symmetry(const IRpts& pi, const FaultSet& faults) {
+  const Graph& g = pi.graph();
+  for (Vertex s = 0; s < g.num_vertices(); ++s)
+    for (Vertex t = s + 1; t < g.num_vertices(); ++t) {
+      const Path fwd = pi.path(s, t, faults);
+      const Path bwd = pi.path(t, s, faults);
+      if (fwd.empty() && bwd.empty()) continue;
+      if (fwd != bwd.reversed())
+        return PropertyViolation{"symmetry", s, t, faults,
+                                 fwd.to_string() + " vs reverse of " +
+                                     bwd.to_string()};
+    }
+  return std::nullopt;
+}
+
+CheckResult check_stability(const IRpts& pi, const FaultSet& faults,
+                            size_t max_pairs) {
+  const Graph& g = pi.graph();
+  size_t checked = 0;
+  for (Vertex s = 0; s < g.num_vertices() && checked < max_pairs; ++s) {
+    const Spt tree = pi.spt(s, faults, Direction::kOut);
+    for (Vertex t = 0; t < g.num_vertices() && checked < max_pairs; ++t) {
+      if (t == s || !tree.reachable(t)) continue;
+      ++checked;
+      const Path p = tree.path_to(t);
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        if (faults.contains(e) || p.uses_edge(e)) continue;
+        const Path q = pi.path(s, t, faults.with(e));
+        if (q != p)
+          return PropertyViolation{
+              "stability", s, t, faults.with(e),
+              "path changed from " + p.to_string() + " to " + q.to_string() +
+                  " although edge " + std::to_string(e) + " is not on it"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Enumerates all proper subsets F' of F (including the empty set).
+std::vector<FaultSet> proper_subsets(const FaultSet& f) {
+  const auto ids = f.ids();
+  const size_t k = ids.size();
+  std::vector<FaultSet> out;
+  for (uint32_t mask = 0; mask + 1 < (uint32_t{1} << k); ++mask) {
+    std::vector<EdgeId> sub;
+    for (size_t i = 0; i < k; ++i)
+      if (mask & (uint32_t{1} << i)) sub.push_back(ids[i]);
+    out.emplace_back(std::move(sub));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_restorable_for(const IRpts& pi, Vertex s, Vertex t,
+                       const FaultSet& faults) {
+  const Graph& g = pi.graph();
+  const int32_t target = bfs_distance(g, s, t, faults);
+  if (target == kUnreachable) return true;  // vacuous: no s~t path remains
+  for (const FaultSet& sub : proper_subsets(faults)) {
+    const Spt from_s = pi.spt(s, sub, Direction::kOut);
+    const Spt from_t = pi.spt(t, sub, Direction::kOut);
+    const auto s_bad = from_s.paths_using_any(faults);
+    const auto t_bad = from_t.paths_using_any(faults);
+    for (Vertex x = 0; x < g.num_vertices(); ++x) {
+      if (!from_s.reachable(x) || !from_t.reachable(x)) continue;
+      if (s_bad[x] || t_bad[x]) continue;
+      if (from_s.hops[x] + from_t.hops[x] == target) return true;
+    }
+  }
+  return false;
+}
+
+CheckResult check_f_restorable(const IRpts& pi, int k,
+                               std::span<const EdgeId> candidate_edges) {
+  const Graph& g = pi.graph();
+  std::vector<EdgeId> pool(candidate_edges.begin(), candidate_edges.end());
+  if (pool.empty())
+    for (EdgeId e = 0; e < g.num_edges(); ++e) pool.push_back(e);
+
+  // SPT cache shared across fault sets: key (root, F').
+  std::map<std::pair<Vertex, std::vector<EdgeId>>, Spt> cache;
+  auto cached_spt = [&](Vertex root, const FaultSet& f) -> const Spt& {
+    auto key = std::make_pair(root,
+                              std::vector<EdgeId>(f.begin(), f.end()));
+    auto it = cache.find(key);
+    if (it == cache.end())
+      it = cache.emplace(std::move(key), pi.spt(root, f, Direction::kOut))
+               .first;
+    return it->second;
+  };
+
+  // Enumerate k-subsets of `pool` with a simple index-vector odometer.
+  std::vector<size_t> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  if (pool.size() < static_cast<size_t>(k)) return std::nullopt;
+  for (;;) {
+    std::vector<EdgeId> ids;
+    for (int i = 0; i < k; ++i) ids.push_back(pool[idx[i]]);
+    const FaultSet faults(ids);
+
+    for (Vertex s = 0; s < g.num_vertices(); ++s) {
+      const auto repl = bfs_distances(g, s, faults);
+      for (Vertex t = 0; t < g.num_vertices(); ++t) {
+        if (t == s || repl[t] == kUnreachable) continue;
+        bool ok = false;
+        for (const FaultSet& sub : proper_subsets(faults)) {
+          const Spt& from_s = cached_spt(s, sub);
+          const Spt& from_t = cached_spt(t, sub);
+          const auto s_bad = from_s.paths_using_any(faults);
+          const auto t_bad = from_t.paths_using_any(faults);
+          for (Vertex x = 0; x < g.num_vertices() && !ok; ++x) {
+            if (!from_s.reachable(x) || !from_t.reachable(x)) continue;
+            if (s_bad[x] || t_bad[x]) continue;
+            if (from_s.hops[x] + from_t.hops[x] == repl[t]) ok = true;
+          }
+          if (ok) break;
+        }
+        if (!ok)
+          return PropertyViolation{
+              std::to_string(k) + "-restorability", s, t, faults,
+              "no midpoint/fault-subset decomposition matches replacement "
+              "distance " +
+                  std::to_string(repl[t])};
+      }
+    }
+
+    // Advance odometer.
+    int i = k - 1;
+    while (i >= 0 && idx[i] == pool.size() - static_cast<size_t>(k - i)) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return std::nullopt;
+}
+
+CheckResult check_restoration_lemma(const Graph& g) {
+  // Precompute fault-free distances from every vertex.
+  std::vector<std::vector<int32_t>> base(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    base[v] = bfs_distances(g, v, {});
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const FaultSet faults{e};
+    std::vector<std::vector<int32_t>> faulty(g.num_vertices());
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      faulty[v] = bfs_distances(g, v, faults);
+    for (Vertex s = 0; s < g.num_vertices(); ++s) {
+      for (Vertex t = s + 1; t < g.num_vertices(); ++t) {
+        const int32_t target = faulty[s][t];
+        if (target == kUnreachable) continue;
+        bool ok = false;
+        for (Vertex x = 0; x < g.num_vertices() && !ok; ++x) {
+          if (base[s][x] == kUnreachable || base[t][x] == kUnreachable)
+            continue;
+          // Some shortest s~x (resp. t~x) path avoids e iff deleting e does
+          // not increase the distance.
+          if (faulty[s][x] != base[s][x] || faulty[t][x] != base[t][x])
+            continue;
+          if (base[s][x] + base[t][x] == target) ok = true;
+        }
+        if (!ok)
+          return PropertyViolation{
+              "restoration-lemma", s, t, faults,
+              "no midpoint decomposes the replacement distance " +
+                  std::to_string(target)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace restorable

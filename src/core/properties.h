@@ -1,0 +1,72 @@
+// Checkers for the coordination properties of Section 2 / Definition 17:
+// shortest-path validity, consistency, stability, symmetry, and
+// f-restorability. These are verification tools (used by tests and the
+// ablation bench), deliberately written against the IRpts interface so any
+// scheme -- restorable or not -- can be audited.
+//
+// Exhaustive checks are exponential in f by nature; callers bound the
+// instance sizes (tests use n <= ~40 for the exhaustive modes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/rpts.h"
+#include "graph/graph.h"
+
+namespace restorable {
+
+// A failed property check, with enough context to reproduce it.
+struct PropertyViolation {
+  std::string property;
+  Vertex s = kNoVertex;
+  Vertex t = kNoVertex;
+  FaultSet faults;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+using CheckResult = std::optional<PropertyViolation>;  // nullopt == pass
+
+// Every selected path pi(s, t | F) must be a shortest s~t path of G \ F
+// (Definition 12 + the f-fault tiebreaking requirement of Definition 18).
+// Checks all ordered pairs for each fault set produced by `for_each_faults`.
+CheckResult check_shortest_paths(const IRpts& pi, const FaultSet& faults);
+
+// Definition 14, per fault set: if u precedes v on pi(s, t | F) then
+// pi(u, v | F) is the contiguous subpath between them.
+CheckResult check_consistency(const IRpts& pi, const FaultSet& faults,
+                              size_t max_pairs = SIZE_MAX);
+
+// Definition 13, per fault set: pi(s, t | F) == reverse of pi(t, s | F).
+CheckResult check_symmetry(const IRpts& pi, const FaultSet& faults);
+
+// Definition 16: for e not on pi(s, t | F), pi(s, t | F u {e}) is unchanged.
+// Checks all ordered pairs and all edges e for the given base fault set.
+CheckResult check_stability(const IRpts& pi, const FaultSet& faults,
+                            size_t max_pairs = SIZE_MAX);
+
+// Definition 17 for a specific (s, t, F): is there a proper subset F' of F
+// and a midpoint x with pi(s, x | F') o reverse(pi(t, x | F')) a valid
+// shortest s~t path of G \ F?
+bool is_restorable_for(const IRpts& pi, Vertex s, Vertex t,
+                       const FaultSet& faults);
+
+// Definition 17 exhaustively over all ordered pairs and all fault sets of
+// size exactly |F| = k drawn from `candidate_edges` (or all edges when
+// empty). Returns the first violation found.
+CheckResult check_f_restorable(const IRpts& pi, int k,
+                               std::span<const EdgeId> candidate_edges = {});
+
+// Theorem 1 (the original restoration lemma of Afek et al.), verified
+// exhaustively: for every s, t and failing edge e with s, t still connected,
+// there exists a midpoint x such that SOME shortest s~x path and SOME
+// shortest t~x path avoid e and their lengths sum to dist_{G\e}(s, t).
+// ("Some shortest s~x path avoids e" iff dist_{G\e}(s,x) == dist_G(s,x).)
+// This is scheme-independent -- it audits the graph-theoretic lemma our
+// tiebreaking theorems refine.
+CheckResult check_restoration_lemma(const Graph& g);
+
+}  // namespace restorable

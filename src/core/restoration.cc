@@ -1,0 +1,101 @@
+#include "core/restoration.h"
+
+#include "graph/bfs.h"
+
+namespace restorable {
+
+RestorationOutcome restore_with_trees(const Graph& g, const Spt& from_s,
+                                      const Spt& from_t, EdgeId e,
+                                      int32_t optimal_hops) {
+  RestorationOutcome out;
+  out.optimal_hops = optimal_hops;
+  if (optimal_hops == kUnreachable) {
+    out.status = RestorationOutcome::Status::kNoReplacementExists;
+    return out;
+  }
+  const auto s_uses = from_s.paths_using_edge(e);
+  const auto t_uses = from_t.paths_using_edge(e);
+
+  Vertex best = kNoVertex;
+  int32_t best_hops = kUnreachable;
+  for (Vertex x = 0; x < g.num_vertices(); ++x) {
+    if (!from_s.reachable(x) || !from_t.reachable(x)) continue;
+    if (s_uses[x] || t_uses[x]) continue;
+    const int32_t h = from_s.hops[x] + from_t.hops[x];
+    if (best == kNoVertex || h < best_hops) {
+      best = x;
+      best_hops = h;
+    }
+  }
+  if (best == kNoVertex) {
+    out.status = RestorationOutcome::Status::kNoCandidate;
+    return out;
+  }
+  out.midpoint = best;
+  out.hops = best_hops;
+  out.path = from_s.path_to(best);
+  out.path.concatenate(from_t.path_to(best).reversed());
+  out.status = best_hops == optimal_hops
+                   ? RestorationOutcome::Status::kRestored
+                   : RestorationOutcome::Status::kSuboptimal;
+  return out;
+}
+
+RestorationOutcome restore_by_concatenation(const IRpts& pi, Vertex s,
+                                            Vertex t, EdgeId e) {
+  const Graph& g = pi.graph();
+  const Spt from_s = pi.spt(s, {}, Direction::kOut);
+  const Spt from_t = pi.spt(t, {}, Direction::kOut);
+  const int32_t optimal = bfs_distance(g, s, t, FaultSet{e});
+  return restore_with_trees(g, from_s, from_t, e, optimal);
+}
+
+RestorationOutcome restore_multi_fault(const IRpts& pi, Vertex s, Vertex t,
+                                       const FaultSet& faults) {
+  const Graph& g = pi.graph();
+  RestorationOutcome out;
+  out.optimal_hops = bfs_distance(g, s, t, faults);
+  if (out.optimal_hops == kUnreachable) {
+    out.status = RestorationOutcome::Status::kNoReplacementExists;
+    return out;
+  }
+
+  // Proper subsets F' of F, by bitmask (|F| is tiny).
+  const auto ids = faults.ids();
+  const uint32_t full = uint32_t{1} << ids.size();
+  for (uint32_t mask = 0; mask + 1 < full; ++mask) {
+    std::vector<EdgeId> sub;
+    for (size_t i = 0; i < ids.size(); ++i)
+      if (mask & (uint32_t{1} << i)) sub.push_back(ids[i]);
+    const FaultSet fsub(std::move(sub));
+
+    const Spt from_s = pi.spt(s, fsub, Direction::kOut);
+    const Spt from_t = pi.spt(t, fsub, Direction::kOut);
+    const auto s_bad = from_s.paths_using_any(faults);
+    const auto t_bad = from_t.paths_using_any(faults);
+    for (Vertex x = 0; x < g.num_vertices(); ++x) {
+      if (!from_s.reachable(x) || !from_t.reachable(x)) continue;
+      if (s_bad[x] || t_bad[x]) continue;
+      const int32_t h = from_s.hops[x] + from_t.hops[x];
+      if (h == out.optimal_hops) {
+        out.midpoint = x;
+        out.hops = h;
+        out.path = from_s.path_to(x);
+        out.path.concatenate(from_t.path_to(x).reversed());
+        out.status = RestorationOutcome::Status::kRestored;
+        return out;
+      }
+      if (out.hops == kUnreachable || h < out.hops) {
+        // Track the best suboptimal candidate for diagnostics.
+        out.midpoint = x;
+        out.hops = h;
+        out.path = from_s.path_to(x);
+        out.path.concatenate(from_t.path_to(x).reversed());
+        out.status = RestorationOutcome::Status::kSuboptimal;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace restorable

@@ -1,0 +1,56 @@
+// Restoration-by-concatenation (Theorems 1 and 2).
+//
+// Given a scheme pi and a failing edge e on pi(s, t), scan midpoints x and
+// try to assemble a replacement s ~> t shortest path as
+//     pi(s, x) o reverse(pi(t, x)).
+// With a restorable scheme (Theorem 2) this always succeeds with an exactly
+// shortest replacement path; with an arbitrary scheme it can miss (Figure 1)
+// -- the outcome records which happened, which is what the E1 bench tallies.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rpts.h"
+#include "graph/graph.h"
+
+namespace restorable {
+
+struct RestorationOutcome {
+  enum class Status {
+    kRestored,             // concatenation achieved the replacement distance
+    kSuboptimal,           // best concatenation is a valid but longer detour
+    kNoCandidate,          // no midpoint yields any F-avoiding concatenation
+    kNoReplacementExists,  // s and t are disconnected in G \ F
+  };
+
+  Status status = Status::kNoCandidate;
+  Vertex midpoint = kNoVertex;
+  Path path;                           // assembled s -> t path (if any)
+  int32_t hops = kUnreachable;         // length of the assembled path
+  int32_t optimal_hops = kUnreachable; // true dist_{G \ F}(s, t)
+
+  bool restored() const { return status == Status::kRestored; }
+};
+
+// Single-fault restoration using the scheme's non-faulty trees only -- the
+// routing-table scenario of the paper's introduction: the tables were built
+// fault-free, an edge just failed, and we must reroute without recomputing
+// shortest paths. Cost: two SSSP calls + O(n) scan.
+RestorationOutcome restore_by_concatenation(const IRpts& pi, Vertex s,
+                                            Vertex t, EdgeId e);
+
+// Same, with the two out-trees already in hand (the E1 bench reuses trees
+// across all failing edges of pi(s, t)). `optimal_hops` is
+// dist_{G \ e}(s, t), computed by the caller.
+RestorationOutcome restore_with_trees(const Graph& g, const Spt& from_s,
+                                      const Spt& from_t, EdgeId e,
+                                      int32_t optimal_hops);
+
+// Multi-fault restoration per Definition 17: searches proper subsets
+// F' of F and midpoints x for a decomposition
+// pi(s, x | F') o reverse(pi(t, x | F')) avoiding all of F. Exponential in
+// |F| (as is the definition); |F| is tiny in all uses.
+RestorationOutcome restore_multi_fault(const IRpts& pi, Vertex s, Vertex t,
+                                       const FaultSet& faults);
+
+}  // namespace restorable

@@ -1,0 +1,113 @@
+#include "core/routing.h"
+
+#include "graph/bfs.h"
+
+namespace restorable {
+
+RoutingTables::RoutingTables(const IRpts& pi)
+    : g_(&pi.graph()), n_(g_->num_vertices()) {
+  fwd_.assign(static_cast<size_t>(n_) * n_, kNoVertex);
+  rev_.assign(static_cast<size_t>(n_) * n_, kNoVertex);
+  hops_.assign(static_cast<size_t>(n_) * n_, kUnreachable);
+
+  for (Vertex s = 0; s < n_; ++s) {
+    const Spt tree = pi.spt(s, {}, Direction::kOut);
+    // second[v] = second vertex on pi(s, v) (the next hop out of s), found
+    // by propagating down the tree in hop order.
+    std::vector<Vertex> second(n_, kNoVertex);
+    for (Vertex v : tree.top_order()) {
+      if (v == s) continue;
+      second[v] = tree.parent[v] == s ? v : second[tree.parent[v]];
+      // Forward table row of s: next hop toward v on pi(s, v).
+      fwd_[idx(s, v)] = second[v];
+      hops_[idx(s, v)] = tree.hops[v];
+      // Reverse-scheme table: pi~(x, s) = reverse(pi(s, x)) travels x -> s,
+      // whose first hop out of x is x's tree parent.
+      rev_[idx(v, s)] = tree.parent[v];
+    }
+  }
+}
+
+Path RoutingTables::walk(Vertex s, Vertex t) const {
+  Path p;
+  if (s == t) {
+    p.vertices.push_back(s);
+    return p;
+  }
+  if (next_hop(s, t) == kNoVertex) return {};
+  p.vertices.push_back(s);
+  Vertex at = s;
+  while (at != t) {
+    const Vertex nxt = next_hop(at, t);
+    const EdgeId e = g_->find_edge(at, nxt);
+    p.vertices.push_back(nxt);
+    p.edges.push_back(e);
+    at = nxt;
+  }
+  return p;
+}
+
+Path RoutingTables::walk_reverse(Vertex s, Vertex t) const {
+  Path p;
+  if (s == t) {
+    p.vertices.push_back(s);
+    return p;
+  }
+  if (next_hop_reverse(s, t) == kNoVertex) return {};
+  p.vertices.push_back(s);
+  Vertex at = s;
+  while (at != t) {
+    const Vertex nxt = next_hop_reverse(at, t);
+    const EdgeId e = g_->find_edge(at, nxt);
+    p.vertices.push_back(nxt);
+    p.edges.push_back(e);
+    at = nxt;
+  }
+  return p;
+}
+
+RestorationOutcome RoutingTables::restore(Vertex s, Vertex t, EdgeId e) const {
+  RestorationOutcome out;
+  out.optimal_hops = bfs_distance(*g_, s, t, FaultSet{e});
+  if (out.optimal_hops == kUnreachable) {
+    out.status = RestorationOutcome::Status::kNoReplacementExists;
+    return out;
+  }
+
+  const Edge& failing = g_->endpoints(e);
+  auto avoids = [&](const Path& p) {
+    for (size_t i = 0; i + 1 < p.vertices.size(); ++i) {
+      const Vertex a = p.vertices[i], b = p.vertices[i + 1];
+      if ((a == failing.u && b == failing.v) ||
+          (a == failing.v && b == failing.u))
+        return false;
+    }
+    return true;
+  };
+
+  for (Vertex x = 0; x < n_; ++x) {
+    if (hops(s, x) == kUnreachable || hops(t, x) == kUnreachable) continue;
+    const int32_t h = hops(s, x) + hops(t, x);
+    if (out.hops != kUnreachable && h >= out.hops) continue;
+    // pi(s, x) from the forward table of s; pi~(x, t) = reverse(pi(t, x))
+    // from the reverse table, walked from x -- the two-table scan the paper
+    // describes for MPLS.
+    const Path first = walk(s, x);
+    const Path second = walk_reverse(x, t);
+    if (!avoids(first) || !avoids(second)) continue;
+    out.midpoint = x;
+    out.hops = h;
+    out.path = first;
+    out.path.concatenate(second);
+  }
+  if (out.midpoint == kNoVertex) {
+    out.status = RestorationOutcome::Status::kNoCandidate;
+  } else {
+    out.status = out.hops == out.optimal_hops
+                     ? RestorationOutcome::Status::kRestored
+                     : RestorationOutcome::Status::kSuboptimal;
+  }
+  return out;
+}
+
+}  // namespace restorable

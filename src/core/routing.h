@@ -1,0 +1,71 @@
+// MPLS-style dual routing tables (Section 1 of the paper).
+//
+// Consistency lets a tiebreaking scheme be encoded as a next-hop matrix.
+// Because Theorem 2 concatenates pi(s, x) with the *reverse* of pi(t, x),
+// the paper suggests carrying two tables: one for pi and one for the reverse
+// scheme pi~(s, t) := reverse(pi(t, s)). An s ~> t replacement path is then
+// assembled by scanning midpoints x and concatenating the s ~> x path from
+// the first table with the x ~> t path from the second.
+//
+// This module materializes both tables (Theta(n^2) words) and performs
+// restoration purely by table walks -- no shortest path recomputation --
+// which is the protocol-level operation the restoration lemma was invented
+// for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/restoration.h"
+#include "core/rpts.h"
+#include "graph/graph.h"
+
+namespace restorable {
+
+class RoutingTables {
+ public:
+  // Builds both tables with n out-SSSP calls.
+  explicit RoutingTables(const IRpts& pi);
+
+  const Graph& graph() const { return *g_; }
+
+  // Next hop from `at` toward `to` along pi(at, to); kNoVertex if
+  // unreachable or at == to.
+  Vertex next_hop(Vertex at, Vertex to) const { return fwd_[idx(at, to)]; }
+
+  // Next hop from `at` toward `to` along the reverse scheme pi~(at, to)
+  // = reverse(pi(to, at)).
+  Vertex next_hop_reverse(Vertex at, Vertex to) const {
+    return rev_[idx(at, to)];
+  }
+
+  // Hop length of pi(s, t); kUnreachable if disconnected.
+  int32_t hops(Vertex s, Vertex t) const { return hops_[idx(s, t)]; }
+
+  // Reassembles pi(s, t) by walking the forward table.
+  Path walk(Vertex s, Vertex t) const;
+
+  // Reassembles pi~(s, t) = reverse(pi(t, s)) by walking the reverse table.
+  Path walk_reverse(Vertex s, Vertex t) const;
+
+  // Restores an s ~> t route around failing edge e using only table scans:
+  // for each midpoint x, checks that the tabled s ~> x and x ~> t routes
+  // avoid e and picks the shortest combination. O(n^2) table-walk steps.
+  RestorationOutcome restore(Vertex s, Vertex t, EdgeId e) const;
+
+  // Total number of table entries (2 n^2), for size accounting.
+  size_t entries() const { return fwd_.size() + rev_.size(); }
+
+ private:
+  size_t idx(Vertex a, Vertex b) const {
+    return static_cast<size_t>(a) * n_ + b;
+  }
+
+  const Graph* g_;
+  Vertex n_;
+  std::vector<Vertex> fwd_;    // next hop on pi(row, col)
+  std::vector<Vertex> rev_;    // next hop on pi~(row, col)
+  std::vector<int32_t> hops_;  // hop length of pi(row, col)
+};
+
+}  // namespace restorable

@@ -1,0 +1,51 @@
+#include "core/rpts.h"
+
+#include <queue>
+
+namespace restorable {
+
+Spt ArbitraryRpts::spt(Vertex root, const FaultSet& faults,
+                       Direction dir) const {
+  // The tree itself is direction-independent (the scheme selects the same
+  // undirected path for both orientations); `dir` only controls which way
+  // extracted paths are oriented.
+  const Graph& g = *g_;
+  const Vertex n = g.num_vertices();
+  Spt t;
+  t.root = root;
+  t.dir = dir;
+  t.hops.assign(n, kUnreachable);
+  t.parent.assign(n, kNoVertex);
+  t.parent_edge.assign(n, kNoEdge);
+  t.hops[root] = 0;
+
+  // Layered BFS; each newly discovered vertex picks the smallest-id parent
+  // in the previous layer (and smallest edge id among parallel options),
+  // making the scheme deterministic.
+  std::vector<Vertex> frontier{root}, next;
+  int32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (Vertex v : frontier) {
+      for (const Arc& a : g.arcs(v)) {
+        if (faults.contains(a.edge)) continue;
+        if (t.hops[a.to] == kUnreachable) {
+          t.hops[a.to] = level;
+          t.parent[a.to] = v;
+          t.parent_edge[a.to] = a.edge;
+          next.push_back(a.to);
+        } else if (t.hops[a.to] == level &&
+                   (v < t.parent[a.to] ||
+                    (v == t.parent[a.to] && a.edge < t.parent_edge[a.to]))) {
+          t.parent[a.to] = v;
+          t.parent_edge[a.to] = a.edge;
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return t;
+}
+
+}  // namespace restorable

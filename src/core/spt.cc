@@ -1,0 +1,62 @@
+#include "core/spt.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace restorable {
+
+Path Spt::path_to(Vertex v) const {
+  if (!reachable(v)) return {};
+  Path p;
+  for (Vertex x = v; x != root; x = parent[x]) {
+    p.vertices.push_back(x);
+    p.edges.push_back(parent_edge[x]);
+  }
+  p.vertices.push_back(root);
+  if (dir == Direction::kOut) {
+    std::reverse(p.vertices.begin(), p.vertices.end());
+    std::reverse(p.edges.begin(), p.edges.end());
+  }
+  // kIn trees already list v first (path travels v -> root).
+  return p;
+}
+
+std::vector<char> Spt::paths_using_edge(EdgeId e) const {
+  std::vector<char> uses(hops.size(), 0);
+  for (Vertex v : top_order()) {
+    if (v == root) continue;
+    uses[v] = uses[parent[v]] || parent_edge[v] == e;
+  }
+  return uses;
+}
+
+std::vector<char> Spt::paths_using_any(const FaultSet& faults) const {
+  std::vector<char> uses(hops.size(), 0);
+  for (Vertex v : top_order()) {
+    if (v == root) continue;
+    uses[v] = uses[parent[v]] || faults.contains(parent_edge[v]);
+  }
+  return uses;
+}
+
+std::vector<EdgeId> Spt::tree_edges() const {
+  std::vector<EdgeId> out;
+  out.reserve(hops.size());
+  for (Vertex v = 0; v < hops.size(); ++v)
+    if (v != root && reachable(v)) out.push_back(parent_edge[v]);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Vertex> Spt::top_order() const {
+  std::vector<Vertex> order;
+  order.reserve(hops.size());
+  for (Vertex v = 0; v < hops.size(); ++v)
+    if (reachable(v)) order.push_back(v);
+  std::sort(order.begin(), order.end(),
+            [this](Vertex a, Vertex b) { return hops[a] < hops[b]; });
+  return order;
+}
+
+}  // namespace restorable

@@ -1,0 +1,56 @@
+// Shortest-path tree produced by the tiebroken Dijkstra over G* \ F.
+//
+// Because the selected paths are *unique* shortest paths of the reweighted
+// directed graph, the union of the selected root-to-everywhere paths is a
+// tree (consistency; see Section 2 of the paper), and a parent array
+// represents the whole tiebreaking scheme restricted to one root and one
+// fault set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace restorable {
+
+// Orientation of the selected paths relative to the root. kOut: the tree
+// encodes pi(root, v) for every v (paths leave the root; arc weights are
+// read in travel direction root -> v). kIn: the tree encodes pi(v, root),
+// i.e. shortest paths *towards* the root in G*, equivalently an out-tree of
+// the reversed reweighted graph. The two differ because r is antisymmetric.
+enum class Direction : uint8_t { kOut, kIn };
+
+struct Spt {
+  Vertex root = kNoVertex;
+  Direction dir = Direction::kOut;
+  // Hop distance root->v (kUnreachable if disconnected from the root in
+  // G \ F).
+  std::vector<int32_t> hops;
+  // parent[v] is the neighbor of v on the selected path one step closer to
+  // the root; parent_edge[v] the connecting (local) edge id.
+  std::vector<Vertex> parent;
+  std::vector<EdgeId> parent_edge;
+
+  bool reachable(Vertex v) const { return hops[v] != kUnreachable; }
+
+  // The selected path between root and v, oriented root -> v for kOut trees
+  // and v -> root for kIn trees. Empty if unreachable.
+  Path path_to(Vertex v) const;
+
+  // For every vertex v: whether the tree path root~v uses edge e (in either
+  // orientation). One O(n) pass via parent propagation.
+  std::vector<char> paths_using_edge(EdgeId e) const;
+
+  // Same, for any edge in `faults`.
+  std::vector<char> paths_using_any(const FaultSet& faults) const;
+
+  // All tree edges (parent edges of reachable non-root vertices), deduped.
+  std::vector<EdgeId> tree_edges() const;
+
+  // Vertices in root-to-leaf topological order (increasing hops); includes
+  // only reachable vertices.
+  std::vector<Vertex> top_order() const;
+};
+
+}  // namespace restorable

@@ -1,0 +1,229 @@
+#include "dag/dag.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace restorable::dag {
+
+Dag::Dag(Vertex n, std::vector<Edge> arcs) : n_(n), arcs_(std::move(arcs)) {
+  for (const Edge& a : arcs_) {
+    if (a.u >= a.v || a.v >= n_)
+      throw std::invalid_argument("Dag arcs must satisfy u < v < n");
+  }
+  out_off_.assign(n_ + 1, 0);
+  in_off_.assign(n_ + 1, 0);
+  for (const Edge& a : arcs_) {
+    ++out_off_[a.u + 1];
+    ++in_off_[a.v + 1];
+  }
+  for (Vertex v = 0; v < n_; ++v) {
+    out_off_[v + 1] += out_off_[v];
+    in_off_[v + 1] += in_off_[v];
+  }
+  out_arcs_.resize(arcs_.size());
+  in_arcs_.resize(arcs_.size());
+  std::vector<uint32_t> oc(out_off_.begin(), out_off_.end() - 1);
+  std::vector<uint32_t> ic(in_off_.begin(), in_off_.end() - 1);
+  for (EdgeId e = 0; e < arcs_.size(); ++e) {
+    out_arcs_[oc[arcs_[e].u]++] = e;
+    in_arcs_[ic[arcs_[e].v]++] = e;
+  }
+}
+
+Dag random_dag(Vertex n, double p, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> arcs;
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (rng.next_bool(p)) arcs.push_back({u, v});
+  return Dag(n, std::move(arcs));
+}
+
+Dag layered_dag(Vertex layers, Vertex width, double p, uint64_t seed) {
+  Rng rng(seed);
+  const Vertex n = layers * width;
+  std::vector<Edge> arcs;
+  for (Vertex l = 0; l + 1 < layers; ++l)
+    for (Vertex a = 0; a < width; ++a)
+      for (Vertex b = 0; b < width; ++b)
+        if (rng.next_bool(p))
+          arcs.push_back({l * width + a, (l + 1) * width + b});
+  return Dag(n, std::move(arcs));
+}
+
+std::vector<int32_t> dag_distances(const Dag& d, Vertex root,
+                                   const FaultSet& faults, bool reverse) {
+  std::vector<int32_t> dist(d.num_vertices(), kUnreachable);
+  dist[root] = 0;
+  if (!reverse) {
+    for (Vertex v = root; v < d.num_vertices(); ++v) {
+      if (dist[v] == kUnreachable) continue;
+      for (EdgeId e : d.out(v)) {
+        if (faults.contains(e)) continue;
+        const Vertex w = d.arc(e).v;
+        if (dist[w] == kUnreachable || dist[v] + 1 < dist[w])
+          dist[w] = dist[v] + 1;
+      }
+    }
+  } else {
+    for (Vertex v = root + 1; v-- > 0;) {
+      if (dist[v] == kUnreachable) continue;
+      for (EdgeId e : d.in(v)) {
+        if (faults.contains(e)) continue;
+        const Vertex w = d.arc(e).u;
+        if (dist[w] == kUnreachable || dist[v] + 1 < dist[w])
+          dist[w] = dist[v] + 1;
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<char> DagScheme::Tree::paths_using_arc(const Dag& d, Vertex root,
+                                                   EdgeId e,
+                                                   bool reverse) const {
+  std::vector<char> uses(d.num_vertices(), 0);
+  if (!reverse) {
+    // via[v] is the last arc of pi(root, v); propagate in topo order.
+    for (Vertex v = 0; v < d.num_vertices(); ++v) {
+      if (v == root || via[v] == kNoEdge) continue;
+      uses[v] = uses[d.arc(via[v]).u] || via[v] == e;
+    }
+  } else {
+    for (Vertex v = d.num_vertices(); v-- > 0;) {
+      if (v == root || via[v] == kNoEdge) continue;
+      uses[v] = uses[d.arc(via[v]).v] || via[v] == e;
+    }
+  }
+  return uses;
+}
+
+DagScheme::Tree DagScheme::forward(Vertex root, const FaultSet& faults) const {
+  const Dag& d = *d_;
+  Tree t;
+  t.hops.assign(d.num_vertices(), kUnreachable);
+  t.via.assign(d.num_vertices(), kNoEdge);
+  std::vector<int64_t> tie(d.num_vertices(), 0);
+  t.hops[root] = 0;
+  for (Vertex v = root; v < d.num_vertices(); ++v) {
+    if (t.hops[v] == kUnreachable) continue;
+    for (EdgeId e : d.out(v)) {
+      if (faults.contains(e)) continue;
+      const Vertex w = d.arc(e).v;
+      const int32_t h = t.hops[v] + 1;
+      const int64_t tw = tie[v] + arc_tie(e);
+      if (t.hops[w] == kUnreachable || h < t.hops[w] ||
+          (h == t.hops[w] && tw < tie[w])) {
+        t.hops[w] = h;
+        tie[w] = tw;
+        t.via[w] = e;
+      }
+    }
+  }
+  return t;
+}
+
+DagScheme::Tree DagScheme::backward(Vertex root,
+                                    const FaultSet& faults) const {
+  const Dag& d = *d_;
+  Tree t;
+  t.hops.assign(d.num_vertices(), kUnreachable);
+  t.via.assign(d.num_vertices(), kNoEdge);
+  std::vector<int64_t> tie(d.num_vertices(), 0);
+  t.hops[root] = 0;
+  for (Vertex v = root + 1; v-- > 0;) {
+    if (t.hops[v] == kUnreachable) continue;
+    for (EdgeId e : d.in(v)) {
+      if (faults.contains(e)) continue;
+      const Vertex w = d.arc(e).u;
+      const int32_t h = t.hops[v] + 1;
+      const int64_t tw = tie[v] + arc_tie(e);
+      if (t.hops[w] == kUnreachable || h < t.hops[w] ||
+          (h == t.hops[w] && tw < tie[w])) {
+        t.hops[w] = h;
+        tie[w] = tw;
+        t.via[w] = e;
+      }
+    }
+  }
+  return t;
+}
+
+std::string check_dag_restoration_lemma(const Dag& d) {
+  const Vertex n = d.num_vertices();
+  // base[s] = forward distances from s; per fault, recompute.
+  std::vector<std::vector<int32_t>> base(n);
+  for (Vertex s = 0; s < n; ++s) base[s] = dag_distances(d, s, {}, false);
+
+  for (EdgeId e = 0; e < d.num_arcs(); ++e) {
+    const FaultSet faults{e};
+    std::vector<std::vector<int32_t>> faulty(n);
+    for (Vertex s = 0; s < n; ++s)
+      faulty[s] = dag_distances(d, s, faults, false);
+    for (Vertex s = 0; s < n; ++s) {
+      for (Vertex t = s + 1; t < n; ++t) {
+        const int32_t target = faulty[s][t];
+        if (target == kUnreachable) continue;
+        bool ok = false;
+        for (Vertex x = s; x <= t && !ok; ++x) {
+          if (base[s][x] == kUnreachable || base[x][t] == kUnreachable)
+            continue;
+          if (faulty[s][x] != base[s][x]) continue;  // no avoiding s~x SP
+          if (faulty[x][t] != base[x][t]) continue;
+          if (base[s][x] + base[x][t] == target) ok = true;
+        }
+        if (!ok) {
+          std::ostringstream ss;
+          ss << "DAG restoration lemma violated: s=" << s << " t=" << t
+             << " arc=" << e << " target=" << target;
+          return ss.str();
+        }
+      }
+    }
+  }
+  return {};
+}
+
+DagProbeResult probe_dag_restorability(const Dag& d, const DagScheme& scheme) {
+  DagProbeResult res;
+  const Vertex n = d.num_vertices();
+  for (Vertex s = 0; s < n; ++s) {
+    const DagScheme::Tree fwd = scheme.forward(s);
+    for (Vertex t = s + 1; t < n; ++t) {
+      if (fwd.hops[t] == kUnreachable) continue;
+      const DagScheme::Tree bwd = scheme.backward(t);
+      // Arcs on the selected pi(s, t).
+      std::vector<EdgeId> path_arcs;
+      for (Vertex v = t; v != s;) {
+        const EdgeId e = fwd.via[v];
+        path_arcs.push_back(e);
+        v = d.arc(e).u;
+      }
+      for (EdgeId e : path_arcs) {
+        const auto repl = dag_distances(d, s, FaultSet{e}, false);
+        ++res.queries;
+        if (repl[t] == kUnreachable) {
+          ++res.disconnected;
+          continue;
+        }
+        const auto s_uses = fwd.paths_using_arc(d, s, e, false);
+        const auto t_uses = bwd.paths_using_arc(d, t, e, true);
+        bool ok = false;
+        for (Vertex x = s; x <= t && !ok; ++x) {
+          if (fwd.hops[x] == kUnreachable || bwd.hops[x] == kUnreachable)
+            continue;
+          if (s_uses[x] || t_uses[x]) continue;
+          if (fwd.hops[x] + bwd.hops[x] == repl[t]) ok = true;
+        }
+        if (ok)
+          ++res.restored;
+        else
+          ++res.failed;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace restorable::dag

@@ -1,0 +1,117 @@
+// Unweighted DAG substrate and the Section 1.2 future-work probe.
+//
+// The paper's main theorem is proved for undirected graphs only, but both
+// restoration lemmas extend to DAGs, and the authors write that "it seems
+// very plausible that our main result admits some kind of extension to
+// unweighted DAGs", leaving formulation and proof open. This module
+// implements the natural candidate formulation so it can be tested
+// empirically:
+//   * a DAG scheme selects, via hash-perturbed arc weights, one canonical
+//     shortest directed path per ordered pair;
+//   * restoration-by-concatenation on a DAG stitches pi(s, x) o pi(x, t)
+//     (both forward-directed -- no reversal, hence no antisymmetry needed).
+// The probe reports, per instance, how many (s, t, e) queries such a scheme
+// restores exactly; the scheme-insensitive DAG restoration lemma (known to
+// hold) is verified separately.
+//
+// Representation: vertices are numbered in topological order (arcs always go
+// low -> high), so shortest paths are dynamic programs over the vertex order
+// -- no priority queue needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace restorable::dag {
+
+// A DAG in topological numbering: every arc satisfies u < v.
+class Dag {
+ public:
+  Dag() = default;
+  Dag(Vertex n, std::vector<Edge> arcs);
+
+  Vertex num_vertices() const { return n_; }
+  EdgeId num_arcs() const { return static_cast<EdgeId>(arcs_.size()); }
+  const Edge& arc(EdgeId e) const { return arcs_[e]; }
+
+  // Outgoing/incoming arc ids of v.
+  std::span<const EdgeId> out(Vertex v) const {
+    return {out_arcs_.data() + out_off_[v],
+            out_arcs_.data() + out_off_[v + 1]};
+  }
+  std::span<const EdgeId> in(Vertex v) const {
+    return {in_arcs_.data() + in_off_[v], in_arcs_.data() + in_off_[v + 1]};
+  }
+
+ private:
+  Vertex n_ = 0;
+  std::vector<Edge> arcs_;
+  std::vector<uint32_t> out_off_, in_off_;
+  std::vector<EdgeId> out_arcs_, in_arcs_;
+};
+
+// Random DAG: each pair u < v becomes an arc with probability p.
+Dag random_dag(Vertex n, double p, uint64_t seed);
+
+// Layered random DAG (long paths, many ties): `layers` layers of `width`
+// vertices; arcs between consecutive layers with probability p.
+Dag layered_dag(Vertex layers, Vertex width, double p, uint64_t seed);
+
+// Directed hop distances from s (or to t with reverse = true) in the DAG
+// minus `faults`.
+std::vector<int32_t> dag_distances(const Dag& d, Vertex root,
+                                   const FaultSet& faults, bool reverse);
+
+// One canonical shortest directed path per ordered pair, selected by
+// hash-perturbed arc weights (the DAG analogue of Definition 18; no
+// antisymmetry is involved since concatenation never reverses a path).
+class DagScheme {
+ public:
+  DagScheme(const Dag& d, uint64_t seed) : d_(&d), seed_(seed) {}
+
+  struct Tree {
+    // Selected-path structure from/to the root: hops and the arc toward the
+    // root on each selected path (kNoEdge at the root / unreachable).
+    std::vector<int32_t> hops;
+    std::vector<EdgeId> via;
+    // Whether the selected path root~v (or v~root) uses a given arc is
+    // derived by propagation, as in the undirected Spt.
+    std::vector<char> paths_using_arc(const Dag& d, Vertex root, EdgeId e,
+                                      bool reverse) const;
+  };
+
+  // Forward tree: pi(root, v) for all v. Backward: pi(v, root) for all v.
+  Tree forward(Vertex root, const FaultSet& faults = {}) const;
+  Tree backward(Vertex root, const FaultSet& faults = {}) const;
+
+ private:
+  int64_t arc_tie(EdgeId e) const {
+    const uint64_t h = hash_combine(seed_, e);
+    return static_cast<int64_t>(h % ((uint64_t{1} << 44) * 2 + 1)) -
+           (int64_t{1} << 44);
+  }
+
+  const Dag* d_;
+  uint64_t seed_;
+};
+
+// Scheme-insensitive DAG restoration lemma check (the [3, 9] extension):
+// for every s, t, failing arc e with a surviving s~t path, some midpoint x
+// has SOME shortest s~x and x~t paths avoiding e with lengths summing to the
+// replacement distance. Returns a violation description or empty string.
+std::string check_dag_restoration_lemma(const Dag& d);
+
+// The future-work probe: restoration-by-concatenation with the selected
+// paths of `scheme`, over all (s, t) and all arcs on the selected pi(s, t).
+struct DagProbeResult {
+  size_t queries = 0;
+  size_t restored = 0;     // exact replacement distance achieved
+  size_t failed = 0;       // scheme's selected paths could not decompose
+  size_t disconnected = 0; // no replacement path exists
+};
+DagProbeResult probe_dag_restorability(const Dag& d, const DagScheme& scheme);
+
+}  // namespace restorable::dag

@@ -1,0 +1,56 @@
+#include "graph/dot.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace restorable {
+
+void write_dot(const Graph& g, std::ostream& os, const DotOptions& opts) {
+  auto contains = [](auto span, auto x) {
+    return std::find(span.begin(), span.end(), x) != span.end();
+  };
+  os << "graph " << opts.graph_name << " {\n";
+  os << "  node [shape=circle, fontsize=10];\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    os << "  " << v;
+    if (contains(opts.mark_vertices, v))
+      os << " [style=filled, fillcolor=lightblue]";
+    os << ";\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.endpoints(e);
+    os << "  " << ed.u << " -- " << ed.v;
+    std::vector<std::string> attrs;
+    if (contains(opts.highlight_edges, e))
+      attrs.push_back("color=" + opts.highlight_color + ", penwidth=2.5");
+    if (contains(opts.dashed_edges, e)) attrs.push_back("style=dashed");
+    if (!attrs.empty()) {
+      os << " [";
+      for (size_t i = 0; i < attrs.size(); ++i)
+        os << (i ? ", " : "") << attrs[i];
+      os << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string restoration_dot(const Graph& g, const Path& replacement,
+                            EdgeId failed) {
+  std::ostringstream ss;
+  DotOptions opts;
+  opts.highlight_edges = replacement.edges;
+  const EdgeId dashed[] = {failed};
+  opts.dashed_edges = dashed;
+  std::vector<Vertex> marks;
+  if (!replacement.empty()) {
+    marks.push_back(replacement.source());
+    marks.push_back(replacement.target());
+  }
+  opts.mark_vertices = marks;
+  write_dot(g, ss, opts);
+  return ss.str();
+}
+
+}  // namespace restorable

@@ -1,0 +1,31 @@
+// GraphViz DOT export with optional path/edge highlighting, for inspecting
+// restoration scenarios and preservers visually.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace restorable {
+
+struct DotOptions {
+  // Edges drawn bold/colored.
+  std::span<const EdgeId> highlight_edges;
+  std::string highlight_color = "red";
+  // Edges drawn dashed (e.g. failed links).
+  std::span<const EdgeId> dashed_edges;
+  // Vertices drawn filled (e.g. sources, midpoints).
+  std::span<const Vertex> mark_vertices;
+  std::string graph_name = "G";
+};
+
+// Writes an undirected DOT rendering of g.
+void write_dot(const Graph& g, std::ostream& os, const DotOptions& opts = {});
+
+// Convenience: DOT with one highlighted path and one dashed failed edge.
+std::string restoration_dot(const Graph& g, const Path& replacement,
+                            EdgeId failed);
+
+}  // namespace restorable

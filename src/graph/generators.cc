@@ -1,0 +1,193 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace restorable {
+
+Graph gnp(Vertex n, double p, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (rng.next_bool(p)) edges.push_back({u, v});
+  return Graph(n, std::move(edges));
+}
+
+Graph gnp_connected(Vertex n, double p, uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::pair<Vertex, Vertex>> present;
+  std::vector<Edge> edges;
+  // Random spanning tree: attach each vertex to a uniformly random earlier
+  // vertex of a random permutation.
+  std::vector<Vertex> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  for (Vertex i = 1; i < n; ++i) {
+    Vertex a = perm[i], b = perm[rng.next_below(i)];
+    if (a > b) std::swap(a, b);
+    if (present.insert({a, b}).second) edges.push_back({a, b});
+  }
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (rng.next_bool(p) && present.insert({u, v}).second)
+        edges.push_back({u, v});
+  return Graph(n, std::move(edges));
+}
+
+Graph gnm(Vertex n, EdgeId m, uint64_t seed) {
+  const uint64_t max_m = static_cast<uint64_t>(n) * (n - 1) / 2;
+  if (m > max_m) throw std::invalid_argument("gnm: m too large");
+  Rng rng(seed);
+  std::set<std::pair<Vertex, Vertex>> present;
+  std::vector<Edge> edges;
+  while (edges.size() < m) {
+    Vertex u = static_cast<Vertex>(rng.next_below(n));
+    Vertex v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (present.insert({u, v}).second) edges.push_back({u, v});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph cycle(Vertex n) {
+  if (n < 3) throw std::invalid_argument("cycle: n >= 3 required");
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n});
+  return Graph(n, std::move(edges));
+}
+
+Graph path_graph(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return Graph(n, std::move(edges));
+}
+
+Graph complete(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) edges.push_back({u, v});
+  return Graph(n, std::move(edges));
+}
+
+Graph grid(Vertex rows, Vertex cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r)
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph torus(Vertex rows, Vertex cols) {
+  if (rows < 3 || cols < 3)
+    throw std::invalid_argument("torus: need rows, cols >= 3");
+  std::vector<Edge> edges;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r)
+    for (Vertex c = 0; c < cols; ++c) {
+      edges.push_back({id(r, c), id(r, (c + 1) % cols)});
+      edges.push_back({id(r, c), id((r + 1) % rows, c)});
+    }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph hypercube(int d) {
+  if (d < 1 || d > 20) throw std::invalid_argument("hypercube: bad dimension");
+  const Vertex n = Vertex{1} << d;
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v < n; ++v)
+    for (int b = 0; b < d; ++b) {
+      const Vertex w = v ^ (Vertex{1} << b);
+      if (v < w) edges.push_back({v, w});
+    }
+  return Graph(n, std::move(edges));
+}
+
+Graph random_tree(Vertex n, uint64_t seed) {
+  if (n == 0) return Graph(0, {});
+  if (n == 1) return Graph(1, {});
+  Rng rng(seed);
+  // Pruefer decoding.
+  std::vector<Vertex> pruefer(n >= 2 ? n - 2 : 0);
+  for (auto& x : pruefer) x = static_cast<Vertex>(rng.next_below(n));
+  std::vector<int> deg(n, 1);
+  for (Vertex x : pruefer) ++deg[x];
+  std::set<Vertex> leaves;
+  for (Vertex v = 0; v < n; ++v)
+    if (deg[v] == 1) leaves.insert(v);
+  std::vector<Edge> edges;
+  for (Vertex x : pruefer) {
+    const Vertex leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    edges.push_back({std::min(leaf, x), std::max(leaf, x)});
+    if (--deg[x] == 1) leaves.insert(x);
+  }
+  const Vertex a = *leaves.begin();
+  const Vertex b = *std::next(leaves.begin());
+  edges.push_back({std::min(a, b), std::max(a, b)});
+  return Graph(n, std::move(edges));
+}
+
+Graph dumbbell(Vertex k, Vertex bridge_len) {
+  if (k < 2) throw std::invalid_argument("dumbbell: k >= 2 required");
+  const Vertex n = 2 * k + (bridge_len > 0 ? bridge_len - 1 : 0);
+  std::vector<Edge> edges;
+  // Left clique: vertices [0, k); right clique: [k, 2k).
+  for (Vertex u = 0; u < k; ++u)
+    for (Vertex v = u + 1; v < k; ++v) edges.push_back({u, v});
+  for (Vertex u = k; u < 2 * k; ++u)
+    for (Vertex v = u + 1; v < 2 * k; ++v) edges.push_back({u, v});
+  // Bridge path from vertex 0 to vertex k through fresh internal vertices.
+  Vertex prev = 0;
+  for (Vertex i = 0; i + 1 < bridge_len; ++i) {
+    const Vertex mid = 2 * k + i;
+    edges.push_back({prev, mid});
+    prev = mid;
+  }
+  if (bridge_len > 0) edges.push_back({prev, k});
+  return Graph(n, std::move(edges));
+}
+
+Graph clique_chain(Vertex k, Vertex c) {
+  if (k < 1 || c < 2) throw std::invalid_argument("clique_chain: k>=1, c>=2");
+  const Vertex n = k * c;
+  std::vector<Edge> edges;
+  for (Vertex b = 0; b < k; ++b) {
+    const Vertex base = b * c;
+    for (Vertex u = 0; u < c; ++u)
+      for (Vertex v = u + 1; v < c; ++v)
+        edges.push_back({base + u, base + v});
+    // Representative of block b (its last vertex) links to the first vertex
+    // of block b+1.
+    if (b + 1 < k) edges.push_back({base + c - 1, base + c});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph theta_graph(Vertex width, Vertex len) {
+  if (width < 2 || len < 2)
+    throw std::invalid_argument("theta_graph: width, len >= 2 required");
+  // s = 0, t = 1, then `width` disjoint paths of `len` edges each.
+  const Vertex n = 2 + width * (len - 1);
+  std::vector<Edge> edges;
+  Vertex next = 2;
+  for (Vertex w = 0; w < width; ++w) {
+    Vertex prev = 0;
+    for (Vertex i = 0; i + 1 < len; ++i) {
+      edges.push_back({prev, next});
+      prev = next++;
+    }
+    edges.push_back({prev, 1});
+  }
+  return Graph(n, std::move(edges));
+}
+
+}  // namespace restorable

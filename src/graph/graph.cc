@@ -1,0 +1,155 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace restorable {
+
+bool Path::uses_edge(EdgeId e) const {
+  return std::find(edges.begin(), edges.end(), e) != edges.end();
+}
+
+bool Path::uses_vertex(Vertex v) const {
+  return std::find(vertices.begin(), vertices.end(), v) != vertices.end();
+}
+
+void Path::concatenate(const Path& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  assert(target() == other.source());
+  vertices.insert(vertices.end(), other.vertices.begin() + 1,
+                  other.vertices.end());
+  edges.insert(edges.end(), other.edges.begin(), other.edges.end());
+}
+
+Path Path::reversed() const {
+  Path r;
+  r.vertices.assign(vertices.rbegin(), vertices.rend());
+  r.edges.assign(edges.rbegin(), edges.rend());
+  return r;
+}
+
+std::string Path::to_string() const {
+  std::ostringstream ss;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (i) ss << " -> ";
+    ss << vertices[i];
+  }
+  return ss.str();
+}
+
+FaultSet::FaultSet(std::initializer_list<EdgeId> ids)
+    : FaultSet(std::vector<EdgeId>(ids)) {}
+
+FaultSet::FaultSet(std::vector<EdgeId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+bool FaultSet::contains(EdgeId e) const {
+  return std::binary_search(ids_.begin(), ids_.end(), e);
+}
+
+void FaultSet::insert(EdgeId e) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), e);
+  if (it == ids_.end() || *it != e) ids_.insert(it, e);
+}
+
+void FaultSet::erase(EdgeId e) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), e);
+  if (it != ids_.end() && *it == e) ids_.erase(it);
+}
+
+FaultSet FaultSet::with(EdgeId e) const {
+  FaultSet f = *this;
+  f.insert(e);
+  return f;
+}
+
+FaultSet FaultSet::without(EdgeId e) const {
+  FaultSet f = *this;
+  f.erase(e);
+  return f;
+}
+
+std::string FaultSet::to_string() const {
+  std::ostringstream ss;
+  ss << '{';
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i) ss << ',';
+    ss << ids_[i];
+  }
+  ss << '}';
+  return ss.str();
+}
+
+Graph::Graph(Vertex n, std::vector<Edge> edges, std::vector<EdgeId> labels)
+    : n_(n), edges_(std::move(edges)), labels_(std::move(labels)) {
+  for (const Edge& e : edges_) {
+    if (e.u == e.v) throw std::invalid_argument("self-loops are not allowed");
+    if (e.u >= n_ || e.v >= n_)
+      throw std::invalid_argument("edge endpoint out of range");
+  }
+  if (labels_.empty()) {
+    labels_.resize(edges_.size());
+    for (EdgeId e = 0; e < edges_.size(); ++e) labels_[e] = e;
+  }
+  if (labels_.size() != edges_.size())
+    throw std::invalid_argument("labels/edges size mismatch");
+  build_csr();
+}
+
+void Graph::build_csr() {
+  offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (Vertex v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+  arcs_.resize(2 * edges_.size());
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const Edge& ed = edges_[e];
+    arcs_[cursor[ed.u]++] = Arc{ed.v, e, /*forward=*/true};
+    arcs_[cursor[ed.v]++] = Arc{ed.u, e, /*forward=*/false};
+  }
+}
+
+EdgeId Graph::find_edge(Vertex u, Vertex v) const {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  for (const Arc& a : arcs(u))
+    if (a.to == v) return a.edge;
+  return kNoEdge;
+}
+
+Graph Graph::edge_subgraph(std::span<const EdgeId> edge_ids) const {
+  std::vector<Edge> sub_edges;
+  std::vector<EdgeId> sub_labels;
+  sub_edges.reserve(edge_ids.size());
+  sub_labels.reserve(edge_ids.size());
+  for (EdgeId e : edge_ids) {
+    sub_edges.push_back(edges_[e]);
+    sub_labels.push_back(labels_[e]);
+  }
+  return Graph(n_, std::move(sub_edges), std::move(sub_labels));
+}
+
+bool Graph::is_valid_path(const Path& p, const FaultSet& faults) const {
+  if (p.empty()) return false;
+  if (p.edges.size() + 1 != p.vertices.size()) return false;
+  for (size_t i = 0; i < p.edges.size(); ++i) {
+    const EdgeId e = p.edges[i];
+    if (e >= num_edges()) return false;
+    if (faults.contains(e)) return false;
+    const Edge& ed = edges_[e];
+    const Vertex a = p.vertices[i], b = p.vertices[i + 1];
+    if (!((ed.u == a && ed.v == b) || (ed.u == b && ed.v == a))) return false;
+  }
+  return true;
+}
+
+}  // namespace restorable

@@ -1,0 +1,153 @@
+// Core graph substrate: undirected, unweighted graphs in CSR form.
+//
+// The paper works with undirected unweighted graphs G = (V, E); the
+// tiebreaking machinery views G as the symmetric directed graph obtained by
+// replacing each undirected edge {u, v} with both arcs. This module provides
+// the undirected representation; the direction of a traversal is carried
+// alongside an edge id wherever it matters (see core/perturbation.h).
+//
+// Edges carry a *label*: the edge id they had in the graph they were
+// originally created in. Subgraphs (shortest path trees, preservers,
+// tree-union graphs in Algorithm 1) preserve labels so that tiebreaking
+// weight functions -- which are defined per original edge -- stay meaningful
+// on the subgraph.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace restorable {
+
+using Vertex = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr Vertex kNoVertex = static_cast<Vertex>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+inline constexpr int32_t kUnreachable = -1;
+
+// An undirected edge. Stored endpoint order is preserved: the "forward"
+// orientation of edge e is endpoints(e).u -> endpoints(e).v, which is the
+// orientation the antisymmetric weight r(u, v) is defined on.
+struct Edge {
+  Vertex u;
+  Vertex v;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// A directed arc in the CSR adjacency structure.
+struct Arc {
+  Vertex to;
+  EdgeId edge;     // edge id in *this* graph
+  bool forward;    // true iff the traversal follows the stored (u, v) order
+};
+
+// A path, as the sequence of visited vertices (size >= 1) plus the parallel
+// sequence of traversed edge ids (size = vertices.size() - 1).
+struct Path {
+  std::vector<Vertex> vertices;
+  std::vector<EdgeId> edges;
+
+  bool empty() const { return vertices.empty(); }
+  size_t length() const { return edges.size(); }
+  Vertex source() const { return vertices.front(); }
+  Vertex target() const { return vertices.back(); }
+  bool uses_edge(EdgeId e) const;
+  bool uses_vertex(Vertex v) const;
+
+  // Appends `other` (which must start at this path's target) to this path.
+  void concatenate(const Path& other);
+  // Returns the reversed path (t ~> s becomes s ~> t).
+  Path reversed() const;
+  std::string to_string() const;
+
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+// A small sorted set of failing edge ids; |F| <= f is tiny in all uses, so a
+// sorted vector beats any tree/hash container.
+class FaultSet {
+ public:
+  FaultSet() = default;
+  FaultSet(std::initializer_list<EdgeId> ids);
+  explicit FaultSet(std::vector<EdgeId> ids);
+
+  bool contains(EdgeId e) const;
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+  void insert(EdgeId e);
+  void erase(EdgeId e);
+  std::span<const EdgeId> ids() const { return ids_; }
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  FaultSet with(EdgeId e) const;     // F u {e}
+  FaultSet without(EdgeId e) const;  // F \ {e}
+  std::string to_string() const;
+
+  friend bool operator==(const FaultSet&, const FaultSet&) = default;
+  friend auto operator<=>(const FaultSet& a, const FaultSet& b) {
+    return a.ids_ <=> b.ids_;
+  }
+
+ private:
+  std::vector<EdgeId> ids_;  // sorted, unique
+};
+
+// Undirected unweighted multigraph-free graph with CSR adjacency.
+class Graph {
+ public:
+  Graph() = default;
+  // Builds a graph on n vertices with the given edges. Self-loops are
+  // disallowed; parallel edges are allowed structurally but never produced
+  // by the generators. If `labels` is empty, labels default to edge ids.
+  Graph(Vertex n, std::vector<Edge> edges, std::vector<EdgeId> labels = {});
+
+  Vertex num_vertices() const { return n_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  const Edge& endpoints(EdgeId e) const { return edges_[e]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // The original-graph edge id of local edge e (see file comment).
+  EdgeId label(EdgeId e) const { return labels_[e]; }
+  const std::vector<EdgeId>& labels() const { return labels_; }
+
+  std::span<const Arc> arcs(Vertex v) const {
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+  size_t degree(Vertex v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  // Linear scan over the (smaller-degree) endpoint; returns kNoEdge if the
+  // vertices are not adjacent.
+  EdgeId find_edge(Vertex u, Vertex v) const;
+
+  // Other endpoint of edge e as seen from u.
+  Vertex other_endpoint(EdgeId e, Vertex u) const {
+    const Edge& ed = edges_[e];
+    assert(ed.u == u || ed.v == u);
+    return ed.u == u ? ed.v : ed.u;
+  }
+
+  // Subgraph on the same vertex set containing exactly the given edges.
+  // Labels carry through, i.e. the subgraph's label(e') equals this graph's
+  // label of the originating edge.
+  Graph edge_subgraph(std::span<const EdgeId> edge_ids) const;
+
+  // True if the path is a valid walk in this graph avoiding `faults`.
+  bool is_valid_path(const Path& p, const FaultSet& faults = {}) const;
+
+ private:
+  void build_csr();
+
+  Vertex n_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<EdgeId> labels_;
+  std::vector<uint32_t> offsets_;  // size n_ + 1
+  std::vector<Arc> arcs_;          // size 2m
+};
+
+}  // namespace restorable

@@ -1,0 +1,54 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace restorable {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << "n " << g.num_vertices() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.endpoints(e);
+    os << "e " << ed.u << ' ' << ed.v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  Vertex n = 0;
+  bool have_n = false;
+  std::vector<Edge> edges;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    char kind;
+    ss >> kind;
+    if (kind == 'n') {
+      if (!(ss >> n)) throw std::runtime_error("bad 'n' line");
+      have_n = true;
+    } else if (kind == 'e') {
+      Vertex u, v;
+      if (!(ss >> u >> v)) throw std::runtime_error("bad 'e' line");
+      edges.push_back({u, v});
+    } else {
+      throw std::runtime_error("unknown line kind in edge list");
+    }
+  }
+  if (!have_n) throw std::runtime_error("edge list missing 'n' line");
+  return Graph(n, std::move(edges));
+}
+
+void save_graph(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_edge_list(g, os);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return read_edge_list(is);
+}
+
+}  // namespace restorable

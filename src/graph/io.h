@@ -1,0 +1,23 @@
+// Plain-text edge-list serialization:
+//
+//   # comment lines allowed
+//   n <num_vertices>
+//   e <u> <v>        (one line per edge, 0-indexed)
+//
+// Used by the examples to load/save topologies and by tests for round-trips.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace restorable {
+
+void write_edge_list(const Graph& g, std::ostream& os);
+Graph read_edge_list(std::istream& is);
+
+void save_graph(const Graph& g, const std::string& path);
+Graph load_graph(const std::string& path);
+
+}  // namespace restorable

@@ -1,0 +1,65 @@
+#include "graph/weighted.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/random.h"
+
+namespace restorable {
+
+Path WeightedSssp::path_to(Vertex v, Vertex root) const {
+  if (!reachable(v)) return {};
+  Path p;
+  for (Vertex x = v; x != root; x = parent[x]) {
+    p.vertices.push_back(x);
+    p.edges.push_back(parent_edge[x]);
+  }
+  p.vertices.push_back(root);
+  std::reverse(p.vertices.begin(), p.vertices.end());
+  std::reverse(p.edges.begin(), p.edges.end());
+  return p;
+}
+
+WeightedSssp weighted_sssp(const Graph& g, const std::vector<int64_t>& weight,
+                           Vertex root, const FaultSet& faults) {
+  const Vertex n = g.num_vertices();
+  WeightedSssp res;
+  res.dist.assign(n, kInfWeight);
+  res.parent.assign(n, kNoVertex);
+  res.parent_edge.assign(n, kNoEdge);
+  using Item = std::pair<int64_t, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  res.dist[root] = 0;
+  pq.push({0, root});
+  while (!pq.empty()) {
+    const auto [dv, v] = pq.top();
+    pq.pop();
+    if (dv != res.dist[v]) continue;
+    for (const Arc& a : g.arcs(v)) {
+      if (faults.contains(a.edge)) continue;
+      const int64_t nd = dv + weight[a.edge];
+      if (nd < res.dist[a.to]) {
+        res.dist[a.to] = nd;
+        res.parent[a.to] = v;
+        res.parent_edge[a.to] = a.edge;
+        pq.push({nd, a.to});
+      }
+    }
+  }
+  return res;
+}
+
+int64_t weighted_distance(const Graph& g, const std::vector<int64_t>& weight,
+                          Vertex s, Vertex t, const FaultSet& faults) {
+  return weighted_sssp(g, weight, s, faults).dist[t];
+}
+
+std::vector<int64_t> random_weights(const Graph& g, int64_t max_weight,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> w(g.num_edges());
+  for (auto& x : w) x = rng.next_in(1, max_weight);
+  return w;
+}
+
+}  // namespace restorable

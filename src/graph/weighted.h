@@ -1,0 +1,46 @@
+// Positively weighted graph utilities.
+//
+// The core theory is for unweighted graphs (the main theorem provably does
+// not extend to weighted inputs), but two pieces of the paper live in the
+// weighted world and need an exact weighted substrate:
+//  * the weighted restoration lemma (Theorem 11), which survives weights at
+//    the price of a middle edge, and
+//  * the Appendix-B lower-bound instances, whose adversarial tiebreaking is
+//    a weight function.
+// Weights are int64 (callers scale rationals to integers), so all
+// comparisons are exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace restorable {
+
+inline constexpr int64_t kInfWeight = INT64_MAX;
+
+struct WeightedSssp {
+  std::vector<int64_t> dist;        // kInfWeight if unreachable
+  std::vector<Vertex> parent;       // toward the root
+  std::vector<EdgeId> parent_edge;
+
+  bool reachable(Vertex v) const { return dist[v] != kInfWeight; }
+  // Path root -> v following parents (empty if unreachable).
+  Path path_to(Vertex v, Vertex root) const;
+};
+
+// Dijkstra on g with per-edge weights (indexed by local edge id), avoiding
+// `faults`. Weights must be positive.
+WeightedSssp weighted_sssp(const Graph& g, const std::vector<int64_t>& weight,
+                           Vertex root, const FaultSet& faults = {});
+
+// Single-pair weighted distance under faults.
+int64_t weighted_distance(const Graph& g, const std::vector<int64_t>& weight,
+                          Vertex s, Vertex t, const FaultSet& faults = {});
+
+// Uniform random integer weights in [1, max_weight], seeded.
+std::vector<int64_t> random_weights(const Graph& g, int64_t max_weight,
+                                    uint64_t seed);
+
+}  // namespace restorable

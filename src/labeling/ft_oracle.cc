@@ -1,0 +1,25 @@
+#include "labeling/ft_oracle.h"
+
+#include "graph/bfs.h"
+
+namespace restorable {
+
+FtDistanceOracle::FtDistanceOracle(const IRpts& pi,
+                                   std::span<const Vertex> sources, int f)
+    : f_(f), h_(build_sv_preserver(pi, sources, f).to_graph()) {
+  label_to_h_.assign(pi.graph().num_edges(), kNoEdge);
+  for (EdgeId e = 0; e < h_.num_edges(); ++e) label_to_h_[h_.label(e)] = e;
+}
+
+int32_t FtDistanceOracle::query(Vertex s, Vertex t,
+                                const FaultSet& faults) const {
+  std::vector<EdgeId> h_faults;
+  for (EdgeId ge : faults) {
+    if (ge >= label_to_h_.size()) continue;
+    const EdgeId he = label_to_h_[ge];
+    if (he != kNoEdge) h_faults.push_back(he);
+  }
+  return bfs_distance(h_, s, t, FaultSet(std::move(h_faults)));
+}
+
+}  // namespace restorable

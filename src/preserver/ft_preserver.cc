@@ -1,0 +1,69 @@
+#include "preserver/ft_preserver.h"
+
+#include <set>
+
+namespace restorable {
+
+namespace {
+
+// Recursive fault enumeration for one source. Stability argument: take any
+// |F| <= f and vertex v. Repeatedly discard from F any edge not on the
+// current selected path: pi(s, v | F) = pi(s, v | F') where every edge of F'
+// lies on a path selected under a sub-fault-set -- i.e. on a tree this
+// recursion visits. Hence overlaying the trees of all visited fault sets
+// covers every replacement path. Fault sets are deduplicated globally per
+// source (different recursion orders reach the same set).
+void enumerate(const IRpts& pi, Vertex s, const FaultSet& faults, int depth,
+               int f, EdgeSubset& out, std::set<std::vector<EdgeId>>& seen,
+               PreserverStats* stats) {
+  {
+    std::vector<EdgeId> key(faults.begin(), faults.end());
+    if (!seen.insert(std::move(key)).second) return;
+  }
+  if (stats) {
+    ++stats->spt_computations;
+    ++stats->fault_sets_explored;
+  }
+  const Spt tree = pi.spt(s, faults, Direction::kOut);
+  const auto edges = tree.tree_edges();
+  out.insert_all(edges);
+  if (depth == f) return;
+  for (EdgeId e : edges)
+    enumerate(pi, s, faults.with(e), depth + 1, f, out, seen, stats);
+}
+
+}  // namespace
+
+EdgeSubset build_sv_preserver(const IRpts& pi, std::span<const Vertex> sources,
+                              int f, PreserverStats* stats) {
+  EdgeSubset out(pi.graph());
+  for (Vertex s : sources) {
+    std::set<std::vector<EdgeId>> seen;
+    enumerate(pi, s, FaultSet{}, 0, f, out, seen, stats);
+  }
+  return out;
+}
+
+EdgeSubset build_ss_preserver(const IRpts& pi, std::span<const Vertex> sources,
+                              int f_plus_1, PreserverStats* stats) {
+  // Theorem 31: overlaying all S x V replacement paths under <= f faults
+  // yields an (f+1)-FT S x S preserver. The subgraph is the f-FT S x V
+  // overlay; restorability supplies the extra fault for pairs within S.
+  return build_sv_preserver(pi, sources, f_plus_1 - 1, stats);
+}
+
+EdgeSubset build_pairwise_preserver(const IRpts& pi,
+                                    std::span<const Vertex> sources) {
+  EdgeSubset out(pi.graph());
+  for (Vertex s : sources) {
+    const Spt tree = pi.spt(s, {}, Direction::kOut);
+    for (Vertex t : sources) {
+      if (t == s || !tree.reachable(t)) continue;
+      const Path p = tree.path_to(t);
+      out.insert_all(p.edges);
+    }
+  }
+  return out;
+}
+
+}  // namespace restorable

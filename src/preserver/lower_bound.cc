@@ -1,0 +1,236 @@
+#include "preserver/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace restorable {
+
+namespace {
+
+Vertex isqrt(Vertex x) {
+  Vertex r = static_cast<Vertex>(std::sqrt(static_cast<double>(x)));
+  while ((r + 1) * (r + 1) <= x) ++r;
+  while (r * r > x) --r;
+  return r;
+}
+
+}  // namespace
+
+GfdGadget build_gfd(int f, Vertex d) {
+  if (f < 1) throw std::invalid_argument("build_gfd: f >= 1 required");
+  if (d < 2) throw std::invalid_argument("build_gfd: d >= 2 required");
+
+  GfdGadget out;
+  // Path P_f = [u_1 .. u_d].
+  out.n = d;
+  out.root = 0;
+  out.last_path_vertex = d - 1;
+  std::vector<size_t> path_edge_idx(d);  // index of edge (u_j, u_{j+1})
+  for (Vertex j = 0; j + 1 < d; ++j) {
+    path_edge_idx[j] = out.edges.size();
+    out.edges.push_back({j, j + 1});
+  }
+
+  // Appends a ladder path of `len` edges from vertex `from`, returning the
+  // final vertex.
+  auto append_ladder = [&out](Vertex from, Vertex len) {
+    Vertex prev = from;
+    for (Vertex i = 0; i < len; ++i) {
+      const Vertex next = out.n++;
+      out.edges.push_back({prev, next});
+      prev = next;
+    }
+    return prev;
+  };
+
+  if (f == 1) {
+    // Base case: ladder Q_j of length d-j+1 from u_j ends at leaf z_j.
+    for (Vertex j = 0; j < d; ++j) {
+      const Vertex leaf = append_ladder(j, d - j);  // j is 0-based: d-(j+1)+1
+      out.leaves.push_back(leaf);
+      std::vector<size_t> label;
+      if (j + 1 < d) label.push_back(path_edge_idx[j]);
+      out.labels.push_back(std::move(label));
+    }
+    out.depth = static_cast<int32_t>(d);  // (j) + (d - j) for 0-based j
+    return out;
+  }
+
+  // Recursive case: ladder Q_j from u_j to the root of a copy of
+  // G_{f-1}(sqrt(d)).
+  const Vertex sub_d = std::max<Vertex>(2, isqrt(d));
+  const GfdGadget sub = build_gfd(f - 1, sub_d);
+  for (Vertex j = 0; j < d; ++j) {
+    const Vertex attach = append_ladder(j, d - j);
+    // Splice in the copy: copy vertex v becomes offset + v, except the
+    // copy's root which is merged onto `attach`... simpler: keep the copy's
+    // root as its own vertex and add a zero-ladder? The ladder must *end at*
+    // r(G'_j); we let `attach` BE the copy's root by offsetting all other
+    // copy vertices.
+    const Vertex offset = out.n;
+    auto remap = [&](Vertex v) -> Vertex {
+      if (v == sub.root) return attach;
+      // Vertices smaller than sub.root keep order; sub.root never occurs.
+      return offset + (v < sub.root ? v : v - 1);
+    };
+    out.n += sub.n - 1;
+    const size_t edge_base = out.edges.size();
+    for (const Edge& e : sub.edges)
+      out.edges.push_back({remap(e.u), remap(e.v)});
+    for (size_t li = 0; li < sub.leaves.size(); ++li) {
+      out.leaves.push_back(remap(sub.leaves[li]));
+      std::vector<size_t> label;
+      if (j + 1 < d) label.push_back(path_edge_idx[j]);
+      for (size_t se : sub.labels[li]) label.push_back(edge_base + se);
+      out.labels.push_back(std::move(label));
+    }
+  }
+  out.depth = static_cast<int32_t>(d) + sub.depth;
+  return out;
+}
+
+LowerBoundInstance build_lower_bound_instance(int f, Vertex n_target,
+                                              int sigma) {
+  if (sigma < 1) throw std::invalid_argument("sigma >= 1 required");
+  Vertex d = isqrt(n_target / (4 * static_cast<Vertex>(f) * sigma));
+  d = std::max<Vertex>(d, 2);
+
+  LowerBoundInstance inst;
+  inst.f = f;
+  inst.d = d;
+
+  const GfdGadget gadget = build_gfd(f, d);
+  std::vector<Edge> edges;
+  std::vector<int64_t> weight;
+
+  // sigma copies of the gadget.
+  struct CopyInfo {
+    Vertex offset;
+    size_t edge_base;
+  };
+  std::vector<CopyInfo> copies;
+  Vertex n = 0;
+  for (int c = 0; c < sigma; ++c) {
+    copies.push_back({n, edges.size()});
+    for (const Edge& e : gadget.edges) {
+      edges.push_back({n + e.u, n + e.v});
+      weight.push_back(kUnitScale);
+    }
+    inst.sources.push_back(n + gadget.root);
+    n += gadget.n;
+  }
+
+  // X: the remaining vertex budget (at least 1).
+  const Vertex x_count =
+      n_target > n + 1 ? n_target - n : 1;
+  for (Vertex i = 0; i < x_count; ++i) inst.x_set.push_back(n + i);
+  n += x_count;
+
+  const size_t lambda = gadget.leaves.size();
+  for (int c = 0; c < sigma; ++c) {
+    const CopyInfo& info = copies[c];
+    // Star edges: u_d of this copy to every x (unit weight) keep fault-free
+    // shortest paths off the bipartite gadget.
+    for (Vertex x : inst.x_set) {
+      edges.push_back({info.offset + gadget.last_path_vertex, x});
+      weight.push_back(kUnitScale);
+    }
+    // Bipartite gadget: leaf z_j (0-based j) to every x with weight
+    // decreasing in j, exactly the paper's 1 + (lambda - j)/n^4 ordering.
+    std::vector<FaultSet> fsets;
+    for (size_t j = 0; j < lambda; ++j) {
+      const bool full_label = gadget.labels[j].size() == static_cast<size_t>(f);
+      for (Vertex x : inst.x_set) {
+        const EdgeId id = static_cast<EdgeId>(edges.size());
+        edges.push_back({info.offset + gadget.leaves[j], x});
+        weight.push_back(kUnitScale + static_cast<int64_t>(lambda - j));
+        inst.bipartite_edges.push_back(id);
+        if (full_label) inst.forced_bipartite.push_back(id);
+      }
+      if (full_label) {
+        std::vector<EdgeId> ids;
+        for (size_t se : gadget.labels[j])
+          ids.push_back(static_cast<EdgeId>(info.edge_base + se));
+        fsets.emplace_back(std::move(ids));
+      }
+    }
+    inst.fault_sets.push_back(std::move(fsets));
+  }
+
+  inst.g = Graph(n, std::move(edges));
+  inst.weight = std::move(weight);
+  return inst;
+}
+
+std::vector<EdgeId> weighted_spt_parents(const Graph& g,
+                                         const std::vector<int64_t>& weight,
+                                         Vertex root, const FaultSet& faults) {
+  const Vertex n = g.num_vertices();
+  std::vector<int64_t> dist(n, INT64_MAX);
+  std::vector<EdgeId> parent_edge(n, kNoEdge);
+  using Item = std::pair<int64_t, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[root] = 0;
+  pq.push({0, root});
+  while (!pq.empty()) {
+    const auto [dv, v] = pq.top();
+    pq.pop();
+    if (dv != dist[v]) continue;
+    for (const Arc& a : g.arcs(v)) {
+      if (faults.contains(a.edge)) continue;
+      const int64_t nd = dv + weight[a.edge];
+      if (nd < dist[a.to]) {
+        dist[a.to] = nd;
+        parent_edge[a.to] = a.edge;
+        pq.push({nd, a.to});
+      }
+    }
+  }
+  return parent_edge;
+}
+
+OverlayResult measure_bad_tiebreak_overlay(const LowerBoundInstance& inst) {
+  OverlayResult res;
+  res.bipartite_total = inst.bipartite_edges.size();
+  res.forced_total = inst.forced_bipartite.size();
+
+  std::vector<char> in_overlay(inst.g.num_edges(), 0);
+  std::vector<uint32_t> visited(inst.g.num_vertices(), 0);
+  uint32_t run = 0;
+  auto overlay_from = [&](Vertex source, const FaultSet& faults) {
+    ++res.queries;
+    ++run;
+    const auto parent_edge =
+        weighted_spt_parents(inst.g, inst.weight, source, faults);
+    // Overlay the selected source ~> x paths for every x in X (the S x V
+    // replacement paths the lower bound analyzes are exactly these). Within
+    // one run the parent chains form a tree, so a vertex visited earlier in
+    // the same run already contributed its whole chain to the source.
+    for (Vertex x : inst.x_set) {
+      Vertex at = x;
+      while (at != source && parent_edge[at] != kNoEdge &&
+             visited[at] != run) {
+        visited[at] = run;
+        const EdgeId e = parent_edge[at];
+        in_overlay[e] = 1;
+        at = inst.g.other_endpoint(e, at);
+      }
+    }
+  };
+
+  for (size_t c = 0; c < inst.sources.size(); ++c) {
+    overlay_from(inst.sources[c], FaultSet{});
+    for (const FaultSet& fs : inst.fault_sets[c])
+      overlay_from(inst.sources[c], fs);
+  }
+
+  for (char b : in_overlay)
+    if (b) ++res.overlay_edges;
+  for (EdgeId e : inst.forced_bipartite)
+    if (in_overlay[e]) ++res.forced_covered;
+  return res;
+}
+
+}  // namespace restorable

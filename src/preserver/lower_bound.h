@@ -1,0 +1,89 @@
+// Appendix B: the lower-bound family for Theorem 27 (Figures 2 and 3).
+//
+// A consistent, stable tiebreaking scheme can still be adversarially *bad*:
+// on the graph G*_f(V, E, W) below, the scheme induced by the weight
+// function W forces the overlay of S x V replacement paths to contain an
+// entire dense bipartite gadget, Omega(n^{2-1/2^f} sigma^{1/2^f}) edges.
+// This module constructs the family exactly as in the paper:
+//
+//  * G_f(d): a recursively defined tree. Level f is a path
+//    P_f = [u_1 .. u_d]; each u_j hangs a ladder path Q_j of length d-j+1
+//    leading to (recursively) a copy of G_{f-1}(sqrt(d)); the base level's
+//    ladders end at the leaves. All root-to-leaf distances are equal by the
+//    complementary ladder lengths. Each leaf z carries a label: a fault set
+//    of one path edge per level, cutting exactly the leaves to its right.
+//  * G*_f: G_f(d) plus a vertex set X, star edges from the last path vertex
+//    u_d to X (keeping fault-free shortest paths off the gadget), and a
+//    complete bipartite graph B between the leaves and X whose weights
+//    decrease left-to-right -- so that under the fault set Label(z_j), the
+//    unique shortest root ~> x path ends with the edge (z_j, x), forcing
+//    every B edge into the overlay across fault sets.
+//  * The sigma-source extension stacks sigma copies sharing one X.
+//
+// Weights are scaled integers (unit edge = kUnitScale, bipartite edge =
+// kUnitScale + (lambda - j)), so all comparisons are exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace restorable {
+
+// The tree gadget G_f(d), with its labelling.
+struct GfdGadget {
+  Vertex n = 0;
+  std::vector<Edge> edges;
+  Vertex root = kNoVertex;
+  Vertex last_path_vertex = kNoVertex;  // u_d of the top-level path
+  std::vector<Vertex> leaves;           // left-to-right order
+  // labels[i]: indices into `edges` forming Label_f(leaves[i]); size <= f
+  // (the rightmost leaf at each level contributes no edge).
+  std::vector<std::vector<size_t>> labels;
+  int32_t depth = 0;  // common root-to-leaf distance
+};
+
+// Builds G_f(d). Recursion uses floor(sqrt(d)) at each level; pass d a
+// perfect 2^(f-1)-th power for exact agreement with Observation 1.
+GfdGadget build_gfd(int f, Vertex d);
+
+// The full lower-bound instance (single- or multi-source).
+struct LowerBoundInstance {
+  Graph g;
+  std::vector<int64_t> weight;  // per edge, scaled integers
+  std::vector<Vertex> sources;  // copy roots (|sources| = sigma)
+  std::vector<Vertex> x_set;
+  std::vector<EdgeId> bipartite_edges;     // all B edges
+  std::vector<EdgeId> forced_bipartite;    // B edges the analysis forces
+  // Per source: designated fault sets (one per leaf with a full label).
+  std::vector<std::vector<FaultSet>> fault_sets;
+  int f = 0;
+  Vertex d = 0;
+};
+
+inline constexpr int64_t kUnitScale = int64_t{1} << 32;
+
+// Builds G*_f on ~n_target vertices with `sigma` sources, choosing
+// d = floor(sqrt(n_target / (4 f sigma))) per the paper.
+LowerBoundInstance build_lower_bound_instance(int f, Vertex n_target,
+                                              int sigma);
+
+// Overlays the designated {s} x X replacement paths selected by the W-induced
+// scheme and reports how much of the bipartite gadget they force.
+struct OverlayResult {
+  size_t overlay_edges = 0;        // total distinct edges in the overlay
+  size_t bipartite_total = 0;      // |E(B)|
+  size_t forced_total = 0;         // B edges the analysis says must appear
+  size_t forced_covered = 0;       // ... and how many actually did
+  size_t queries = 0;              // Dijkstra runs spent
+};
+OverlayResult measure_bad_tiebreak_overlay(const LowerBoundInstance& inst);
+
+// Exact weighted shortest path tree under faults for the instance's weights
+// (exposed for tests). Returns parent edges; kNoEdge for root/unreachable.
+std::vector<EdgeId> weighted_spt_parents(const Graph& g,
+                                         const std::vector<int64_t>& weight,
+                                         Vertex root, const FaultSet& faults);
+
+}  // namespace restorable

@@ -1,0 +1,116 @@
+#include "preserver/verify.h"
+
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+#include "graph/bfs.h"
+#include "util/random.h"
+
+namespace restorable {
+
+std::string DistanceViolation::to_string() const {
+  std::ostringstream ss;
+  ss << "dist mismatch s=" << s << " t=" << t << " F=" << faults.to_string()
+     << " dist_G=" << in_g << " dist_H=" << in_h;
+  return ss.str();
+}
+
+namespace {
+
+// H's edges are labelled with G's edge ids; translate a G fault set to H.
+FaultSet translate_faults(const FaultSet& g_faults,
+                          const std::unordered_map<EdgeId, EdgeId>& label_to_h) {
+  std::vector<EdgeId> ids;
+  for (EdgeId ge : g_faults) {
+    auto it = label_to_h.find(ge);
+    if (it != label_to_h.end()) ids.push_back(it->second);
+  }
+  return FaultSet(std::move(ids));
+}
+
+std::unordered_map<EdgeId, EdgeId> label_map(const Graph& h) {
+  std::unordered_map<EdgeId, EdgeId> m;
+  m.reserve(h.num_edges());
+  for (EdgeId e = 0; e < h.num_edges(); ++e) m.emplace(h.label(e), e);
+  return m;
+}
+
+VerifyResult check_one(const Graph& g, const Graph& h,
+                       const std::unordered_map<EdgeId, EdgeId>& to_h,
+                       std::span<const Vertex> sources,
+                       std::span<const Vertex> targets,
+                       const FaultSet& g_faults, int slack) {
+  const FaultSet h_faults = translate_faults(g_faults, to_h);
+  for (Vertex s : sources) {
+    const auto dg = bfs_distances(g, s, g_faults);
+    const auto dh = bfs_distances(h, s, h_faults);
+    for (Vertex t : targets) {
+      if (t == s) continue;
+      if (dg[t] == kUnreachable) {
+        // H is a subgraph, so H can never connect what G does not; nothing
+        // to check (and for spanners the pair is out of scope).
+        continue;
+      }
+      const bool ok = dh[t] != kUnreachable && dh[t] <= dg[t] + slack;
+      if (!ok)
+        return DistanceViolation{s, t, g_faults, dg[t], dh[t]};
+    }
+  }
+  return std::nullopt;
+}
+
+// Enumerate all subsets of edges of size <= f (recursively), invoking cb;
+// stops early when cb returns a violation.
+VerifyResult for_each_fault_set(const Graph& g, int f,
+                                const std::function<VerifyResult(
+                                    const FaultSet&)>& cb) {
+  std::vector<EdgeId> current;
+  // Iterative-deepening over sizes keeps reporting order intuitive.
+  std::function<VerifyResult(size_t, int)> rec =
+      [&](size_t start, int remaining) -> VerifyResult {
+    if (auto v = cb(FaultSet(current))) return v;
+    if (remaining == 0) return std::nullopt;
+    for (EdgeId e = static_cast<EdgeId>(start); e < g.num_edges(); ++e) {
+      current.push_back(e);
+      if (auto v = rec(e + 1, remaining - 1)) return v;
+      current.pop_back();
+    }
+    return std::nullopt;
+  };
+  return rec(0, f);
+}
+
+}  // namespace
+
+VerifyResult verify_distances_exhaustive(const Graph& g, const Graph& h,
+                                         std::span<const Vertex> sources,
+                                         std::span<const Vertex> targets,
+                                         int f, int slack) {
+  const auto to_h = label_map(h);
+  return for_each_fault_set(g, f, [&](const FaultSet& faults) {
+    return check_one(g, h, to_h, sources, targets, faults, slack);
+  });
+}
+
+VerifyResult verify_distances_sampled(const Graph& g, const Graph& h,
+                                      std::span<const Vertex> sources,
+                                      std::span<const Vertex> targets, int f,
+                                      int slack, size_t samples,
+                                      uint64_t seed) {
+  const auto to_h = label_map(h);
+  Rng rng(seed);
+  for (size_t i = 0; i < samples; ++i) {
+    std::vector<EdgeId> ids;
+    for (int j = 0; j < f; ++j)
+      ids.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+    const FaultSet faults(std::move(ids));
+    // One random source per sample keeps cost at one BFS pair per draw.
+    const Vertex s = sources[rng.next_below(sources.size())];
+    const std::vector<Vertex> one{s};
+    if (auto v = check_one(g, h, to_h, one, targets, faults, slack)) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace restorable

@@ -1,0 +1,45 @@
+// Verification oracles for preservers and spanners: exhaustive or sampled
+// comparison of dist_{H \ F} against dist_{G \ F}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+#include "preserver/ft_preserver.h"
+
+namespace restorable {
+
+struct DistanceViolation {
+  Vertex s = kNoVertex;
+  Vertex t = kNoVertex;
+  FaultSet faults;
+  int32_t in_g = kUnreachable;
+  int32_t in_h = kUnreachable;
+  std::string to_string() const;
+};
+
+using VerifyResult = std::optional<DistanceViolation>;  // nullopt == pass
+
+// Exhaustive check over all fault sets with |F| <= f (edges drawn from G)
+// and all ordered pairs in sources x targets: requires
+// dist_{H\F}(s,t) == dist_{G\F}(s,t) + at most `slack` (slack 0 = preserver,
+// slack 4 = +4 spanner), where equality of "unreachable" is also required
+// for slack 0; for slack > 0 unreachable-in-G pairs are skipped (spanner
+// definitions quantify over pairs with a surviving path).
+// Exponential in f; callers bound the sizes.
+VerifyResult verify_distances_exhaustive(const Graph& g, const Graph& h,
+                                         std::span<const Vertex> sources,
+                                         std::span<const Vertex> targets,
+                                         int f, int slack = 0);
+
+// Randomly sampled fault sets/pairs version for larger instances.
+VerifyResult verify_distances_sampled(const Graph& g, const Graph& h,
+                                      std::span<const Vertex> sources,
+                                      std::span<const Vertex> targets, int f,
+                                      int slack, size_t samples,
+                                      uint64_t seed);
+
+}  // namespace restorable

@@ -1,0 +1,83 @@
+#include "rp/base_set.h"
+
+#include "graph/bfs.h"
+
+namespace restorable {
+
+BaseSetStats count_base_set(const IRpts& pi) {
+  const Graph& g = pi.graph();
+  BaseSetStats stats;
+  // reach[u] = number of sources s != u that reach u (s's canonical path
+  // pi(s, u) exists). One BFS per vertex.
+  std::vector<size_t> reach(g.num_vertices(), 0);
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    const auto d = bfs_distances(g, s, {});
+    for (Vertex u = 0; u < g.num_vertices(); ++u)
+      if (u != s && d[u] != kUnreachable) {
+        ++reach[u];
+        ++stats.base_paths;  // counts ordered pairs once (s, u)
+      }
+  }
+  // Extended members: pi(s, u) o (u, v) for every oriented edge (u, v) and
+  // every source s reaching u. (Afek et al. state the undirected bound
+  // m(n-1); counting oriented members doubles it.)
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.endpoints(e);
+    stats.extended_paths += reach[ed.u] + reach[ed.v];
+  }
+  return stats;
+}
+
+RestorationOutcome restore_via_base_set(const IRpts& pi, Vertex s, Vertex t,
+                                        EdgeId e) {
+  const Graph& g = pi.graph();
+  RestorationOutcome out;
+  out.optimal_hops = bfs_distance(g, s, t, FaultSet{e});
+  if (out.optimal_hops == kUnreachable) {
+    out.status = RestorationOutcome::Status::kNoReplacementExists;
+    return out;
+  }
+
+  const Spt from_s = pi.spt(s, {}, Direction::kOut);
+  const Spt to_t = pi.spt(t, {}, Direction::kIn);
+  const auto s_uses = from_s.paths_using_edge(e);
+  const auto t_uses = to_t.paths_using_edge(e);
+
+  // Search over middle edges (u, v) in both orientations (Theorem 11).
+  Vertex best_u = kNoVertex, best_v = kNoVertex;
+  EdgeId best_edge = kNoEdge;
+  for (EdgeId mid = 0; mid < g.num_edges(); ++mid) {
+    if (mid == e) continue;
+    const Edge& ed = g.endpoints(mid);
+    for (int orient = 0; orient < 2; ++orient) {
+      const Vertex u = orient == 0 ? ed.u : ed.v;
+      const Vertex v = orient == 0 ? ed.v : ed.u;
+      if (!from_s.reachable(u) || !to_t.reachable(v)) continue;
+      if (s_uses[u] || t_uses[v]) continue;
+      const int32_t h = from_s.hops[u] + 1 + to_t.hops[v];
+      if (out.hops == kUnreachable || h < out.hops) {
+        out.hops = h;
+        best_u = u;
+        best_v = v;
+        best_edge = mid;
+      }
+    }
+  }
+  if (best_u == kNoVertex) {
+    out.status = RestorationOutcome::Status::kNoCandidate;
+    return out;
+  }
+  out.midpoint = best_u;
+  out.path = from_s.path_to(best_u);
+  Path middle;
+  middle.vertices = {best_u, best_v};
+  middle.edges = {best_edge};
+  out.path.concatenate(middle);
+  out.path.concatenate(to_t.path_to(best_v));
+  out.status = out.hops == out.optimal_hops
+                   ? RestorationOutcome::Status::kRestored
+                   : RestorationOutcome::Status::kSuboptimal;
+  return out;
+}
+
+}  // namespace restorable

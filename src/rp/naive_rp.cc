@@ -1,0 +1,36 @@
+#include "rp/naive_rp.h"
+
+#include "graph/bfs.h"
+
+namespace restorable {
+
+std::vector<int32_t> naive_replacement_distances(const Graph& g, Vertex s,
+                                                 Vertex t,
+                                                 const Path& base_path) {
+  std::vector<int32_t> out;
+  out.reserve(base_path.length());
+  for (EdgeId e : base_path.edges)
+    out.push_back(bfs_distance(g, s, t, FaultSet{e}));
+  return out;
+}
+
+SubsetRpResult naive_subset_replacement_paths(
+    const IsolationRpts& pi, std::span<const Vertex> sources) {
+  const Graph& g = pi.graph();
+  SubsetRpResult res;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const Spt tree = pi.spt(sources[i], {}, Direction::kOut);
+    for (size_t j = i + 1; j < sources.size(); ++j) {
+      PairReplacementPaths out;
+      out.s1 = sources[i];
+      out.s2 = sources[j];
+      out.base_path = tree.path_to(sources[j]);
+      out.replacement =
+          naive_replacement_distances(g, out.s1, out.s2, out.base_path);
+      res.pairs.push_back(std::move(out));
+    }
+  }
+  return res;
+}
+
+}  // namespace restorable

@@ -1,0 +1,27 @@
+// Naive replacement-path baselines: recompute a BFS per (pair, fault).
+// These are the correctness oracle for the fast algorithms and the
+// comparison baseline in the E2 bench (Theta(sigma^2 * d * m) work versus
+// Algorithm 1's O(sigma m) + O~(sigma^2 n)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/rpts.h"
+#include "graph/graph.h"
+#include "rp/subset_rp.h"
+
+namespace restorable {
+
+// Replacement distances for every edge of `base_path` by one BFS each.
+std::vector<int32_t> naive_replacement_distances(const Graph& g, Vertex s,
+                                                 Vertex t,
+                                                 const Path& base_path);
+
+// Full naive subset-rp: selected base paths come from the same scheme (so
+// outputs align 1:1 with subset_replacement_paths), distances from per-fault
+// BFS.
+SubsetRpResult naive_subset_replacement_paths(const IsolationRpts& pi,
+                                              std::span<const Vertex> sources);
+
+}  // namespace restorable

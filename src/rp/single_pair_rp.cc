@@ -1,0 +1,15 @@
+// Explicit instantiations of the single-pair replacement path algorithm for
+// the shipped tiebreaking policies, so most clients can link against the
+// library without recompiling the template.
+#include "rp/single_pair_rp.h"
+
+namespace restorable {
+
+template ReplacementPathsResult single_pair_replacement_paths<IsolationAtw>(
+    const Graph&, const IsolationAtw&, Vertex, Vertex);
+template ReplacementPathsResult single_pair_replacement_paths<RandomRealAtw>(
+    const Graph&, const RandomRealAtw&, Vertex, Vertex);
+template ReplacementPathsResult single_pair_replacement_paths<DeterministicAtw>(
+    const Graph&, const DeterministicAtw&, Vertex, Vertex);
+
+}  // namespace restorable

@@ -1,0 +1,55 @@
+#include "rp/sourcewise_rp.h"
+
+#include <algorithm>
+
+namespace restorable {
+
+SourcewiseReplacementPaths::SourcewiseReplacementPaths(const IRpts& pi,
+                                                       Vertex s)
+    : s_(s), base_(pi.spt(s, {}, Direction::kOut)) {
+  const Graph& g = pi.graph();
+  std::vector<char> in_preserver(g.num_edges(), 0);
+  for (EdgeId e : base_.tree_edges()) in_preserver[e] = 1;
+
+  std::vector<EdgeId> visited(g.num_vertices(), kNoEdge);  // per-fault marker
+  for (EdgeId e : base_.tree_edges()) {
+    const auto cut = base_.paths_using_edge(e);
+    const Spt repl = pi.spt(s, FaultSet{e}, Direction::kOut);
+    auto& row = table_[e];
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (!cut[v]) continue;
+      row.emplace(v, repl.hops[v]);
+    }
+    // Overlay the replacement paths of the affected vertices (stability:
+    // unaffected vertices keep their base paths, already overlaid). A vertex
+    // visited earlier under the SAME fault already contributed its whole
+    // parent chain.
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (!cut[v] || !repl.reachable(v)) continue;
+      for (Vertex x = v; x != s && repl.parent_edge[x] != kNoEdge &&
+                         visited[x] != e;
+           x = repl.parent[x]) {
+        visited[x] = e;
+        in_preserver[repl.parent_edge[x]] = 1;
+      }
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (in_preserver[e]) preserver_.push_back(e);
+}
+
+int32_t SourcewiseReplacementPaths::query(Vertex v, EdgeId e) const {
+  const auto it = table_.find(e);
+  if (it == table_.end()) return base_.hops[v];  // fault off every path
+  const auto hit = it->second.find(v);
+  // Fault on the tree but not on pi(s, v): stability again.
+  return hit == it->second.end() ? base_.hops[v] : hit->second;
+}
+
+size_t SourcewiseReplacementPaths::entries() const {
+  size_t total = 0;
+  for (const auto& [e, row] : table_) total += row.size();
+  return total;
+}
+
+}  // namespace restorable

@@ -1,0 +1,51 @@
+#include "rp/subset_rp.h"
+
+#include <algorithm>
+
+namespace restorable {
+
+SubsetRpResult subset_replacement_paths(const IsolationRpts& pi,
+                                        std::span<const Vertex> sources) {
+  const Graph& g = pi.graph();
+  SubsetRpResult res;
+
+  // Step 1: out-trees under the restorable scheme, one per source.
+  std::vector<std::vector<EdgeId>> tree_edges;
+  tree_edges.reserve(sources.size());
+  for (Vertex s : sources) {
+    tree_edges.push_back(pi.spt(s, {}, Direction::kOut).tree_edges());
+    res.tree_edges_total += tree_edges.back().size();
+  }
+
+  // Step 2: per pair, solve on the union of the two trees.
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (size_t j = i + 1; j < sources.size(); ++j) {
+      // Sorted-set union of edge id lists (both are sorted).
+      std::vector<EdgeId> union_ids;
+      union_ids.reserve(tree_edges[i].size() + tree_edges[j].size());
+      std::set_union(tree_edges[i].begin(), tree_edges[i].end(),
+                     tree_edges[j].begin(), tree_edges[j].end(),
+                     std::back_inserter(union_ids));
+      const Graph h = g.edge_subgraph(union_ids);
+      res.union_graph_edges_total += h.num_edges();
+
+      // Same policy over the union graph: labels carry G's edge ids, so the
+      // perturbation of every surviving edge is unchanged and the selected
+      // path pi(s1, s2) of G is also the selected path of h.
+      const auto rp = single_pair_replacement_paths(h, pi.policy(), sources[i],
+                                                    sources[j]);
+
+      PairReplacementPaths out;
+      out.s1 = sources[i];
+      out.s2 = sources[j];
+      out.base_path = rp.base_path;
+      // Translate the base path's edge ids from h-local to g-local.
+      for (EdgeId& e : out.base_path.edges) e = union_ids[e];
+      out.replacement = rp.replacement;
+      res.pairs.push_back(std::move(out));
+    }
+  }
+  return res;
+}
+
+}  // namespace restorable

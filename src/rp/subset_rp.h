@@ -1,0 +1,45 @@
+// subset-rp (Section 4.2, Algorithm 1 / Theorems 3 and 29).
+//
+// Input: graph G and sources S (|S| = sigma). Output: for every ordered-up
+// pair {s1, s2} in S and every edge e on the selected path pi(s1, s2),
+// dist_{G \ e}(s1, s2). (For edges off the selected path the distance is
+// unchanged, by stability -- callers needing those values read the base
+// distance.)
+//
+// Algorithm 1: build the out-tree T_s under a 1-restorable scheme for each
+// s in S (O(sigma m) Dijkstra work); then for each pair run the single-pair
+// algorithm on T_{s1} u T_{s2}, a graph with <= 2(n-1) edges
+// (O~(sigma^2 n) work). 1-restorability is what makes the union graph
+// preserve every single-fault replacement distance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rpts.h"
+#include "graph/graph.h"
+#include "rp/single_pair_rp.h"
+
+namespace restorable {
+
+struct PairReplacementPaths {
+  Vertex s1 = kNoVertex;
+  Vertex s2 = kNoVertex;
+  Path base_path;  // pi(s1, s2) in G; empty if disconnected
+  // replacement[i] = dist_{G \ base_path.edges[i]}(s1, s2). Edge ids are
+  // *G-local* (the union graph carries G's labels through).
+  std::vector<int32_t> replacement;
+};
+
+struct SubsetRpResult {
+  std::vector<PairReplacementPaths> pairs;  // one entry per unordered pair
+  // Work accounting, for the E2 bench.
+  size_t tree_edges_total = 0;
+  size_t union_graph_edges_total = 0;
+};
+
+// Runs Algorithm 1 with the given (1-restorable) scheme.
+SubsetRpResult subset_replacement_paths(const IsolationRpts& pi,
+                                        std::span<const Vertex> sources);
+
+}  // namespace restorable

@@ -1,0 +1,57 @@
+#include "rp/two_fault_oracle.h"
+
+#include <algorithm>
+
+namespace restorable {
+
+TwoFaultSubsetOracle::TwoFaultSubsetOracle(const IRpts& pi,
+                                           std::span<const Vertex> sources)
+    : g_(&pi.graph()) {
+  for (Vertex s : sources) {
+    PerSource ps;
+    ps.base = pi.spt(s, {}, Direction::kOut);
+    for (EdgeId e : ps.base.tree_edges())
+      ps.under_fault.emplace(e, pi.spt(s, FaultSet{e}, Direction::kOut));
+    per_source_.emplace(s, std::move(ps));
+  }
+}
+
+int32_t TwoFaultSubsetOracle::query(Vertex s1, Vertex s2,
+                                    const FaultSet& faults) const {
+  if (s1 == s2) return 0;
+  const auto it1 = per_source_.find(s1);
+  const auto it2 = per_source_.find(s2);
+  if (it1 == per_source_.end() || it2 == per_source_.end())
+    return kUnreachable;
+
+  // Proper subsets F' of F: {} plus each singleton of a 2-element F.
+  std::vector<FaultSet> subsets{FaultSet{}};
+  if (faults.size() == 2)
+    for (EdgeId e : faults) subsets.push_back(FaultSet{e});
+
+  int32_t best = kUnreachable;
+  for (const FaultSet& sub : subsets) {
+    // tree(s, F') -- F' is {} or one edge.
+    const Spt& t1 = sub.empty() ? it1->second.base
+                                : tree(it1->second, *sub.begin());
+    const Spt& t2 = sub.empty() ? it2->second.base
+                                : tree(it2->second, *sub.begin());
+    const auto bad1 = t1.paths_using_any(faults);
+    const auto bad2 = t2.paths_using_any(faults);
+    for (Vertex x = 0; x < g_->num_vertices(); ++x) {
+      if (!t1.reachable(x) || !t2.reachable(x)) continue;
+      if (bad1[x] || bad2[x]) continue;
+      const int32_t h = t1.hops[x] + t2.hops[x];
+      if (best == kUnreachable || h < best) best = h;
+    }
+  }
+  return best;
+}
+
+size_t TwoFaultSubsetOracle::trees_stored() const {
+  size_t total = 0;
+  for (const auto& [s, ps] : per_source_) total += 1 + ps.under_fault.size();
+  return total;
+}
+
+}  // namespace restorable

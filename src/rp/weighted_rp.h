@@ -1,0 +1,46 @@
+// The weighted restoration lemma (Theorem 11) and weighted single-pair
+// replacement paths built on it.
+//
+// Theorem 11: in an undirected positively weighted graph, for every failing
+// edge e on a shortest s~t path there is an edge (u, v) such that
+// pi(s, u) o (u, v) o pi(v, t) is a replacement shortest path, for ANY
+// choice of shortest paths pi. It is weaker than the unweighted restoration
+// lemma (a middle edge intervenes) but tiebreaking-INsensitive -- the
+// property the sketch of Theorem 28 exploits: every edge defines one
+// candidate value dist(s,u) + w(u,v) + dist(v,t) computable in O(1) after
+// two Dijkstra runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/weighted.h"
+
+namespace restorable {
+
+struct WeightedRpResult {
+  Path base_path;                     // a shortest s~t path
+  std::vector<int64_t> replacement;   // dist_{G\e_i}(s,t) per base edge;
+                                      // kInfWeight if disconnecting
+};
+
+// Replacement distances for every edge on a shortest s~t path, via the
+// Theorem-11 candidate method: per failing edge, minimize
+// dist(s,u) + w(u,v) + dist(v,t) over edges whose endpoints' shortest paths
+// avoid the failure. This direct implementation re-derives avoidance per
+// failure in O(n + m) (the data-structure refinements of [24] trade
+// simplicity for the last log factors).
+WeightedRpResult weighted_replacement_paths(const Graph& g,
+                                            const std::vector<int64_t>& weight,
+                                            Vertex s, Vertex t);
+
+// Exhaustive audit of Theorem 11 itself on a weighted graph: for every
+// (s, t) and every failing edge on SOME shortest s~t path, some middle edge
+// decomposition achieves the replacement distance. Returns a description of
+// the first violation, or nullopt.
+std::optional<std::string> check_weighted_restoration_lemma(
+    const Graph& g, const std::vector<int64_t>& weight);
+
+}  // namespace restorable

@@ -1,0 +1,82 @@
+#include "spanner/additive_spanner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace restorable {
+
+namespace {
+
+// Steps 1-2 of Lemma 32: sample centers and add clustering edges. A vertex
+// with at least f+1 center neighbors keeps f+1 of them (so at least one
+// center link survives any f edge faults); others keep everything.
+SpannerResult clustering_phase(const Graph& g, int f, size_t sigma,
+                               uint64_t seed) {
+  SpannerResult res{EdgeSubset(g), {}, 0, 0, 0, 0};
+  const Vertex n = g.num_vertices();
+  sigma = std::min<size_t>(sigma, n);
+
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+  res.centers.assign(order.begin(), order.begin() + sigma);
+  std::vector<char> is_center(n, 0);
+  for (Vertex c : res.centers) is_center[c] = 1;
+
+  const size_t keep = static_cast<size_t>(f) + 1;
+  for (Vertex v = 0; v < n; ++v) {
+    std::vector<EdgeId> center_edges;
+    for (const Arc& a : g.arcs(v))
+      if (is_center[a.to]) center_edges.push_back(a.edge);
+    if (center_edges.size() >= keep) {
+      ++res.clustered_vertices;
+      for (size_t i = 0; i < keep; ++i) res.edges.insert(center_edges[i]);
+    } else {
+      ++res.unclustered_vertices;
+      for (const Arc& a : g.arcs(v)) res.edges.insert(a.edge);
+    }
+  }
+  res.clustering_edges = res.edges.count();
+  return res;
+}
+
+}  // namespace
+
+SpannerResult build_ft_plus4_spanner(const IRpts& pi, int f, size_t sigma,
+                                     uint64_t seed) {
+  SpannerResult res = clustering_phase(pi.graph(), f, sigma, seed);
+  // Step 3: f-FT C x C preserver via Theorem 31 (overlay of (f-1)-FT
+  // {c} x V preservers under the restorable scheme).
+  const EdgeSubset preserver =
+      build_ss_preserver(pi, res.centers, /*f_plus_1=*/f);
+  const size_t before = res.edges.count();
+  res.edges.insert_all(preserver.edge_ids());
+  res.preserver_edges = res.edges.count() - before;
+  return res;
+}
+
+SpannerResult build_ft_plus4_spanner(const IRpts& pi, int f, uint64_t seed) {
+  const double n = pi.graph().num_vertices();
+  // Theorem 33 with its parameter f' = f - 1 (our f is the spanner's fault
+  // tolerance): sigma = n^{1/(2^{f'}+1)}.
+  const double p = std::pow(2.0, f - 1);
+  const size_t sigma = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(std::pow(n, 1.0 / (p + 1.0)))));
+  return build_ft_plus4_spanner(pi, f, sigma, seed);
+}
+
+SpannerResult build_plus4_spanner(const IRpts& pi, size_t sigma,
+                                  uint64_t seed) {
+  SpannerResult res = clustering_phase(pi.graph(), /*f=*/0, sigma, seed);
+  const EdgeSubset preserver = build_pairwise_preserver(pi, res.centers);
+  const size_t before = res.edges.count();
+  res.edges.insert_all(preserver.edge_ids());
+  res.preserver_edges = res.edges.count() - before;
+  return res;
+}
+
+}  // namespace restorable

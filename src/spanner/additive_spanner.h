@@ -1,0 +1,51 @@
+// Fault-tolerant +4 additive spanners (Lemma 32 / Theorem 33).
+//
+// Construction for an f-FT +4 spanner of G (f >= 1):
+//  1. Sample sigma cluster centers C uniformly at random.
+//  2. Every vertex with >= f+1 neighbors in C keeps f+1 edges to centers
+//     ("clustered"); every other vertex keeps ALL its incident edges
+//     ("unclustered").
+//  3. Add an f-FT C x C subset distance preserver (Theorem 31, built from
+//     the restorable scheme).
+// Under any |F| <= f faults, a replacement path's first/last clustered
+// vertices connect (through surviving center edges and the preserver) with
+// at most +4 additive error.
+//
+// Theorem 33 balances sigma = n^{1/(2^{f-1}+1)} for size
+// O(n^{1 + 2^{f-1}/(2^{f-1}+1)}) -- stated there with its f one lower than
+// the spanner's fault tolerance; helpers below take the spanner's fault
+// tolerance directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rpts.h"
+#include "preserver/ft_preserver.h"
+
+namespace restorable {
+
+struct SpannerResult {
+  EdgeSubset edges;                   // the spanner H (subset of G's edges)
+  std::vector<Vertex> centers;        // sampled C
+  size_t clustered_vertices = 0;
+  size_t unclustered_vertices = 0;
+  size_t clustering_edges = 0;        // edges added by steps 1-2
+  size_t preserver_edges = 0;         // edges added by step 3
+};
+
+// Builds an f-FT +4 additive spanner with an explicit center count. f >= 1.
+// `pi` must be a restorable scheme over the target graph.
+SpannerResult build_ft_plus4_spanner(const IRpts& pi, int f, size_t sigma,
+                                     uint64_t seed);
+
+// Convenience overload using Theorem 33's balanced center count.
+SpannerResult build_ft_plus4_spanner(const IRpts& pi, int f, uint64_t seed);
+
+// Non-fault-tolerant +4 spanner (the f = 0 analogue, with a pairwise C x C
+// preserver): the classic O(n^{3/2})-ish construction, included for the E4
+// bench's baseline row.
+SpannerResult build_plus4_spanner(const IRpts& pi, size_t sigma,
+                                  uint64_t seed);
+
+}  // namespace restorable

@@ -1,0 +1,91 @@
+// Deterministic, seedable random number utilities.
+//
+// The library needs two flavours of randomness:
+//  * a fast sequential PRNG for workload generation (Xoshiro256**), and
+//  * a stateless hash-based generator (SplitMix64 finalizer) used for
+//    antisymmetric tiebreaking weights, so that two endpoints of an edge --
+//    or two processors in the CONGEST simulator -- can derive the same
+//    per-edge weight from a shared seed with no communication.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace restorable {
+
+// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+constexpr uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Combines a seed with a tag, suitable for deriving independent streams.
+constexpr uint64_t hash_combine(uint64_t seed, uint64_t tag) {
+  return splitmix64(seed ^ (0x9e3779b97f4a7c15ULL + (tag << 6) + (tag >> 2)));
+}
+
+// Xoshiro256** by Blackman & Vigna. Fast, passes BigCrush, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    // Seed the four words via SplitMix64 as recommended by the authors.
+    uint64_t x = seed;
+    for (auto& w : s_) {
+      x = splitmix64(x);
+      w = x;
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  uint64_t next_below(uint64_t bound) {
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t next_in(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p) { return next_double() < p; }
+
+  // std::uniform_random_bit_generator interface, so Rng works with
+  // std::shuffle and friends.
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  result_type operator()() { return next(); }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace restorable

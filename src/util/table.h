@@ -1,0 +1,79 @@
+// Minimal aligned-column table printer used by the bench binaries to emit
+// paper-style result tables.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace restorable {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  // Appends a row; each cell is stringified. Accepts any streamable type.
+  template <typename... Ts>
+  void add_row(const Ts&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(stringify(cells)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto rule = [&] {
+      os << '+';
+      for (size_t c = 0; c < header_.size(); ++c)
+        os << std::string(width[c] + 2, '-') << '+';
+      os << '\n';
+    };
+
+    rule();
+    os << '|';
+    for (size_t c = 0; c < header_.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(width[c])) << std::left
+         << header_[c] << " |";
+    os << '\n';
+    rule();
+    for (const auto& row : rows_) {
+      os << '|';
+      for (size_t c = 0; c < header_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        os << ' ' << std::setw(static_cast<int>(width[c])) << std::left << cell
+           << " |";
+      }
+      os << '\n';
+    }
+    rule();
+  }
+
+ private:
+  template <typename T>
+  static std::string stringify(const T& v) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return v;
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(3) << v;
+      return ss.str();
+    } else {
+      std::ostringstream ss;
+      ss << v;
+      return ss.str();
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace restorable

@@ -1,0 +1,209 @@
+// Tests for the antisymmetric tiebreaking weight policies (Section 3):
+// antisymmetry, magnitude bounds (hop dominance), comparator laws, and the
+// uniqueness of reweighted shortest paths each policy must deliver.
+#include "core/perturbation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dijkstra.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+namespace restorable {
+namespace {
+
+TEST(IsolationAtw, Antisymmetry) {
+  IsolationAtw atw(123);
+  for (EdgeId e = 0; e < 200; ++e)
+    EXPECT_EQ(atw.arc_value(e, true), -atw.arc_value(e, false));
+}
+
+TEST(IsolationAtw, ValuesWithinRange) {
+  const int64_t w = int64_t{1} << 20;
+  IsolationAtw atw(7, w);
+  for (EdgeId e = 0; e < 500; ++e) {
+    EXPECT_LE(atw.arc_value(e, true), w);
+    EXPECT_GE(atw.arc_value(e, true), -w);
+  }
+}
+
+TEST(IsolationAtw, DeterministicInSeed) {
+  IsolationAtw a(55), b(55), c(56);
+  EXPECT_EQ(a.arc_value(3, true), b.arc_value(3, true));
+  EXPECT_NE(a.arc_value(3, true), c.arc_value(3, true));  // whp
+}
+
+TEST(IsolationAtw, ValuesSpread) {
+  // Sanity: many edges should get distinct values (isolation needs a rich
+  // value set).
+  IsolationAtw atw(9);
+  std::set<int64_t> vals;
+  for (EdgeId e = 0; e < 100; ++e) vals.insert(atw.arc_value(e, true));
+  EXPECT_GT(vals.size(), 95u);
+}
+
+TEST(RandomRealAtw, AntisymmetryAndMagnitude) {
+  const Vertex n = 50;
+  RandomRealAtw atw(3, n);
+  for (EdgeId e = 0; e < 200; ++e) {
+    EXPECT_EQ(atw.arc_value(e, true), -atw.arc_value(e, false));
+    EXPECT_LT(std::abs(static_cast<double>(atw.arc_value(e, true))),
+              1.0 / (2.0 * n));
+  }
+}
+
+TEST(DeterministicAtw, Antisymmetry) {
+  Graph g = gnp_connected(20, 0.2, 1);
+  DeterministicAtw atw(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    DeterministicAtw::Tie fwd = atw.zero(), bwd = atw.zero();
+    atw.accumulate(fwd, e, true);
+    atw.accumulate(bwd, e, false);
+    DeterministicAtw::Tie sum = fwd;
+    for (auto x : bwd) sum.push_back(x);
+    std::sort(sum.begin(), sum.end(), [](int32_t a, int32_t b) {
+      const int32_t aa = std::abs(a), ab = std::abs(b);
+      return aa != ab ? aa < ab : a < b;
+    });
+    EXPECT_EQ(atw.compare(sum, atw.zero()), 0) << "edge " << e;
+  }
+}
+
+TEST(DeterministicAtw, GeometricDominance) {
+  // One low-exponent term beats any number of higher-exponent terms:
+  // C^-1 > C^-2 + C^-3 + ... for C = 4.
+  Graph g = complete(10);
+  DeterministicAtw atw(g);
+  DeterministicAtw::Tie big = atw.zero();
+  atw.accumulate(big, 0, true);  // +- C^-1
+  DeterministicAtw::Tie many = atw.zero();
+  for (EdgeId e = 1; e < 20; ++e) atw.accumulate(many, e, true);
+  // Whatever sign `big` has, its magnitude dominates: compare is nonzero and
+  // consistent with its own sign against zero.
+  const int sign_big = atw.compare(big, atw.zero());
+  ASSERT_NE(sign_big, 0);
+  // big + (-many): flipping many's sign.
+  DeterministicAtw::Tie neg_many = atw.zero();
+  for (EdgeId e = 1; e < 20; ++e) atw.accumulate(neg_many, e, false);
+  DeterministicAtw::Tie mix = big;
+  for (auto x : neg_many) mix.push_back(x);
+  std::sort(mix.begin(), mix.end(), [](int32_t a, int32_t b) {
+    const int32_t aa = std::abs(a), ab = std::abs(b);
+    return aa != ab ? aa < ab : a < b;
+  });
+  EXPECT_EQ(atw.compare(mix, atw.zero()), sign_big);
+}
+
+TEST(DeterministicAtw, ComparatorAntisymmetricAndTotal) {
+  Graph g = complete(8);
+  DeterministicAtw atw(g);
+  std::vector<DeterministicAtw::Tie> ties;
+  for (EdgeId a = 0; a < 10; ++a)
+    for (EdgeId b = a + 1; b < 10; ++b) {
+      DeterministicAtw::Tie t = atw.zero();
+      atw.accumulate(t, a, true);
+      atw.accumulate(t, b, (a + b) % 2 == 0);
+      ties.push_back(t);
+    }
+  for (const auto& x : ties)
+    for (const auto& y : ties) {
+      EXPECT_EQ(atw.compare(x, y), -atw.compare(y, x));
+      if (&x == &y) {
+        EXPECT_EQ(atw.compare(x, y), 0);
+      }
+    }
+}
+
+// --- Uniqueness: the defining property of an f-fault tiebreaking function
+// (Definition 18). We verify on tie-heavy graphs that, per fault set, each
+// (s, t) has a unique minimum-perturbation shortest path, by checking that
+// the Dijkstra-selected path is strictly better than every alternative
+// produced by swapping the parent at some vertex. A cheaper equivalent
+// check: two independent relaxation orders must select identical trees.
+
+template <typename Policy>
+void expect_unique_selection(const Graph& g, const Policy& policy) {
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    const auto a = tiebroken_sssp(g, policy, s, {}, Direction::kOut);
+    // Reversed-arc-order graph: same vertex set, edges listed backwards.
+    std::vector<Edge> redges(g.edges().rbegin(), g.edges().rend());
+    std::vector<EdgeId> rlabels(g.labels().rbegin(), g.labels().rend());
+    Graph rg(g.num_vertices(), std::move(redges), std::move(rlabels));
+    const auto b = tiebroken_sssp(rg, policy, s, {}, Direction::kOut);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(a.spt.hops[v], b.spt.hops[v]);
+      EXPECT_EQ(a.spt.parent[v], b.spt.parent[v])
+          << "non-unique selection at s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST(Uniqueness, IsolationOnThetaGraph) {
+  Graph g = theta_graph(4, 3);
+  expect_unique_selection(g, IsolationAtw(11));
+}
+
+TEST(Uniqueness, IsolationOnHypercube) {
+  Graph g = hypercube(4);  // maximal tie structure
+  expect_unique_selection(g, IsolationAtw(13));
+}
+
+TEST(Uniqueness, DeterministicOnThetaGraph) {
+  Graph g = theta_graph(4, 3);
+  expect_unique_selection(g, DeterministicAtw(g));
+}
+
+TEST(Uniqueness, DeterministicOnHypercube) {
+  Graph g = hypercube(3);
+  expect_unique_selection(g, DeterministicAtw(g));
+}
+
+TEST(Uniqueness, RandomRealOnGrid) {
+  Graph g = grid(4, 4);
+  expect_unique_selection(g, RandomRealAtw(17, g.num_vertices()));
+}
+
+// --- Hop dominance: reweighted shortest paths are shortest paths of G
+// (second half of Definition 18), across policies and fault sets.
+
+template <typename Policy>
+void expect_hops_preserved(const Graph& g, const Policy& policy) {
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    for (EdgeId e = 0; e <= g.num_edges(); ++e) {
+      const FaultSet faults =
+          e == g.num_edges() ? FaultSet{} : FaultSet{e};
+      const auto d = tiebroken_sssp(g, policy, s, faults, Direction::kOut);
+      const auto truth = bfs_distances(g, s, faults);
+      for (Vertex v = 0; v < g.num_vertices(); ++v)
+        ASSERT_EQ(d.spt.hops[v], truth[v])
+            << "s=" << s << " v=" << v << " F=" << faults.to_string();
+    }
+  }
+}
+
+TEST(HopDominance, IsolationUnderSingleFaults) {
+  Graph g = gnp_connected(18, 0.2, 21);
+  expect_hops_preserved(g, IsolationAtw(5));
+}
+
+TEST(HopDominance, DeterministicUnderSingleFaults) {
+  Graph g = gnp_connected(14, 0.25, 22);
+  expect_hops_preserved(g, DeterministicAtw(g));
+}
+
+TEST(HopDominance, RandomRealUnderSingleFaults) {
+  Graph g = gnp_connected(14, 0.25, 23);
+  expect_hops_preserved(g, RandomRealAtw(29, g.num_vertices()));
+}
+
+TEST(BitAccounting, PolicyReports) {
+  Graph g = complete(6);
+  EXPECT_GT(IsolationAtw(1).bits_per_edge(), 30.0);
+  EXPECT_LT(IsolationAtw(1, 1 << 10).bits_per_edge(), 16.0);
+  // Theorem 23: O(|E|) bits per edge.
+  EXPECT_DOUBLE_EQ(DeterministicAtw(g).bits_per_edge(),
+                   2.0 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace restorable

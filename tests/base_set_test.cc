@@ -1,0 +1,118 @@
+// Tests for the Afek et al. base-set restoration method and the original
+// restoration lemma (Theorem 1) -- the 2002 results the paper builds on.
+#include "rp/base_set.h"
+
+#include <gtest/gtest.h>
+
+#include "core/properties.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+namespace restorable {
+namespace {
+
+TEST(RestorationLemma, HoldsOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = gnp_connected(12, 0.25, seed);
+    auto v = check_restoration_lemma(g);
+    EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "") << " seed=" << seed;
+  }
+}
+
+TEST(RestorationLemma, HoldsOnStructuredFamilies) {
+  for (const Graph& g : {cycle(9), grid(3, 4), hypercube(3), theta_graph(3, 3),
+                         complete(6), dumbbell(4, 2)}) {
+    auto v = check_restoration_lemma(g);
+    EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "");
+  }
+}
+
+TEST(BaseSet, CountsMatchHandComputation) {
+  // Path 0-1-2: ordered connected pairs = 6. Extensions: for each oriented
+  // edge (u, v), one member per source reaching u (excluding u): edge 0-1:
+  // reach[0]=2, reach[1]=2; edge 1-2: reach[1]=2, reach[2]=2 -> 8.
+  Graph g = path_graph(3);
+  IsolationRpts pi(g, IsolationAtw(1));
+  const BaseSetStats stats = count_base_set(pi);
+  EXPECT_EQ(stats.base_paths, 6u);
+  EXPECT_EQ(stats.extended_paths, 8u);
+  EXPECT_EQ(stats.total(), 14u);
+}
+
+TEST(BaseSet, UpperBoundHolds) {
+  Graph g = gnp_connected(20, 0.2, 3);
+  IsolationRpts pi(g, IsolationAtw(2));
+  const BaseSetStats stats = count_base_set(pi);
+  // Oriented variant of Afek et al.'s m(n-1) bound.
+  EXPECT_LE(stats.extended_paths,
+            2ull * g.num_edges() * (g.num_vertices() - 1));
+  EXPECT_EQ(stats.base_paths,
+            static_cast<size_t>(g.num_vertices()) * (g.num_vertices() - 1));
+}
+
+TEST(BaseSet, RestoresWithArbitraryScheme) {
+  // The whole point of the base set: restoration works for ANY tiebreaking,
+  // including the non-restorable BFS scheme that fails Figure 1.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = gnp_connected(14, 0.25, 40 + seed);
+    ArbitraryRpts pi(g);
+    for (Vertex s = 0; s < g.num_vertices(); s += 3) {
+      const Spt tree = pi.spt(s);
+      for (Vertex t = 0; t < g.num_vertices(); ++t) {
+        if (t == s || !tree.reachable(t)) continue;
+        const Path base = tree.path_to(t);
+        for (EdgeId e : base.edges) {
+          const auto out = restore_via_base_set(pi, s, t, e);
+          const int32_t opt = bfs_distance(g, s, t, FaultSet{e});
+          if (opt == kUnreachable) {
+            EXPECT_EQ(out.status,
+                      RestorationOutcome::Status::kNoReplacementExists);
+          } else {
+            EXPECT_TRUE(out.restored())
+                << "s=" << s << " t=" << t << " e=" << e;
+            EXPECT_TRUE(g.is_valid_path(out.path, FaultSet{e}));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BaseSet, RestoresOnC4WhereSymmetricConcatenationFails) {
+  // Theorem 37 kills symmetric two-path concatenation on C4; the base-set
+  // method (with its middle edge) survives.
+  Graph g = cycle(4);
+  ArbitraryRpts pi(g);
+  for (Vertex s = 0; s < 4; ++s)
+    for (Vertex t = 0; t < 4; ++t) {
+      if (s == t) continue;
+      const Path base = pi.path(s, t);
+      for (EdgeId e : base.edges) {
+        const auto out = restore_via_base_set(pi, s, t, e);
+        const int32_t opt = bfs_distance(g, s, t, FaultSet{e});
+        if (opt == kUnreachable) continue;
+        EXPECT_TRUE(out.restored()) << "s=" << s << " t=" << t << " e=" << e;
+      }
+    }
+}
+
+TEST(BaseSet, AssembledPathHasMiddleEdge) {
+  Graph g = cycle(6);
+  IsolationRpts pi(g, IsolationAtw(5));
+  const Path base = pi.path(0, 3);
+  const auto out = restore_via_base_set(pi, 0, 3, base.edges[1]);
+  ASSERT_TRUE(out.restored());
+  EXPECT_EQ(out.path.source(), 0u);
+  EXPECT_EQ(out.path.target(), 3u);
+  EXPECT_EQ(static_cast<int32_t>(out.path.length()), out.hops);
+}
+
+TEST(BaseSet, DisconnectionReported) {
+  Graph g = path_graph(4);
+  IsolationRpts pi(g, IsolationAtw(6));
+  const auto out = restore_via_base_set(pi, 0, 3, 1);
+  EXPECT_EQ(out.status, RestorationOutcome::Status::kNoReplacementExists);
+}
+
+}  // namespace
+}  // namespace restorable

@@ -1,0 +1,87 @@
+// Conformance matrix: the complete Theorem 19 battery -- shortest-path
+// selection, consistency, stability, AND exhaustive 1-restorability -- over
+// a (family x policy x seed) grid. Where rpts_test's sweep spot-checks
+// individual properties, this suite certifies the full contract on each
+// instance end to end, including under pre-existing fault sets (the f-RPTS
+// view: pi(.,. | F) must satisfy everything per fault set).
+#include <gtest/gtest.h>
+
+#include "core/properties.h"
+#include "core/rpts.h"
+#include "graph/generators.h"
+
+namespace restorable {
+namespace {
+
+struct Instance {
+  std::string family;
+  std::string policy;
+  int seed;
+};
+
+class Conformance : public ::testing::TestWithParam<Instance> {
+ protected:
+  Graph make_graph() const {
+    const auto& p = GetParam();
+    if (p.family == "gnp") return gnp_connected(11, 0.3, 700 + p.seed);
+    if (p.family == "cycle") return cycle(8);
+    if (p.family == "theta") return theta_graph(3, 3);
+    if (p.family == "grid") return grid(3, 4);
+    if (p.family == "c4") return cycle(4);
+    if (p.family == "clique") return complete(6);
+    return dumbbell(3, 2);
+  }
+  std::unique_ptr<IRpts> make_scheme(const Graph& g) const {
+    const auto& p = GetParam();
+    if (p.policy == "isolation")
+      return std::make_unique<IsolationRpts>(g, IsolationAtw(31 * p.seed + 7));
+    if (p.policy == "deterministic")
+      return std::make_unique<DeterministicRpts>(g, DeterministicAtw(g));
+    return std::make_unique<RandomRealRpts>(
+        g, RandomRealAtw(31 * p.seed + 7, g.num_vertices()));
+  }
+};
+
+TEST_P(Conformance, FullContract) {
+  const Graph g = make_graph();
+  const auto pi = make_scheme(g);
+
+  // Per fault set F (empty + a spread of singletons): Definition 15 -- the
+  // restricted scheme must be a valid shortest path tiebreaking scheme of
+  // G \ F, consistent and stable.
+  std::vector<FaultSet> fault_sets{FaultSet{}};
+  for (EdgeId e = 0; e < g.num_edges(); e += std::max<EdgeId>(1, g.num_edges() / 4))
+    fault_sets.push_back(FaultSet{e});
+  for (const FaultSet& f : fault_sets) {
+    auto v = check_shortest_paths(*pi, f);
+    ASSERT_EQ(v, std::nullopt) << v->to_string();
+    v = check_consistency(*pi, f, /*max_pairs=*/40);
+    ASSERT_EQ(v, std::nullopt) << v->to_string();
+    v = check_stability(*pi, f, /*max_pairs=*/15);
+    ASSERT_EQ(v, std::nullopt) << v->to_string();
+  }
+
+  // Definition 17 with f = 1, exhaustively over all (s, t, e).
+  auto v = check_f_restorable(*pi, 1);
+  EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "");
+}
+
+std::vector<Instance> instances() {
+  std::vector<Instance> out;
+  for (const std::string policy :
+       {"isolation", "deterministic", "randomreal"})
+    for (const std::string family :
+         {"gnp", "cycle", "theta", "grid", "c4", "clique", "dumbbell"})
+      for (int seed = 0; seed < 2; ++seed) out.push_back({family, policy, seed});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, Conformance, ::testing::ValuesIn(instances()),
+    [](const ::testing::TestParamInfo<Instance>& info) {
+      return info.param.policy + "_" + info.param.family + "_" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace restorable

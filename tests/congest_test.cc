@@ -1,0 +1,179 @@
+// Tests for the CONGEST simulator and the distributed constructions
+// (Lemmas 34/36, Theorem 8(1), Corollary 9(1)).
+#include "congest/dist_preserver.h"
+#include "congest/dist_spt.h"
+#include "congest/network.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rpts.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "preserver/verify.h"
+
+namespace restorable {
+namespace {
+
+using congest::SyncNetwork;
+
+TEST(SyncNetwork, DeliversNextRound) {
+  Graph g = path_graph(3);
+  SyncNetwork net(g);
+  net.round([&](Vertex v) {
+    if (v == 0) net.send(0, 0, congest::Message{0, 7, 0, 16});
+  });
+  bool got = false;
+  net.round([&](Vertex v) {
+    if (v == 1) {
+      auto inbox = net.inbox(1);
+      ASSERT_EQ(inbox.size(), 1u);
+      EXPECT_EQ(inbox[0].from, 0u);
+      EXPECT_EQ(inbox[0].msg.hops, 7);
+      got = true;
+    }
+    (void)v;
+  });
+  EXPECT_TRUE(got);
+  EXPECT_EQ(net.stats().rounds, 2);
+  EXPECT_EQ(net.stats().messages, 1u);
+}
+
+TEST(SyncNetwork, EnforcesBandwidth) {
+  Graph g = path_graph(2);
+  SyncNetwork net(g, 32);
+  EXPECT_THROW(net.round([&](Vertex v) {
+                 if (v == 0) net.send(0, 0, congest::Message{0, 0, 0, 64});
+               }),
+               std::runtime_error);
+}
+
+TEST(SyncNetwork, EnforcesOneMessagePerDirectedEdge) {
+  Graph g = path_graph(2);
+  SyncNetwork net(g);
+  EXPECT_THROW(net.round([&](Vertex v) {
+                 if (v == 0) {
+                   net.send(0, 0, congest::Message{0, 1, 0, 8});
+                   net.send(0, 0, congest::Message{0, 2, 0, 8});
+                 }
+               }),
+               std::runtime_error);
+}
+
+TEST(SyncNetwork, OppositeDirectionsShareEdgeFine) {
+  Graph g = path_graph(2);
+  SyncNetwork net(g);
+  net.round([&](Vertex v) {
+    net.send(v, 0, congest::Message{0, static_cast<int32_t>(v), 0, 8});
+  });
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_EQ(net.stats().max_edge_messages, 2u);
+}
+
+// Lemma 34: the distributed SPT equals the centralized tiebroken SPT, in
+// O(D) rounds with O(1) messages per edge.
+class DistSptSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistSptSweep, MatchesCentralizedSpt) {
+  const int variant = GetParam();
+  Graph g = [&] {
+    switch (variant % 4) {
+      case 0: return gnp_connected(24, 0.15, variant);
+      case 1: return torus(4, 5);
+      case 2: return grid(3, 7);
+      default: return hypercube(4);
+    }
+  }();
+  const IsolationAtw atw(variant * 17 + 3);
+  const Vertex root = variant % g.num_vertices();
+  const auto dist = congest::run_distributed_spt(g, atw, root);
+  IsolationRpts pi(g, atw);
+  const Spt central = pi.spt(root);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(dist.spt.hops[v], central.hops[v]) << "v=" << v;
+    EXPECT_EQ(dist.spt.parent[v], central.parent[v]) << "v=" << v;
+  }
+  // Round bound: eccentricity + O(1).
+  EXPECT_LE(dist.stats.rounds, eccentricity(g, root) + 3);
+  // O(1) messages per edge (each endpoint announces once).
+  EXPECT_LE(dist.stats.max_edge_messages, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, DistSptSweep, ::testing::Range(0, 8));
+
+TEST(ParallelSpts, AllInstancesExactUnderScheduling) {
+  Graph g = torus(4, 6);
+  const IsolationAtw atw(5);
+  std::vector<Vertex> sources{0, 5, 11, 17, 23};
+  const auto run = congest::run_parallel_spts(g, atw, sources, 99);
+  IsolationRpts pi(g, atw);
+  ASSERT_EQ(run.spts.size(), sources.size());
+  for (size_t k = 0; k < sources.size(); ++k) {
+    const Spt central = pi.spt(sources[k]);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(run.spts[k].hops[v], central.hops[v])
+          << "instance " << k << " v=" << v;
+      EXPECT_EQ(run.spts[k].parent[v], central.parent[v]);
+    }
+  }
+}
+
+TEST(ParallelSpts, RoundsScaleWithDPlusSigma) {
+  Graph g = torus(5, 8);  // D = 6ish, n = 40
+  const IsolationAtw atw(6);
+  std::vector<Vertex> sources;
+  for (Vertex v = 0; v < 10; ++v) sources.push_back(v * 4);
+  const auto run = congest::run_parallel_spts(g, atw, sources, 7);
+  const int d = diameter(g);
+  // Theorem 35 regime: rounds = O(D + sigma) with modest constants; assert
+  // against a generous multiple rather than the worst case D * sigma.
+  EXPECT_LE(run.stats.rounds,
+            8 * (d + static_cast<int>(sources.size())) + 20);
+}
+
+TEST(DistPreserver, OneFtSubsetPreserverExhaustive) {
+  Graph g = gnp_connected(14, 0.25, 8);
+  std::vector<Vertex> sources{0, 4, 9, 13};
+  const auto res =
+      congest::build_distributed_1ft_ss_preserver(g, sources, 123);
+  EXPECT_LE(res.edges.size(), sources.size() * (g.num_vertices() - 1));
+  Graph h = g.edge_subgraph(res.edges);
+  auto v = verify_distances_exhaustive(g, h, sources, sources, /*f=*/1);
+  EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "");
+}
+
+TEST(DistPreserver, MatchesCentralizedUnionOfTrees) {
+  Graph g = grid(4, 5);
+  std::vector<Vertex> sources{0, 10, 19};
+  const uint64_t seed = 55;
+  const auto res = congest::build_distributed_1ft_ss_preserver(g, sources,
+                                                               seed);
+  // The same weight function used centrally gives the same union.
+  const IsolationAtw atw(hash_combine(seed, 0x77));
+  IsolationRpts pi(g, atw);
+  EdgeSubset expect(g);
+  for (Vertex s : sources)
+    expect.insert_all(pi.spt(s).tree_edges());
+  EXPECT_EQ(res.edges, expect.edge_ids());
+}
+
+TEST(DistSpanner, OneFtPlus4Sampled) {
+  Graph g = gnp_connected(24, 0.3, 9);
+  const auto res = congest::build_distributed_1ft_plus4_spanner(g, 321);
+  Graph h = g.edge_subgraph(res.edges);
+  std::vector<Vertex> all;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) all.push_back(v);
+  auto v = verify_distances_sampled(g, h, all, all, /*f=*/1, /*slack=*/4,
+                                    /*samples=*/400, 11);
+  EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "");
+}
+
+TEST(DistSpanner, ReportsRoundsAndSigma) {
+  Graph g = torus(4, 5);
+  const auto res = congest::build_distributed_1ft_plus4_spanner(g, 13);
+  EXPECT_GT(res.sigma, 0u);
+  EXPECT_GT(res.stats.rounds, 0);
+  EXPECT_LE(res.edges.size(), static_cast<size_t>(g.num_edges()));
+}
+
+}  // namespace
+}  // namespace restorable

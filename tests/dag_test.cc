@@ -1,0 +1,131 @@
+// Tests for the DAG substrate and the Section-1.2 extension probe.
+#include "dag/dag.h"
+
+#include <gtest/gtest.h>
+
+namespace restorable::dag {
+namespace {
+
+TEST(Dag, RejectsNonTopologicalArcs) {
+  EXPECT_THROW(Dag(3, {{2, 1}}), std::invalid_argument);
+  EXPECT_THROW(Dag(3, {{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(Dag(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(Dag, AdjacencyStructure) {
+  Dag d(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(d.out(0).size(), 2u);
+  EXPECT_EQ(d.in(3).size(), 2u);
+  EXPECT_EQ(d.out(3).size(), 0u);
+  EXPECT_EQ(d.in(0).size(), 0u);
+}
+
+TEST(Dag, ForwardDistances) {
+  Dag d(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  const auto dist = dag_distances(d, 0, {}, false);
+  EXPECT_EQ(dist[4], 1);  // direct arc
+  EXPECT_EQ(dist[3], 3);
+  // Failing the shortcut forces the chain.
+  const auto faulty = dag_distances(d, 0, FaultSet{4}, false);
+  EXPECT_EQ(faulty[4], 4);
+}
+
+TEST(Dag, BackwardDistances) {
+  Dag d(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  const auto dist = dag_distances(d, 3, {}, true);
+  EXPECT_EQ(dist[0], 2);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[3], 0);
+}
+
+TEST(Dag, UnreachabilityRespectsDirection) {
+  Dag d(3, {{0, 1}, {1, 2}});
+  const auto fwd = dag_distances(d, 1, {}, false);
+  EXPECT_EQ(fwd[0], kUnreachable);  // cannot go backward
+  EXPECT_EQ(fwd[2], 1);
+}
+
+TEST(Dag, GeneratorsProduceValidDags) {
+  const Dag a = random_dag(30, 0.15, 3);
+  for (EdgeId e = 0; e < a.num_arcs(); ++e)
+    EXPECT_LT(a.arc(e).u, a.arc(e).v);
+  const Dag b = layered_dag(5, 4, 0.5, 4);
+  EXPECT_EQ(b.num_vertices(), 20u);
+  for (EdgeId e = 0; e < b.num_arcs(); ++e)
+    EXPECT_EQ(b.arc(e).v / 4, b.arc(e).u / 4 + 1);
+}
+
+TEST(DagScheme, SelectsShortestPaths) {
+  const Dag d = random_dag(25, 0.2, 5);
+  const DagScheme scheme(d, 99);
+  for (Vertex s = 0; s < d.num_vertices(); s += 4) {
+    const auto tree = scheme.forward(s);
+    const auto truth = dag_distances(d, s, {}, false);
+    for (Vertex v = 0; v < d.num_vertices(); ++v)
+      EXPECT_EQ(tree.hops[v], truth[v]) << "s=" << s << " v=" << v;
+  }
+}
+
+TEST(DagScheme, BackwardMatchesForward) {
+  const Dag d = random_dag(20, 0.25, 6);
+  const DagScheme scheme(d, 7);
+  for (Vertex t = 0; t < d.num_vertices(); t += 3) {
+    const auto back = scheme.backward(t);
+    const auto truth = dag_distances(d, t, {}, true);
+    for (Vertex v = 0; v < d.num_vertices(); ++v)
+      EXPECT_EQ(back.hops[v], truth[v]);
+  }
+}
+
+TEST(DagScheme, FaultsRespected) {
+  Dag d(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  const DagScheme scheme(d, 8);
+  const auto tree = scheme.forward(0, FaultSet{0});
+  EXPECT_EQ(tree.hops[1], kUnreachable);
+  EXPECT_EQ(tree.hops[3], 2);  // via 2
+}
+
+// The [3, 9] DAG restoration lemma (scheme-insensitive) -- stated by the
+// paper as known; verified exhaustively here.
+TEST(DagLemma, HoldsOnRandomDags) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const Dag d = random_dag(12, 0.3, seed);
+    const std::string v = check_dag_restoration_lemma(d);
+    EXPECT_TRUE(v.empty()) << v << " seed=" << seed;
+  }
+}
+
+TEST(DagLemma, HoldsOnLayeredDags) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const Dag d = layered_dag(4, 3, 0.6, seed);
+    const std::string v = check_dag_restoration_lemma(d);
+    EXPECT_TRUE(v.empty()) << v;
+  }
+}
+
+// The probe itself: we do NOT assert 100% (that is the open question);
+// we assert the probe machinery is sound -- restored + failed +
+// disconnected add up, and on tree-like DAGs (unique paths) restoration is
+// trivially exact whenever a replacement exists.
+TEST(DagProbe, AccountingConsistent) {
+  const Dag d = random_dag(15, 0.25, 9);
+  const DagScheme scheme(d, 10);
+  const auto res = probe_dag_restorability(d, scheme);
+  EXPECT_EQ(res.queries, res.restored + res.failed + res.disconnected);
+  EXPECT_GT(res.queries, 0u);
+}
+
+TEST(DagProbe, ExactOnPathDag) {
+  // A single directed path: every fault disconnects; probe must classify
+  // everything as disconnected.
+  std::vector<Edge> arcs;
+  for (Vertex v = 0; v + 1 < 6; ++v) arcs.push_back({v, v + 1});
+  const Dag d(6, std::move(arcs));
+  const DagScheme scheme(d, 11);
+  const auto res = probe_dag_restorability(d, scheme);
+  EXPECT_EQ(res.disconnected, res.queries);
+  EXPECT_EQ(res.failed, 0u);
+}
+
+}  // namespace
+}  // namespace restorable::dag

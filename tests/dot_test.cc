@@ -1,0 +1,61 @@
+// Tests for the DOT exporter.
+#include "graph/dot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/restoration.h"
+#include "core/rpts.h"
+#include "graph/generators.h"
+
+namespace restorable {
+namespace {
+
+TEST(Dot, BasicShape) {
+  Graph g = path_graph(3);
+  std::ostringstream ss;
+  write_dot(g, ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("graph G {"), std::string::npos);
+  EXPECT_NE(out.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(out.find("1 -- 2"), std::string::npos);
+  EXPECT_EQ(out.find("--ate"), std::string::npos);
+}
+
+TEST(Dot, HighlightAndDashes) {
+  Graph g = cycle(4);
+  DotOptions opts;
+  const EdgeId hi[] = {1};
+  const EdgeId da[] = {2};
+  const Vertex mk[] = {0};
+  opts.highlight_edges = hi;
+  opts.dashed_edges = da;
+  opts.mark_vertices = mk;
+  std::ostringstream ss;
+  write_dot(g, ss, opts);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("color=red"), std::string::npos);
+  EXPECT_NE(out.find("style=dashed"), std::string::npos);
+  EXPECT_NE(out.find("fillcolor=lightblue"), std::string::npos);
+}
+
+TEST(Dot, RestorationRendering) {
+  Graph g = cycle(6);
+  IsolationRpts pi(g, IsolationAtw(1));
+  const Path base = pi.path(0, 3);
+  const auto out = restore_by_concatenation(pi, 0, 3, base.edges[0]);
+  ASSERT_TRUE(out.restored());
+  const std::string dot = restoration_dot(g, out.path, base.edges[0]);
+  EXPECT_NE(dot.find("penwidth"), std::string::npos);
+  EXPECT_NE(dot.find("dashed"), std::string::npos);
+  // Every replacement edge appears highlighted exactly once; count edges.
+  size_t edges_lines = 0;
+  for (size_t pos = 0; (pos = dot.find("--", pos)) != std::string::npos;
+       pos += 2)
+    ++edges_lines;
+  EXPECT_EQ(edges_lines, g.num_edges());
+}
+
+}  // namespace
+}  // namespace restorable

@@ -1,0 +1,80 @@
+// Tests for the subset distance sensitivity oracle.
+#include "rp/dso.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+namespace restorable {
+namespace {
+
+TEST(Dso, AllQueriesMatchBfs) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = gnp_connected(16, 0.25, seed);
+    IsolationRpts pi(g, IsolationAtw(seed + 1));
+    std::vector<Vertex> sources{0, 5, 10, 15};
+    const SubsetDistanceSensitivityOracle dso(pi, sources);
+    for (Vertex s1 : sources)
+      for (Vertex s2 : sources) {
+        if (s1 >= s2) continue;
+        for (EdgeId e = 0; e < g.num_edges(); ++e)
+          EXPECT_EQ(dso.query(s1, s2, e), bfs_distance(g, s1, s2, FaultSet{e}))
+              << "s=" << s1 << " t=" << s2 << " e=" << e;
+      }
+  }
+}
+
+TEST(Dso, BaseDistances) {
+  Graph g = grid(4, 4);
+  IsolationRpts pi(g, IsolationAtw(3));
+  std::vector<Vertex> sources{0, 15};
+  const SubsetDistanceSensitivityOracle dso(pi, sources);
+  EXPECT_EQ(dso.base_distance(0, 15), 6);
+  EXPECT_EQ(dso.base_distance(15, 0), 6);  // symmetric lookup
+  EXPECT_EQ(dso.base_distance(0, 0), 0);
+}
+
+TEST(Dso, DisconnectedPair) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  IsolationRpts pi(g, IsolationAtw(4));
+  std::vector<Vertex> sources{0, 3};
+  const SubsetDistanceSensitivityOracle dso(pi, sources);
+  EXPECT_EQ(dso.base_distance(0, 3), kUnreachable);
+  EXPECT_EQ(dso.query(0, 3, 0), kUnreachable);
+}
+
+TEST(Dso, BridgeFailureReportsUnreachable) {
+  Graph g = dumbbell(4, 1);  // single bridge edge between the cliques
+  IsolationRpts pi(g, IsolationAtw(5));
+  std::vector<Vertex> sources{1, 6};
+  const SubsetDistanceSensitivityOracle dso(pi, sources);
+  const EdgeId bridge = g.find_edge(0, 4);
+  ASSERT_NE(bridge, kNoEdge);
+  EXPECT_EQ(dso.query(1, 6, bridge), kUnreachable);
+}
+
+TEST(Dso, SpaceAccounting) {
+  Graph g = gnp_connected(20, 0.3, 6);
+  IsolationRpts pi(g, IsolationAtw(6));
+  std::vector<Vertex> sources{0, 4, 9, 14, 19};
+  const SubsetDistanceSensitivityOracle dso(pi, sources);
+  EXPECT_EQ(dso.num_pairs(), 10u);
+  // Space: pairs + sum of path lengths <= pairs * (1 + n).
+  EXPECT_LE(dso.entries(), 10u * (1 + g.num_vertices()));
+}
+
+TEST(Dso, OffPathQueriesUseStability) {
+  Graph g = theta_graph(3, 3);
+  IsolationRpts pi(g, IsolationAtw(7));
+  std::vector<Vertex> sources{0, 1};
+  const SubsetDistanceSensitivityOracle dso(pi, sources);
+  const Path base = pi.path(0, 1);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (!base.uses_edge(e)) {
+      EXPECT_EQ(dso.query(0, 1, e), static_cast<int32_t>(base.length()));
+    }
+}
+
+}  // namespace
+}  // namespace restorable

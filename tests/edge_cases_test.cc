@@ -1,0 +1,139 @@
+// Degenerate-input behaviour across the library: tiny graphs, empty fault
+// sets, isolated vertices, disconnected components, repeated faults.
+#include <gtest/gtest.h>
+
+#include "core/restoration.h"
+#include "core/routing.h"
+#include "core/rpts.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "labeling/labels.h"
+#include "preserver/ft_preserver.h"
+#include "rp/dso.h"
+#include "rp/subset_rp.h"
+#include "spanner/additive_spanner.h"
+
+namespace restorable {
+namespace {
+
+TEST(EdgeCases, SingleVertexGraph) {
+  Graph g(1, {});
+  IsolationRpts pi(g, IsolationAtw(1));
+  const Spt t = pi.spt(0);
+  EXPECT_EQ(t.hops[0], 0);
+  EXPECT_EQ(pi.distance(0, 0), 0);
+  const Vertex sources[] = {0};
+  EXPECT_EQ(build_sv_preserver(pi, sources, 1).count(), 0u);
+  FtDistanceLabeling labeling(pi, 0);
+  EXPECT_EQ(labeling.label(0).edges.size(), 0u);
+}
+
+TEST(EdgeCases, TwoVerticesOneEdge) {
+  Graph g(2, {{0, 1}});
+  IsolationRpts pi(g, IsolationAtw(2));
+  EXPECT_EQ(pi.distance(0, 1), 1);
+  // The only edge fails: disconnection everywhere.
+  const auto out = restore_by_concatenation(pi, 0, 1, 0);
+  EXPECT_EQ(out.status, RestorationOutcome::Status::kNoReplacementExists);
+  const Vertex sources[] = {0, 1};
+  const EdgeSubset p = build_ss_preserver(pi, sources, 1);
+  EXPECT_EQ(p.count(), 1u);
+}
+
+TEST(EdgeCases, IsolatedVertices) {
+  Graph g(5, {{0, 1}});
+  IsolationRpts pi(g, IsolationAtw(3));
+  const Spt t = pi.spt(0);
+  EXPECT_FALSE(t.reachable(3));
+  EXPECT_TRUE(pi.path(0, 4).empty());
+  RoutingTables tables(pi);
+  EXPECT_EQ(tables.next_hop(0, 4), kNoVertex);
+}
+
+TEST(EdgeCases, FaultingAllEdges) {
+  Graph g = cycle(4);
+  IsolationRpts pi(g, IsolationAtw(4));
+  const FaultSet all{0, 1, 2, 3};
+  const Spt t = pi.spt(0, all);
+  for (Vertex v = 1; v < 4; ++v) EXPECT_FALSE(t.reachable(v));
+}
+
+TEST(EdgeCases, DuplicateFaultIdsCollapse) {
+  FaultSet f{3, 3, 3};
+  EXPECT_EQ(f.size(), 1u);
+  Graph g = cycle(5);
+  IsolationRpts pi(g, IsolationAtw(5));
+  EXPECT_EQ(pi.distance(0, 2, f), pi.distance(0, 2, FaultSet{3}));
+}
+
+TEST(EdgeCases, SubsetRpWithSingleSource) {
+  Graph g = cycle(6);
+  IsolationRpts pi(g, IsolationAtw(6));
+  const Vertex sources[] = {2};
+  const auto res = subset_replacement_paths(pi, sources);
+  EXPECT_TRUE(res.pairs.empty());
+}
+
+TEST(EdgeCases, SubsetRpWithAdjacentSources) {
+  Graph g = complete(4);
+  IsolationRpts pi(g, IsolationAtw(7));
+  const Vertex sources[] = {0, 1};
+  const auto res = subset_replacement_paths(pi, sources);
+  ASSERT_EQ(res.pairs.size(), 1u);
+  ASSERT_EQ(res.pairs[0].base_path.length(), 1u);
+  EXPECT_EQ(res.pairs[0].replacement[0], 2);
+}
+
+TEST(EdgeCases, SpannerOnTreeKeepsEverything) {
+  // On a tree every edge is a bridge: the spanner must keep all edges to
+  // preserve connectivity claims (unclustered vertices keep everything).
+  Graph g = random_tree(15, 8);
+  IsolationRpts pi(g, IsolationAtw(8));
+  const auto res = build_ft_plus4_spanner(pi, 1, 3, 9);
+  EXPECT_EQ(res.edges.count(), static_cast<size_t>(g.num_edges()));
+}
+
+TEST(EdgeCases, DsoQueryWithPhantomEdgeId) {
+  Graph g = cycle(5);
+  IsolationRpts pi(g, IsolationAtw(9));
+  std::vector<Vertex> sources{0, 2};
+  const SubsetDistanceSensitivityOracle dso(pi, sources);
+  // Edge id beyond m is simply "not on the path": base distance.
+  EXPECT_EQ(dso.query(0, 2, 999), 2);
+}
+
+TEST(EdgeCases, PreserverWithSourcesEqualToAllVertices) {
+  Graph g = gnp_connected(8, 0.4, 10);
+  IsolationRpts pi(g, IsolationAtw(10));
+  std::vector<Vertex> all(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  const EdgeSubset p = build_ss_preserver(pi, all, 1);
+  EXPECT_LE(p.count(), static_cast<size_t>(g.num_edges()));
+  EXPECT_GE(p.count(), g.num_vertices() - 1u);
+}
+
+TEST(EdgeCases, MultigraphParallelEdgesSupported) {
+  // Structural parallel edges: distinct ids between the same endpoints.
+  Graph g(3, {{0, 1}, {0, 1}, {1, 2}});
+  IsolationRpts pi(g, IsolationAtw(11));
+  EXPECT_EQ(pi.distance(0, 2), 2);
+  // Failing one parallel edge leaves the distance intact.
+  const Path p = pi.path(0, 2);
+  const EdgeId used01 = p.edges[0];
+  EXPECT_EQ(pi.distance(0, 2, FaultSet{used01}), 2);
+  // Failing both disconnects.
+  EXPECT_EQ(pi.distance(0, 2, FaultSet{0, 1}), kUnreachable);
+}
+
+TEST(EdgeCases, RestorationWhenSourceEqualsTarget) {
+  Graph g = cycle(5);
+  IsolationRpts pi(g, IsolationAtw(12));
+  const auto out = restore_by_concatenation(pi, 2, 2, 0);
+  // dist(2,2) = 0 under any fault; the trivial midpoint is 2 itself.
+  EXPECT_EQ(out.optimal_hops, 0);
+  EXPECT_TRUE(out.restored());
+  EXPECT_EQ(out.hops, 0);
+}
+
+}  // namespace
+}  // namespace restorable

@@ -1,0 +1,137 @@
+// Randomized cross-validation harness: every fast structure in the library
+// is replayed against the BFS ground truth on randomly generated instances
+// across a wide seed sweep. This is the failure-injection net that catches
+// interactions the per-module unit tests miss.
+#include <gtest/gtest.h>
+
+#include "core/restoration.h"
+#include "core/rpts.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "labeling/labels.h"
+#include "preserver/ft_preserver.h"
+#include "preserver/verify.h"
+#include "rp/dso.h"
+#include "rp/subset_rp.h"
+#include "spanner/additive_spanner.h"
+#include "util/random.h"
+
+namespace restorable {
+namespace {
+
+Graph random_family(uint64_t seed) {
+  Rng rng(seed);
+  switch (rng.next_below(6)) {
+    case 0: return gnp_connected(10 + rng.next_below(12), 0.2, seed);
+    case 1: return grid(2 + rng.next_below(3), 3 + rng.next_below(4));
+    case 2: return theta_graph(2 + rng.next_below(3), 2 + rng.next_below(3));
+    case 3: return random_tree(8 + rng.next_below(10), seed);
+    case 4: return dumbbell(3 + rng.next_below(3), 1 + rng.next_below(4));
+    default: return gnm(12 + rng.next_below(8), 20 + rng.next_below(20), seed);
+  }
+}
+
+std::vector<Vertex> random_sources(const Graph& g, uint64_t seed, size_t k) {
+  Rng rng(seed);
+  std::vector<Vertex> s;
+  for (size_t i = 0; i < k && i < g.num_vertices(); ++i)
+    s.push_back(static_cast<Vertex>(rng.next_below(g.num_vertices())));
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  return s;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, RestorationAgainstBfs) {
+  const uint64_t seed = GetParam();
+  const Graph g = random_family(seed);
+  IsolationRpts pi(g, IsolationAtw(seed ^ 0xabc));
+  Rng rng(seed + 1);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Vertex s = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    const Vertex t = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    if (s == t || g.num_edges() == 0) continue;
+    const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+    const auto out = restore_by_concatenation(pi, s, t, e);
+    const int32_t opt = bfs_distance(g, s, t, FaultSet{e});
+    if (opt == kUnreachable) {
+      EXPECT_EQ(out.status, RestorationOutcome::Status::kNoReplacementExists);
+    } else if (bfs_distance(g, s, t) != kUnreachable) {
+      EXPECT_TRUE(out.restored())
+          << "seed=" << seed << " s=" << s << " t=" << t << " e=" << e;
+      EXPECT_EQ(out.hops, opt);
+      EXPECT_TRUE(g.is_valid_path(out.path, FaultSet{e}));
+    }
+  }
+}
+
+TEST_P(FuzzSweep, SubsetRpAndDsoAgainstBfs) {
+  const uint64_t seed = GetParam();
+  const Graph g = random_family(seed);
+  if (g.num_edges() == 0) return;
+  IsolationRpts pi(g, IsolationAtw(seed ^ 0xdef));
+  const auto sources = random_sources(g, seed + 2, 4);
+  if (sources.size() < 2) return;
+  const SubsetDistanceSensitivityOracle dso(pi, sources);
+  Rng rng(seed + 3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vertex s1 = sources[rng.next_below(sources.size())];
+    const Vertex s2 = sources[rng.next_below(sources.size())];
+    if (s1 == s2) continue;
+    const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+    EXPECT_EQ(dso.query(s1, s2, e), bfs_distance(g, s1, s2, FaultSet{e}))
+        << "seed=" << seed << " pair " << s1 << "," << s2 << " e=" << e;
+  }
+}
+
+TEST_P(FuzzSweep, OneFaultPreserverSampled) {
+  const uint64_t seed = GetParam();
+  const Graph g = random_family(seed);
+  if (g.num_edges() == 0) return;
+  IsolationRpts pi(g, IsolationAtw(seed ^ 0x123));
+  const auto sources = random_sources(g, seed + 4, 3);
+  if (sources.empty()) return;
+  const EdgeSubset p = build_ss_preserver(pi, sources, 1);
+  auto v = verify_distances_exhaustive(g, p.to_graph(), sources, sources, 1);
+  EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "") << " seed=" << seed;
+}
+
+TEST_P(FuzzSweep, LabelsDecodeRandomQueries) {
+  const uint64_t seed = GetParam();
+  const Graph g = random_family(seed);
+  if (g.num_edges() == 0 || g.num_vertices() > 18) return;  // keep it quick
+  IsolationRpts pi(g, IsolationAtw(seed ^ 0x456));
+  FtDistanceLabeling labeling(pi, 0);
+  Rng rng(seed + 5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Vertex s = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    const Vertex t = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    if (s == t) continue;
+    const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+    const std::vector<Edge> desc{g.endpoints(e)};
+    EXPECT_EQ(
+        FtDistanceLabeling::query(labeling.label(s), labeling.label(t), desc),
+        bfs_distance(g, s, t, FaultSet{e}))
+        << "seed=" << seed;
+  }
+}
+
+TEST_P(FuzzSweep, SpannerStretchSampled) {
+  const uint64_t seed = GetParam();
+  const Graph g = random_family(seed);
+  if (g.num_edges() == 0) return;
+  IsolationRpts pi(g, IsolationAtw(seed ^ 0x789));
+  const auto res = build_ft_plus4_spanner(pi, 1, 4, seed);
+  std::vector<Vertex> all(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  auto v = verify_distances_sampled(g, res.edges.to_graph(), all, all, 1, 4,
+                                    60, seed + 6);
+  EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "") << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range(uint64_t{1000}, uint64_t{1024}));
+
+}  // namespace
+}  // namespace restorable

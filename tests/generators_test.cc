@@ -1,0 +1,138 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/bfs.h"
+
+namespace restorable {
+namespace {
+
+TEST(Generators, GnpDeterministicInSeed) {
+  Graph a = gnp(30, 0.2, 42);
+  Graph b = gnp(30, 0.2, 42);
+  Graph c = gnp(30, 0.2, 43);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_NE(a.num_edges(), c.num_edges());  // overwhelmingly likely
+}
+
+TEST(Generators, GnpEdgeCountRoughlyMatchesP) {
+  const Vertex n = 100;
+  Graph g = gnp(n, 0.3, 1);
+  const double expected = 0.3 * n * (n - 1) / 2.0;
+  EXPECT_GT(g.num_edges(), expected * 0.8);
+  EXPECT_LT(g.num_edges(), expected * 1.2);
+}
+
+TEST(Generators, GnpConnectedIsConnected) {
+  for (uint64_t seed = 0; seed < 5; ++seed)
+    EXPECT_TRUE(is_connected(gnp_connected(60, 0.02, seed))) << seed;
+}
+
+TEST(Generators, GnpConnectedNoParallelEdges) {
+  Graph g = gnp_connected(40, 0.2, 9);
+  std::set<std::pair<Vertex, Vertex>> seen;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    auto [u, v] = g.endpoints(e);
+    if (u > v) std::swap(u, v);
+    EXPECT_TRUE(seen.insert({u, v}).second) << "duplicate edge " << u << "," << v;
+  }
+}
+
+TEST(Generators, GnmExactCount) {
+  Graph g = gnm(50, 123, 5);
+  EXPECT_EQ(g.num_edges(), 123u);
+  EXPECT_THROW(gnm(4, 100, 1), std::invalid_argument);
+}
+
+TEST(Generators, CycleStructure) {
+  Graph g = cycle(7);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (Vertex v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(cycle(2), std::invalid_argument);
+}
+
+TEST(Generators, PathStructure) {
+  Graph g = path_graph(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+}
+
+TEST(Generators, CompleteStructure) {
+  Graph g = complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(diameter(g), 1);
+}
+
+TEST(Generators, GridStructure) {
+  Graph g = grid(3, 5);
+  EXPECT_EQ(g.num_vertices(), 15u);
+  EXPECT_EQ(g.num_edges(), 3u * 4 + 2 * 5);
+  EXPECT_EQ(diameter(g), 2 + 4);
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  Graph g = torus(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, HypercubeStructure) {
+  Graph g = hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = random_tree(37, seed);
+    EXPECT_EQ(g.num_edges(), 36u);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, DumbbellHasBridges) {
+  Graph g = dumbbell(5, 3);
+  EXPECT_TRUE(is_connected(g));
+  // Removing any bridge-path edge disconnects the cliques.
+  const EdgeId bridge = g.find_edge(0, 10);  // first bridge edge
+  ASSERT_NE(bridge, kNoEdge);
+  EXPECT_FALSE(is_connected(g, FaultSet{bridge}));
+}
+
+TEST(Generators, ThetaGraphTies) {
+  Graph g = theta_graph(3, 4);
+  // 3 disjoint s~t paths of length 4: dist(0,1) = 4, all tied.
+  EXPECT_EQ(bfs_distance(g, 0, 1), 4);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CliqueChainStructure) {
+  Graph g = clique_chain(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 10 + 3);  // 4 K5's + 3 connectors
+  EXPECT_TRUE(is_connected(g));
+  // End-to-end distance: 1 hop inside each clique + connectors.
+  EXPECT_EQ(bfs_distance(g, 0, 19), 4 + 3);
+  // Connector edges are bridges.
+  const EdgeId bridge = g.find_edge(4, 5);
+  ASSERT_NE(bridge, kNoEdge);
+  EXPECT_FALSE(is_connected(g, FaultSet{bridge}));
+}
+
+TEST(Generators, ThetaSurvivesOnePathFault) {
+  Graph g = theta_graph(2, 3);
+  // Kill one edge of one path: the other path still gives distance 3.
+  EXPECT_EQ(bfs_distance(g, 0, 1, FaultSet{0}), 3);
+}
+
+}  // namespace
+}  // namespace restorable

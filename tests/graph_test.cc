@@ -1,0 +1,215 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace restorable {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, SingleEdgeAdjacency) {
+  Graph g(2, {{0, 1}});
+  ASSERT_EQ(g.num_edges(), 1u);
+  ASSERT_EQ(g.arcs(0).size(), 1u);
+  EXPECT_EQ(g.arcs(0)[0].to, 1u);
+  EXPECT_TRUE(g.arcs(0)[0].forward);
+  ASSERT_EQ(g.arcs(1).size(), 1u);
+  EXPECT_EQ(g.arcs(1)[0].to, 0u);
+  EXPECT_FALSE(g.arcs(1)[0].forward);
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  EXPECT_THROW(Graph(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(Graph(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(Graph, DegreesMatchCsr) {
+  Graph g(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Graph, FindEdge) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.find_edge(1, 2), 1u);
+  EXPECT_EQ(g.find_edge(2, 1), 1u);
+  EXPECT_EQ(g.find_edge(0, 3), kNoEdge);
+}
+
+TEST(Graph, OtherEndpoint) {
+  Graph g(3, {{0, 2}});
+  EXPECT_EQ(g.other_endpoint(0, 0), 2u);
+  EXPECT_EQ(g.other_endpoint(0, 2), 0u);
+}
+
+TEST(Graph, DefaultLabelsAreIdentity) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.label(0), 0u);
+  EXPECT_EQ(g.label(1), 1u);
+}
+
+TEST(Graph, EdgeSubgraphKeepsLabels) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const EdgeId pick[] = {1, 3};
+  Graph h = g.edge_subgraph(pick);
+  EXPECT_EQ(h.num_vertices(), 4u);
+  ASSERT_EQ(h.num_edges(), 2u);
+  EXPECT_EQ(h.label(0), 1u);
+  EXPECT_EQ(h.label(1), 3u);
+  EXPECT_EQ(h.endpoints(0).u, 1u);
+  EXPECT_EQ(h.endpoints(0).v, 2u);
+}
+
+TEST(Graph, NestedSubgraphComposesLabels) {
+  Graph g = cycle(6);
+  const EdgeId first[] = {0, 2, 4, 5};
+  Graph h1 = g.edge_subgraph(first);
+  const EdgeId second[] = {1, 3};  // h1-local ids
+  Graph h2 = h1.edge_subgraph(second);
+  EXPECT_EQ(h2.label(0), 2u);  // h1 edge 1 had label 2
+  EXPECT_EQ(h2.label(1), 5u);
+}
+
+TEST(Path, UsesEdgeAndVertex) {
+  Path p{{0, 1, 2}, {5, 7}};
+  EXPECT_TRUE(p.uses_edge(5));
+  EXPECT_TRUE(p.uses_edge(7));
+  EXPECT_FALSE(p.uses_edge(6));
+  EXPECT_TRUE(p.uses_vertex(1));
+  EXPECT_FALSE(p.uses_vertex(3));
+}
+
+TEST(Path, ConcatenateAndReverse) {
+  Path a{{0, 1}, {10}};
+  Path b{{1, 2, 3}, {11, 12}};
+  a.concatenate(b);
+  EXPECT_EQ(a.vertices, (std::vector<Vertex>{0, 1, 2, 3}));
+  EXPECT_EQ(a.edges, (std::vector<EdgeId>{10, 11, 12}));
+  const Path r = a.reversed();
+  EXPECT_EQ(r.vertices, (std::vector<Vertex>{3, 2, 1, 0}));
+  EXPECT_EQ(r.edges, (std::vector<EdgeId>{12, 11, 10}));
+}
+
+TEST(Path, ConcatenateOntoEmpty) {
+  Path a;
+  Path b{{4, 5}, {1}};
+  a.concatenate(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Graph, IsValidPath) {
+  Graph g = path_graph(4);
+  Path ok{{0, 1, 2}, {0, 1}};
+  EXPECT_TRUE(g.is_valid_path(ok));
+  EXPECT_FALSE(g.is_valid_path(ok, FaultSet{1}));
+  Path broken{{0, 2}, {0}};
+  EXPECT_FALSE(g.is_valid_path(broken));
+  Path empty;
+  EXPECT_FALSE(g.is_valid_path(empty));
+}
+
+TEST(FaultSet, SortedUniqueMembership) {
+  FaultSet f{5, 3, 5, 1};
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_TRUE(f.contains(3));
+  EXPECT_FALSE(f.contains(2));
+  EXPECT_EQ(f.ids()[0], 1u);
+  EXPECT_EQ(f.ids()[2], 5u);
+}
+
+TEST(FaultSet, WithWithout) {
+  FaultSet f{2};
+  const FaultSet g = f.with(7);
+  EXPECT_TRUE(g.contains(7));
+  EXPECT_FALSE(f.contains(7));  // value semantics
+  const FaultSet h = g.without(2);
+  EXPECT_FALSE(h.contains(2));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  Graph g = path_graph(5);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Bfs, DistanceWithFault) {
+  Graph g = cycle(6);
+  EXPECT_EQ(bfs_distance(g, 0, 3), 3);
+  // Cutting one side forces the long way around.
+  EXPECT_EQ(bfs_distance(g, 0, 3, FaultSet{0}), 3);
+  EXPECT_EQ(bfs_distance(g, 0, 1, FaultSet{0}), 5);
+}
+
+TEST(Bfs, DisconnectedIsUnreachable) {
+  Graph g = path_graph(4);
+  EXPECT_EQ(bfs_distance(g, 0, 3, FaultSet{1}), kUnreachable);
+  const auto d = bfs_distances(g, 0, FaultSet{1});
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Bfs, PathIsShortestAndValid) {
+  Graph g = gnp_connected(40, 0.1, 7);
+  for (Vertex t : {5u, 17u, 39u}) {
+    const Path p = bfs_path(g, 0, t);
+    ASSERT_TRUE(g.is_valid_path(p));
+    EXPECT_EQ(static_cast<int32_t>(p.length()), bfs_distance(g, 0, t));
+  }
+}
+
+TEST(Bfs, Connectivity) {
+  EXPECT_TRUE(is_connected(cycle(5)));
+  EXPECT_FALSE(is_connected(path_graph(4), FaultSet{0}));
+}
+
+TEST(Bfs, DiameterOfKnownGraphs) {
+  EXPECT_EQ(diameter(path_graph(6)), 5);
+  EXPECT_EQ(diameter(cycle(8)), 4);
+  EXPECT_EQ(diameter(complete(7)), 1);
+  EXPECT_EQ(diameter(grid(3, 4)), 5);
+}
+
+TEST(Io, RoundTrip) {
+  Graph g = gnp_connected(25, 0.15, 3);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  Graph h = read_edge_list(ss);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.endpoints(e).u, g.endpoints(e).u);
+    EXPECT_EQ(h.endpoints(e).v, g.endpoints(e).v);
+  }
+}
+
+TEST(Io, RejectsGarbage) {
+  std::stringstream ss("x 1 2\n");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+TEST(Io, CommentsAndMissingHeader) {
+  std::stringstream ok("# hi\nn 3\ne 0 1\n");
+  Graph g = read_edge_list(ok);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  std::stringstream bad("e 0 1\n");
+  EXPECT_THROW(read_edge_list(bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace restorable

@@ -1,0 +1,142 @@
+// Tests for fault-tolerant exact distance labeling (Theorem 30).
+#include "labeling/labels.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+namespace restorable {
+namespace {
+
+// Converts a fault set (edge ids) to the endpoint-pair description the query
+// model expects.
+std::vector<Edge> describe(const Graph& g, const FaultSet& f) {
+  std::vector<Edge> out;
+  for (EdgeId e : f) out.push_back(g.endpoints(e));
+  return out;
+}
+
+TEST(Labeling, OneFtQueriesExhaustive) {
+  Graph g = gnp_connected(12, 0.3, 1);
+  IsolationRpts pi(g, IsolationAtw(1));
+  FtDistanceLabeling labeling(pi, /*f=*/0);  // (f+1) = 1 fault
+  EXPECT_EQ(labeling.fault_tolerance(), 1);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const FaultSet f{e};
+    const auto faults = describe(g, f);
+    for (Vertex s = 0; s < g.num_vertices(); ++s) {
+      const auto truth = bfs_distances(g, s, f);
+      for (Vertex t = s + 1; t < g.num_vertices(); ++t) {
+        const int32_t got = FtDistanceLabeling::query(
+            labeling.label(s), labeling.label(t), faults);
+        EXPECT_EQ(got, truth[t]) << "s=" << s << " t=" << t << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(Labeling, TwoFtQueriesExhaustiveSmall) {
+  Graph g = gnp_connected(9, 0.4, 2);
+  IsolationRpts pi(g, IsolationAtw(2));
+  FtDistanceLabeling labeling(pi, /*f=*/1);  // 2-FT
+  for (EdgeId e1 = 0; e1 < g.num_edges(); ++e1) {
+    for (EdgeId e2 = e1 + 1; e2 < g.num_edges(); ++e2) {
+      const FaultSet f{e1, e2};
+      const auto faults = describe(g, f);
+      for (Vertex s = 0; s < g.num_vertices(); s += 2) {
+        const auto truth = bfs_distances(g, s, f);
+        for (Vertex t = 0; t < g.num_vertices(); ++t) {
+          if (t == s) continue;
+          const int32_t got = FtDistanceLabeling::query(
+              labeling.label(s), labeling.label(t), faults);
+          EXPECT_EQ(got, truth[t])
+              << "s=" << s << " t=" << t << " F={" << e1 << "," << e2 << "}";
+        }
+      }
+    }
+  }
+}
+
+TEST(Labeling, NoFaultQueryEqualsDistance) {
+  Graph g = grid(4, 4);
+  IsolationRpts pi(g, IsolationAtw(3));
+  FtDistanceLabeling labeling(pi, 0);
+  for (Vertex s = 0; s < g.num_vertices(); s += 3) {
+    const auto truth = bfs_distances(g, s);
+    for (Vertex t = 0; t < g.num_vertices(); ++t)
+      if (t != s) {
+        EXPECT_EQ(FtDistanceLabeling::query(labeling.label(s),
+                                            labeling.label(t), {}),
+                  truth[t]);
+      }
+  }
+}
+
+TEST(Labeling, DisconnectionReported) {
+  Graph g = path_graph(5);
+  IsolationRpts pi(g, IsolationAtw(4));
+  FtDistanceLabeling labeling(pi, 0);
+  const FaultSet f{2};
+  EXPECT_EQ(FtDistanceLabeling::query(labeling.label(0), labeling.label(4),
+                                      describe(g, f)),
+            kUnreachable);
+}
+
+TEST(Labeling, FaultsUnknownToLabelsAreHarmless) {
+  // Describing a fault on an edge that appears in neither label must not
+  // break decoding (the preservers route around it by construction).
+  Graph g = gnp_connected(12, 0.35, 5);
+  IsolationRpts pi(g, IsolationAtw(5));
+  FtDistanceLabeling labeling(pi, 0);
+  const Edge phantom{0, static_cast<Vertex>(g.num_vertices() - 1)};
+  // Whatever edge (0, n-1) is -- present or absent -- the query must return
+  // a distance consistent with removing it from G.
+  const EdgeId real = g.find_edge(phantom.u, phantom.v);
+  const FaultSet f = real == kNoEdge ? FaultSet{} : FaultSet{real};
+  const std::vector<Edge> faults{phantom};
+  for (Vertex t = 1; t < g.num_vertices(); ++t) {
+    const int32_t got = FtDistanceLabeling::query(labeling.label(0),
+                                                  labeling.label(t), faults);
+    EXPECT_EQ(got, bfs_distance(g, 0, t, f)) << "t=" << t;
+  }
+}
+
+TEST(Labeling, BitsAccounting) {
+  Graph g = gnp_connected(20, 0.2, 6);
+  IsolationRpts pi(g, IsolationAtw(6));
+  FtDistanceLabeling labeling(pi, 0);
+  // Each label is a {v} x V 0-FT preserver = a spanning tree: n-1 edges,
+  // 2 ceil(log2 n) bits each.
+  const size_t per_edge = 2 * 5;  // ceil(log2 20) = 5
+  EXPECT_EQ(labeling.label(3).bits(), (g.num_vertices() - 1) * per_edge);
+  EXPECT_GT(labeling.avg_label_bits(), 0.0);
+  EXPECT_GE(labeling.max_label_bits(), labeling.label(0).bits());
+}
+
+TEST(Labeling, SizeWithinTheoremBound) {
+  Graph g = gnp_connected(40, 0.2, 7);
+  IsolationRpts pi(g, IsolationAtw(7));
+  for (int f = 0; f <= 1; ++f) {
+    FtDistanceLabeling labeling(pi, f);
+    const double bound = label_bits_bound(g.num_vertices(), f);
+    EXPECT_LE(static_cast<double>(labeling.max_label_bits()), 6.0 * bound)
+        << "f=" << f;
+  }
+}
+
+TEST(Labeling, QueryIsSelfContained) {
+  // Decoding must not touch the graph: corrupt the graph object after
+  // building labels and re-run queries (compile-time guarantee really --
+  // query is static -- but assert label contents suffice).
+  Graph g = cycle(7);
+  IsolationRpts pi(g, IsolationAtw(8));
+  FtDistanceLabeling labeling(pi, 0);
+  const DistanceLabel a = labeling.label(0);
+  const DistanceLabel b = labeling.label(3);
+  EXPECT_EQ(FtDistanceLabeling::query(a, b, {}), 3);
+}
+
+}  // namespace
+}  // namespace restorable

@@ -1,0 +1,164 @@
+// Tests for the Appendix-B lower bound family: structure of G_f(d)
+// (Observation 1, Lemma 38) and the forcing property of G*_f (Theorem 27).
+#include "preserver/lower_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+
+namespace restorable {
+namespace {
+
+Graph gadget_graph(const GfdGadget& gg) { return Graph(gg.n, gg.edges); }
+
+TEST(Gfd, BaseCaseStructure) {
+  const Vertex d = 5;
+  const GfdGadget gg = build_gfd(1, d);
+  // Observation 1: N(1, d) = path d + sum_{j=1..d} len(Q_j) new vertices
+  // = d + d(d+1)/2; depth = d; leaves = d.
+  EXPECT_EQ(gg.leaves.size(), d);
+  EXPECT_EQ(gg.depth, static_cast<int32_t>(d));
+  EXPECT_EQ(gg.n, d + d * (d + 1) / 2);
+  Graph g = gadget_graph(gg);
+  // It is a tree.
+  EXPECT_EQ(g.num_edges(), g.num_vertices() - 1);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Gfd, AllLeavesEquidistantFromRoot) {
+  for (int f = 1; f <= 3; ++f) {
+    const Vertex d = f == 3 ? 16 : (f == 2 ? 9 : 7);
+    const GfdGadget gg = build_gfd(f, d);
+    Graph g = gadget_graph(gg);
+    const auto dist = bfs_distances(g, gg.root);
+    for (Vertex z : gg.leaves)
+      EXPECT_EQ(dist[z], gg.depth) << "f=" << f << " leaf " << z;
+  }
+}
+
+TEST(Gfd, RecursiveLeafCount) {
+  // nLeaf(f, d) = d * nLeaf(f-1, sqrt(d)).
+  const GfdGadget g2 = build_gfd(2, 9);
+  EXPECT_EQ(g2.leaves.size(), 9u * 3u);
+  const GfdGadget g3 = build_gfd(3, 16);
+  EXPECT_EQ(g3.leaves.size(), 16u * 4u * 2u);
+}
+
+TEST(Gfd, LabelsHaveLevelSizes) {
+  const GfdGadget gg = build_gfd(2, 9);
+  // All but boundary leaves carry a full 2-edge label.
+  size_t full = 0;
+  for (const auto& lab : gg.labels) {
+    EXPECT_LE(lab.size(), 2u);
+    if (lab.size() == 2) ++full;
+  }
+  EXPECT_GT(full, gg.labels.size() / 2);
+}
+
+TEST(Gfd, Lemma38UniquePathAndCutStructure) {
+  const GfdGadget gg = build_gfd(2, 9);
+  Graph g = gadget_graph(gg);
+  // (1) Trees have unique paths -- already established. Check (2)/(3): under
+  // Label(z_j), leaf z_k remains reachable iff k <= j.
+  for (size_t j = 0; j < gg.leaves.size(); ++j) {
+    if (gg.labels[j].size() != 2) continue;  // only full labels cut cleanly
+    std::vector<EdgeId> ids(gg.labels[j].begin(), gg.labels[j].end());
+    const FaultSet faults(std::move(ids));
+    const auto dist = bfs_distances(g, gg.root, faults);
+    for (size_t k = 0; k < gg.leaves.size(); ++k) {
+      const bool reachable = dist[gg.leaves[k]] != kUnreachable;
+      EXPECT_EQ(reachable, k <= j)
+          << "fault label of leaf " << j << ", leaf " << k;
+    }
+  }
+}
+
+TEST(LowerBoundInstance, ConstructionInvariants) {
+  const auto inst = build_lower_bound_instance(1, 600, 1);
+  EXPECT_EQ(inst.sources.size(), 1u);
+  EXPECT_FALSE(inst.x_set.empty());
+  EXPECT_FALSE(inst.bipartite_edges.empty());
+  EXPECT_LE(inst.forced_bipartite.size(), inst.bipartite_edges.size());
+  EXPECT_EQ(inst.weight.size(), inst.g.num_edges());
+  EXPECT_TRUE(is_connected(inst.g));
+  // Unit weights everywhere except B.
+  std::vector<char> is_b(inst.g.num_edges(), 0);
+  for (EdgeId e : inst.bipartite_edges) is_b[e] = 1;
+  for (EdgeId e = 0; e < inst.g.num_edges(); ++e) {
+    if (is_b[e]) {
+      EXPECT_GT(inst.weight[e], kUnitScale);
+      EXPECT_LT(inst.weight[e], kUnitScale + kUnitScale / 4);
+    } else {
+      EXPECT_EQ(inst.weight[e], kUnitScale);
+    }
+  }
+}
+
+TEST(LowerBoundInstance, FaultSetsHaveSizeF) {
+  for (int f = 1; f <= 2; ++f) {
+    const auto inst = build_lower_bound_instance(f, 700, 1);
+    for (const auto& per_source : inst.fault_sets)
+      for (const FaultSet& fs : per_source)
+        EXPECT_EQ(fs.size(), static_cast<size_t>(f));
+  }
+}
+
+TEST(Theorem27, SingleSourceForcesBipartiteEdges) {
+  const auto inst = build_lower_bound_instance(1, 500, 1);
+  const auto res = measure_bad_tiebreak_overlay(inst);
+  EXPECT_EQ(res.forced_covered, res.forced_total)
+      << "every designated bipartite edge must appear in the overlay";
+  EXPECT_GT(res.forced_total, 0u);
+  EXPECT_GE(res.overlay_edges, res.forced_total);
+}
+
+TEST(Theorem27, TwoFaultInstanceForcesBipartiteEdges) {
+  const auto inst = build_lower_bound_instance(2, 900, 1);
+  const auto res = measure_bad_tiebreak_overlay(inst);
+  EXPECT_EQ(res.forced_covered, res.forced_total);
+  EXPECT_GT(res.forced_total, 0u);
+}
+
+TEST(Theorem27, MultiSourceForcesPerCopyGadgets) {
+  const auto inst = build_lower_bound_instance(1, 800, 3);
+  EXPECT_EQ(inst.sources.size(), 3u);
+  const auto res = measure_bad_tiebreak_overlay(inst);
+  EXPECT_EQ(res.forced_covered, res.forced_total);
+}
+
+TEST(Theorem27, OverlayGrowsSuperlinearly) {
+  // The point of the bound: overlay ~ n^{3/2} for f = 1, far above the
+  // n log n regime of the graph's spanning structures.
+  const auto small = build_lower_bound_instance(1, 400, 1);
+  const auto large = build_lower_bound_instance(1, 1600, 1);
+  const auto rs = measure_bad_tiebreak_overlay(small);
+  const auto rl = measure_bad_tiebreak_overlay(large);
+  const double ratio = static_cast<double>(rl.overlay_edges) /
+                       static_cast<double>(rs.overlay_edges);
+  // n quadrupled: an n^{3/2} quantity grows ~8x; allow slack, but demand
+  // clearly superlinear growth (> 4x would be linear).
+  EXPECT_GT(ratio, 5.0);
+}
+
+TEST(WeightedSpt, ParentsFormShortestPathsUnderFaults) {
+  const auto inst = build_lower_bound_instance(1, 300, 1);
+  const Vertex s = inst.sources[0];
+  const FaultSet& faults = inst.fault_sets[0].front();
+  const auto parents = weighted_spt_parents(inst.g, inst.weight, s, faults);
+  // Spot check: following parents from any x reaches s without touching
+  // faulted edges.
+  for (Vertex x : inst.x_set) {
+    Vertex at = x;
+    size_t steps = 0;
+    while (at != s && parents[at] != kNoEdge &&
+           steps <= inst.g.num_vertices()) {
+      EXPECT_FALSE(faults.contains(parents[at]));
+      at = inst.g.other_endpoint(parents[at], at);
+      ++steps;
+    }
+    EXPECT_EQ(at, s);
+  }
+}
+
+}  // namespace
+}  // namespace restorable

@@ -1,0 +1,114 @@
+// Final robustness batch: simulator degenerate inputs, deep lower-bound
+// gadgets, and cross-structure agreement checks.
+#include <gtest/gtest.h>
+
+#include "congest/dist_preserver.h"
+#include "congest/dist_spt.h"
+#include "core/rpts.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "preserver/lower_bound.h"
+#include "rp/dso.h"
+#include "rp/sourcewise_rp.h"
+#include "rp/two_fault_oracle.h"
+
+namespace restorable {
+namespace {
+
+TEST(Robustness, DistributedSptOnSingleEdge) {
+  Graph g = path_graph(2);
+  const IsolationAtw atw(1);
+  const auto res = congest::run_distributed_spt(g, atw, 0);
+  EXPECT_EQ(res.spt.hops[1], 1);
+  EXPECT_EQ(res.spt.parent[1], 0u);
+}
+
+TEST(Robustness, DistributedSptOnDisconnectedGraph) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  const IsolationAtw atw(2);
+  const auto res = congest::run_distributed_spt(g, atw, 0);
+  EXPECT_EQ(res.spt.hops[1], 1);
+  EXPECT_EQ(res.spt.hops[2], kUnreachable);
+  EXPECT_EQ(res.spt.hops[3], kUnreachable);
+}
+
+TEST(Robustness, ParallelSptsWithDuplicateSources) {
+  Graph g = cycle(6);
+  const IsolationAtw atw(3);
+  const std::vector<Vertex> sources{2, 2, 4};
+  const auto run = congest::run_parallel_spts(g, atw, sources, 5);
+  ASSERT_EQ(run.spts.size(), 3u);
+  // Duplicate instances converge to the same tree.
+  EXPECT_EQ(run.spts[0].parent, run.spts[1].parent);
+  EXPECT_EQ(run.spts[0].hops, run.spts[1].hops);
+}
+
+TEST(Robustness, DistributedPreserverSingleSource) {
+  Graph g = grid(3, 3);
+  const std::vector<Vertex> sources{4};
+  const auto res = congest::build_distributed_1ft_ss_preserver(g, sources, 7);
+  // One SPT: exactly n-1 edges.
+  EXPECT_EQ(res.edges.size(), g.num_vertices() - 1u);
+}
+
+TEST(Robustness, GfdDepth3GadgetStructure) {
+  const GfdGadget gg = build_gfd(3, 16);
+  Graph g(gg.n, gg.edges);
+  EXPECT_EQ(g.num_edges(), g.num_vertices() - 1);  // still a tree
+  const auto dist = bfs_distances(g, gg.root);
+  for (Vertex z : gg.leaves) EXPECT_EQ(dist[z], gg.depth);
+  // Full labels have 3 edges; each cuts exactly the leaves to the right.
+  size_t full = 0;
+  for (size_t j = 0; j < gg.leaves.size(); ++j) {
+    if (gg.labels[j].size() != 3) continue;
+    ++full;
+    if (full > 4) break;  // spot-check a few (the f=2 test is exhaustive)
+    std::vector<EdgeId> ids(gg.labels[j].begin(), gg.labels[j].end());
+    const auto d = bfs_distances(g, gg.root, FaultSet(std::move(ids)));
+    for (size_t k = 0; k < gg.leaves.size(); ++k)
+      EXPECT_EQ(d[gg.leaves[k]] != kUnreachable, k <= j)
+          << "label " << j << " leaf " << k;
+  }
+  EXPECT_GT(full, 0u);
+}
+
+TEST(Robustness, Theorem27FThreeInstanceForces) {
+  const auto inst = build_lower_bound_instance(3, 2500, 1);
+  const auto res = measure_bad_tiebreak_overlay(inst);
+  EXPECT_EQ(res.forced_covered, res.forced_total);
+  EXPECT_GT(res.forced_total, 0u);
+}
+
+TEST(Robustness, OraclesAgreeWithEachOther) {
+  // The single-fault DSO, the sourcewise structure and the two-fault oracle
+  // must agree on their common domain.
+  Graph g = gnp_connected(14, 0.3, 9);
+  IsolationRpts pi(g, IsolationAtw(10));
+  const std::vector<Vertex> sources{0, 7, 13};
+  const SubsetDistanceSensitivityOracle dso(pi, sources);
+  const TwoFaultSubsetOracle two(pi, sources);
+  const SourcewiseReplacementPaths sw(pi, 0);
+  for (Vertex t : {7u, 13u}) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const int32_t a = dso.query(0, t, e);
+      const int32_t b = two.query(0, t, FaultSet{e});
+      const int32_t c = sw.query(t, e);
+      EXPECT_EQ(a, b) << "t=" << t << " e=" << e;
+      EXPECT_EQ(a, c) << "t=" << t << " e=" << e;
+    }
+  }
+}
+
+TEST(Robustness, SchemeSeedsAreIndependent) {
+  // Two seeds give valid (possibly different) schemes; both restore.
+  Graph g = theta_graph(3, 3);
+  IsolationRpts a(g, IsolationAtw(1)), b(g, IsolationAtw(2));
+  const Path pa = a.path(0, 1), pb = b.path(0, 1);
+  EXPECT_EQ(pa.length(), pb.length());
+  // Distances agree even if selections differ.
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(a.distance(0, v), b.distance(0, v));
+}
+
+}  // namespace
+}  // namespace restorable

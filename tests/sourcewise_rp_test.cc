@@ -1,0 +1,77 @@
+// Tests for the sourcewise ({s} x V) replacement path structure.
+#include "rp/sourcewise_rp.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "preserver/verify.h"
+
+namespace restorable {
+namespace {
+
+TEST(SourcewiseRp, AllQueriesMatchBfs) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = gnp_connected(14, 0.25, seed);
+    IsolationRpts pi(g, IsolationAtw(seed + 1));
+    const SourcewiseReplacementPaths rp(pi, 0);
+    for (Vertex v = 1; v < g.num_vertices(); ++v)
+      for (EdgeId e = 0; e < g.num_edges(); ++e)
+        EXPECT_EQ(rp.query(v, e), bfs_distance(g, 0, v, FaultSet{e}))
+            << "seed=" << seed << " v=" << v << " e=" << e;
+  }
+}
+
+TEST(SourcewiseRp, BaseDistances) {
+  Graph g = grid(3, 5);
+  IsolationRpts pi(g, IsolationAtw(5));
+  const SourcewiseReplacementPaths rp(pi, 0);
+  const auto truth = bfs_distances(g, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(rp.base_distance(v), truth[v]);
+}
+
+TEST(SourcewiseRp, PreserverIsOneFtSourcewise) {
+  // The overlay of all {s} x V replacement paths is a 1-FT {s} x V
+  // preserver (Theorem 24): verify exhaustively.
+  Graph g = gnp_connected(12, 0.3, 7);
+  IsolationRpts pi(g, IsolationAtw(8));
+  const SourcewiseReplacementPaths rp(pi, 0);
+  Graph h = g.edge_subgraph(rp.preserver_edges());
+  std::vector<Vertex> all(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  const Vertex sources[] = {0};
+  auto viol = verify_distances_exhaustive(g, h, sources, all, 1);
+  EXPECT_EQ(viol, std::nullopt) << (viol ? viol->to_string() : "");
+}
+
+TEST(SourcewiseRp, PreserverMatchesBuildSvPreserver) {
+  // Same scheme, same fault enumeration depth: the structures coincide.
+  Graph g = gnp_connected(15, 0.25, 9);
+  IsolationRpts pi(g, IsolationAtw(10));
+  const SourcewiseReplacementPaths rp(pi, 3);
+  const Vertex sources[] = {3};
+  const EdgeSubset direct = build_sv_preserver(pi, sources, 1);
+  EXPECT_EQ(rp.preserver_edges(), direct.edge_ids());
+}
+
+TEST(SourcewiseRp, DisconnectingFaultReported) {
+  Graph g = path_graph(5);
+  IsolationRpts pi(g, IsolationAtw(11));
+  const SourcewiseReplacementPaths rp(pi, 0);
+  EXPECT_EQ(rp.query(4, 2), kUnreachable);
+  EXPECT_EQ(rp.query(1, 2), 1);  // fault beyond v: unaffected
+}
+
+TEST(SourcewiseRp, SpaceAccounting) {
+  Graph g = gnp_connected(20, 0.2, 12);
+  IsolationRpts pi(g, IsolationAtw(13));
+  const SourcewiseReplacementPaths rp(pi, 0);
+  // One entry per (tree edge, vertex behind it): at most (n-1) * n.
+  EXPECT_LE(rp.entries(),
+            static_cast<size_t>(g.num_vertices()) * (g.num_vertices() - 1));
+  EXPECT_GT(rp.entries(), 0u);
+}
+
+}  // namespace
+}  // namespace restorable

@@ -1,0 +1,111 @@
+// Tests for fault-tolerant +4 additive spanners (Lemma 32 / Theorem 33).
+#include "spanner/additive_spanner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "preserver/verify.h"
+
+namespace restorable {
+namespace {
+
+std::vector<Vertex> all_vertices(const Graph& g) {
+  std::vector<Vertex> v(g.num_vertices());
+  for (Vertex i = 0; i < g.num_vertices(); ++i) v[i] = i;
+  return v;
+}
+
+TEST(Spanner, NonFaultyPlus4Exhaustive) {
+  Graph g = gnp_connected(18, 0.3, 1);
+  IsolationRpts pi(g, IsolationAtw(1));
+  const auto res = build_plus4_spanner(pi, 5, 42);
+  const auto all = all_vertices(g);
+  auto v = verify_distances_exhaustive(g, res.edges.to_graph(), all, all,
+                                       /*f=*/0, /*slack=*/4);
+  EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "");
+}
+
+TEST(Spanner, OneFaultPlus4Exhaustive) {
+  Graph g = gnp_connected(14, 0.35, 2);
+  IsolationRpts pi(g, IsolationAtw(2));
+  const auto res = build_ft_plus4_spanner(pi, /*f=*/1, /*sigma=*/4, 43);
+  const auto all = all_vertices(g);
+  auto v = verify_distances_exhaustive(g, res.edges.to_graph(), all, all,
+                                       /*f=*/1, /*slack=*/4);
+  EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "");
+}
+
+TEST(Spanner, TwoFaultPlus4Sampled) {
+  Graph g = gnp_connected(16, 0.35, 3);
+  IsolationRpts pi(g, IsolationAtw(3));
+  const auto res = build_ft_plus4_spanner(pi, /*f=*/2, /*sigma=*/5, 44);
+  const auto all = all_vertices(g);
+  auto v = verify_distances_sampled(g, res.edges.to_graph(), all, all,
+                                    /*f=*/2, /*slack=*/4, /*samples=*/300, 7);
+  EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "");
+}
+
+TEST(Spanner, ClusteringAccounting) {
+  Graph g = gnp_connected(30, 0.25, 4);
+  IsolationRpts pi(g, IsolationAtw(4));
+  const auto res = build_ft_plus4_spanner(pi, 1, 8, 45);
+  EXPECT_EQ(res.centers.size(), 8u);
+  EXPECT_EQ(res.clustered_vertices + res.unclustered_vertices,
+            g.num_vertices());
+  EXPECT_GE(res.edges.count(), res.clustering_edges);
+  EXPECT_EQ(res.edges.count(), res.clustering_edges + res.preserver_edges);
+}
+
+TEST(Spanner, SigmaClampedToN) {
+  Graph g = cycle(6);
+  IsolationRpts pi(g, IsolationAtw(5));
+  const auto res = build_ft_plus4_spanner(pi, 1, 100, 46);
+  EXPECT_EQ(res.centers.size(), 6u);
+}
+
+TEST(Spanner, BalancedSigmaOverloadRuns) {
+  Graph g = gnp_connected(40, 0.2, 6);
+  IsolationRpts pi(g, IsolationAtw(6));
+  const auto res = build_ft_plus4_spanner(pi, 1, uint64_t{47});
+  // sigma = n^{1/2} for f=1: ~6.
+  EXPECT_NEAR(static_cast<double>(res.centers.size()),
+              std::sqrt(40.0), 2.0);
+}
+
+TEST(Spanner, SparserThanGraphOnDenseInput) {
+  Graph g = gnp_connected(60, 0.5, 7);
+  IsolationRpts pi(g, IsolationAtw(7));
+  const auto res = build_ft_plus4_spanner(pi, 1, uint64_t{48});
+  EXPECT_LT(res.edges.count(), static_cast<size_t>(g.num_edges()));
+}
+
+TEST(Spanner, DeterministicSchemePlugsIn) {
+  // The spanner pipeline is policy-agnostic through IRpts.
+  Graph g = gnp_connected(12, 0.35, 8);
+  DeterministicRpts pi(g, DeterministicAtw(g));
+  const auto res = build_ft_plus4_spanner(pi, 1, 4, 49);
+  const auto all = all_vertices(g);
+  auto v = verify_distances_exhaustive(g, res.edges.to_graph(), all, all, 1,
+                                       4);
+  EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "");
+}
+
+class SpannerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpannerSweep, OneFaultPlus4AcrossSeeds) {
+  const int seed = GetParam();
+  Graph g = gnp_connected(13, 0.3, 100 + seed);
+  IsolationRpts pi(g, IsolationAtw(200 + seed));
+  const auto res = build_ft_plus4_spanner(pi, 1, 4, 300 + seed);
+  const auto all = all_vertices(g);
+  auto v = verify_distances_exhaustive(g, res.edges.to_graph(), all, all, 1,
+                                       4);
+  EXPECT_EQ(v, std::nullopt) << (v ? v->to_string() : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpannerSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace restorable

@@ -1,0 +1,129 @@
+// Tests for Algorithm 1 (subset-rp, Theorems 3/29): outputs must match the
+// naive per-fault BFS oracle pair-for-pair, edge-for-edge.
+#include "rp/subset_rp.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "rp/naive_rp.h"
+
+namespace restorable {
+namespace {
+
+void expect_matches_naive(const Graph& g, uint64_t seed,
+                          std::span<const Vertex> sources) {
+  IsolationRpts pi(g, IsolationAtw(seed));
+  const auto fast = subset_replacement_paths(pi, sources);
+  const auto naive = naive_subset_replacement_paths(pi, sources);
+  ASSERT_EQ(fast.pairs.size(), naive.pairs.size());
+  for (size_t i = 0; i < fast.pairs.size(); ++i) {
+    const auto& fp = fast.pairs[i];
+    const auto& np = naive.pairs[i];
+    EXPECT_EQ(fp.s1, np.s1);
+    EXPECT_EQ(fp.s2, np.s2);
+    ASSERT_EQ(fp.base_path, np.base_path)
+        << "pair " << fp.s1 << "," << fp.s2
+        << ": Algorithm 1 must select the same canonical path";
+    ASSERT_EQ(fp.replacement.size(), np.replacement.size());
+    for (size_t k = 0; k < fp.replacement.size(); ++k)
+      EXPECT_EQ(fp.replacement[k], np.replacement[k])
+          << "pair " << fp.s1 << "," << fp.s2 << " edge idx " << k;
+  }
+}
+
+TEST(SubsetRp, TwoSourcesEqualsSinglePair) {
+  Graph g = gnp_connected(20, 0.2, 1);
+  const Vertex sources[] = {0, 19};
+  expect_matches_naive(g, 11, sources);
+}
+
+TEST(SubsetRp, FourSourcesGnp) {
+  Graph g = gnp_connected(24, 0.18, 2);
+  const Vertex sources[] = {0, 7, 15, 23};
+  expect_matches_naive(g, 12, sources);
+}
+
+TEST(SubsetRp, AllVerticesAsSourcesSmall) {
+  Graph g = gnp_connected(10, 0.3, 3);
+  std::vector<Vertex> sources(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) sources[v] = v;
+  expect_matches_naive(g, 13, sources);
+}
+
+TEST(SubsetRp, StructuredFamilies) {
+  {
+    const Vertex sources[] = {0, 11, 19};
+    expect_matches_naive(grid(4, 5), 14, sources);
+  }
+  {
+    const Vertex sources[] = {0, 1, 5};
+    expect_matches_naive(theta_graph(3, 4), 15, sources);
+  }
+  {
+    const Vertex sources[] = {0, 6, 12};
+    expect_matches_naive(torus(4, 4), 16, sources);
+  }
+  {
+    const Vertex sources[] = {0, 5, 9};
+    expect_matches_naive(dumbbell(4, 3), 17, sources);
+  }
+}
+
+TEST(SubsetRp, TreeInputAllFaultsDisconnect) {
+  Graph g = random_tree(16, 5);
+  IsolationRpts pi(g, IsolationAtw(18));
+  const Vertex sources[] = {0, 8, 15};
+  const auto res = subset_replacement_paths(pi, sources);
+  for (const auto& pr : res.pairs)
+    for (int32_t r : pr.replacement) EXPECT_EQ(r, kUnreachable);
+}
+
+TEST(SubsetRp, DisconnectedSourcesYieldEmptyPaths) {
+  Graph g(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  IsolationRpts pi(g, IsolationAtw(19));
+  const Vertex sources[] = {0, 5};
+  const auto res = subset_replacement_paths(pi, sources);
+  ASSERT_EQ(res.pairs.size(), 1u);
+  EXPECT_TRUE(res.pairs[0].base_path.empty());
+  EXPECT_TRUE(res.pairs[0].replacement.empty());
+}
+
+TEST(SubsetRp, UnionGraphsAreSparse) {
+  // The point of Algorithm 1: each pair's instance has O(n) edges, however
+  // dense G is.
+  Graph g = gnp_connected(30, 0.5, 6);
+  IsolationRpts pi(g, IsolationAtw(20));
+  const Vertex sources[] = {0, 10, 20, 29};
+  const auto res = subset_replacement_paths(pi, sources);
+  const size_t pairs = res.pairs.size();
+  EXPECT_LE(res.union_graph_edges_total,
+            pairs * 2 * (g.num_vertices() - 1));
+  EXPECT_LT(res.union_graph_edges_total, pairs * g.num_edges());
+}
+
+TEST(SubsetRp, BasePathEdgesAreGlobalIds) {
+  Graph g = gnp_connected(15, 0.25, 7);
+  IsolationRpts pi(g, IsolationAtw(21));
+  const Vertex sources[] = {0, 14};
+  const auto res = subset_replacement_paths(pi, sources);
+  for (const auto& pr : res.pairs)
+    EXPECT_TRUE(g.is_valid_path(pr.base_path));
+}
+
+// Stress sweep across seeds: the correctness theorem leans on
+// 1-restorability of the union graph, so hammer it.
+class SubsetRpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetRpSweep, RandomInstances) {
+  const int seed = GetParam();
+  Graph g = gnp_connected(14 + (seed % 3) * 4, 0.22, 100 + seed);
+  std::vector<Vertex> sources;
+  for (Vertex v = 0; v < g.num_vertices(); v += 4) sources.push_back(v);
+  expect_matches_naive(g, 200 + seed, sources);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetRpSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace restorable

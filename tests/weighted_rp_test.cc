@@ -1,0 +1,111 @@
+// Tests for the weighted substrate and the weighted restoration lemma
+// (Theorem 11).
+#include "rp/weighted_rp.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+namespace restorable {
+namespace {
+
+TEST(WeightedSssp, UnitWeightsMatchBfs) {
+  Graph g = gnp_connected(25, 0.2, 1);
+  std::vector<int64_t> w(g.num_edges(), 1);
+  const auto res = weighted_sssp(g, w, 0);
+  const auto bfs = bfs_distances(g, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (bfs[v] == kUnreachable)
+      EXPECT_FALSE(res.reachable(v));
+    else
+      EXPECT_EQ(res.dist[v], bfs[v]);
+  }
+}
+
+TEST(WeightedSssp, KnownTriangle) {
+  Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  std::vector<int64_t> w{5, 5, 100};
+  EXPECT_EQ(weighted_distance(g, w, 0, 2), 10);
+  // Faulting the cheap route forces the direct expensive edge.
+  EXPECT_EQ(weighted_distance(g, w, 0, 2, FaultSet{0}), 100);
+}
+
+TEST(WeightedSssp, PathExtraction) {
+  Graph g = path_graph(5);
+  std::vector<int64_t> w{2, 3, 4, 5};
+  const auto res = weighted_sssp(g, w, 0);
+  const Path p = res.path_to(4, 0);
+  EXPECT_EQ(p.vertices, (std::vector<Vertex>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(res.dist[4], 14);
+}
+
+TEST(WeightedSssp, FaultsRespected) {
+  Graph g = cycle(5);
+  std::vector<int64_t> w(5, 1);
+  const auto res = weighted_sssp(g, w, 0, FaultSet{0});
+  EXPECT_EQ(res.dist[1], 4);
+}
+
+TEST(RandomWeights, DeterministicAndInRange) {
+  Graph g = complete(8);
+  const auto a = random_weights(g, 50, 9);
+  const auto b = random_weights(g, 50, 9);
+  EXPECT_EQ(a, b);
+  for (int64_t x : a) {
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 50);
+  }
+}
+
+TEST(Theorem11, HoldsOnRandomWeightedGraphs) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = gnp_connected(10, 0.3, seed);
+    const auto w = random_weights(g, 20, seed * 7 + 1);
+    const auto v = check_weighted_restoration_lemma(g, w);
+    EXPECT_EQ(v, std::nullopt) << (v ? *v : "") << " seed=" << seed;
+  }
+}
+
+TEST(Theorem11, HoldsWithHeavySkew) {
+  // Extreme weight skew stresses the "middle edge" role.
+  Graph g = theta_graph(3, 3);
+  auto w = random_weights(g, 1000, 3);
+  w[0] = 1;  // one very cheap edge
+  const auto v = check_weighted_restoration_lemma(g, w);
+  EXPECT_EQ(v, std::nullopt) << (v ? *v : "");
+}
+
+TEST(WeightedRp, MatchesPerFaultDijkstra) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = gnp_connected(14, 0.25, 50 + seed);
+    const auto w = random_weights(g, 30, seed + 11);
+    const Vertex s = 0, t = g.num_vertices() - 1;
+    const auto rp = weighted_replacement_paths(g, w, s, t);
+    ASSERT_FALSE(rp.base_path.empty());
+    for (size_t i = 0; i < rp.base_path.edges.size(); ++i) {
+      const int64_t truth =
+          weighted_distance(g, w, s, t, FaultSet{rp.base_path.edges[i]});
+      EXPECT_EQ(rp.replacement[i], truth) << "seed=" << seed << " i=" << i;
+    }
+  }
+}
+
+TEST(WeightedRp, DisconnectionIsInf) {
+  Graph g = path_graph(4);
+  std::vector<int64_t> w{1, 2, 3};
+  const auto rp = weighted_replacement_paths(g, w, 0, 3);
+  ASSERT_EQ(rp.replacement.size(), 3u);
+  for (int64_t r : rp.replacement) EXPECT_EQ(r, kInfWeight);
+}
+
+TEST(WeightedRp, EmptyForDisconnectedPair) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  std::vector<int64_t> w{1, 1};
+  const auto rp = weighted_replacement_paths(g, w, 0, 3);
+  EXPECT_TRUE(rp.base_path.empty());
+  EXPECT_TRUE(rp.replacement.empty());
+}
+
+}  // namespace
+}  // namespace restorable
