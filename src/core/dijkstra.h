@@ -29,6 +29,52 @@ struct DijkstraResult {
   std::vector<typename Policy::Tie> tie;  // accumulated perturbation per vertex
 };
 
+// Establishes parents from settled labels: parent of v is the in-neighbor u
+// minimizing (dist(u) + w(u, v)), which -- distances being exact and unique
+// -- reproduces the unique shortest path tree. `done(v)` must report whether
+// v was settled; res.spt.hops / res.tie must hold the settled labels.
+//
+// Shared between the reference implementation below and the workspace-based
+// engine variant (engine/dijkstra_workspace.h) so the two cannot drift.
+template <typename Policy, typename DoneFn>
+void establish_sssp_parents(const Graph& g, const Policy& policy, Vertex root,
+                            const FaultSet& faults, Direction dir,
+                            DoneFn&& done, DijkstraResult<Policy>& res) {
+  using Tie = typename Policy::Tie;
+  const Vertex n = g.num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == root || !done(v)) continue;
+    bool found = false;
+    Tie best{};
+    for (const Arc& a : g.arcs(v)) {
+      const Vertex u = a.to;
+      if (!done(u) || faults.contains(a.edge)) continue;
+      if (res.spt.hops[u] + 1 != res.spt.hops[v]) continue;
+      const bool travel_forward =
+          dir == Direction::kOut ? !a.forward : a.forward;  // u -> v travel
+      Tie t = res.tie[u];
+      policy.accumulate(t, g.label(a.edge), travel_forward);
+      if (policy.compare(t, res.tie[v]) == 0) {
+        // Exact match with the settled label: this arc is on the unique
+        // shortest path. (There can be only one by uniqueness.)
+        res.spt.parent[v] = u;
+        res.spt.parent_edge[v] = a.edge;
+        found = true;
+        break;
+      }
+      if (!found || policy.compare(t, best) < 0) {
+        // Fallback tracking in case exact match is never hit (should not
+        // happen with exact policies; protects the long-double policy from
+        // rounding).
+        best = t;
+        res.spt.parent[v] = u;
+        res.spt.parent_edge[v] = a.edge;
+        found = true;
+      }
+    }
+  }
+}
+
 // Runs tiebroken Dijkstra from `root` on g \ faults.
 //
 // dir == kOut: computes pi(root, v) for all v; arcs are traversed in their
@@ -91,45 +137,14 @@ DijkstraResult<Policy> tiebroken_sssp(const Graph& g, const Policy& policy,
       if (old_h == kUnreachable || h < old_h) res.spt.hops[a.to] = h;
     }
   }
-  // Second pass establishes parents from the settled labels: parent of v is
-  // the in-neighbor u minimizing (dist(u) + w(u, v)), which -- distances
-  // being exact and unique -- reproduces the unique shortest path tree. We
-  // recompute rather than track during relaxation so that `hops`/`tie` hold
-  // only *settled* values (the relaxation loop above overwrites hops with
+  // Second pass establishes parents from the settled labels. We recompute
+  // rather than track during relaxation so that `hops`/`tie` hold only
+  // *settled* values (the relaxation loop above overwrites hops with
   // tentative labels; fix them first).
   for (Vertex v = 0; v < n; ++v)
     if (!done[v]) res.spt.hops[v] = kUnreachable;
-  for (Vertex v = 0; v < n; ++v) {
-    if (v == root || !done[v]) continue;
-    bool found = false;
-    Tie best{};
-    for (const Arc& a : g.arcs(v)) {
-      const Vertex u = a.to;
-      if (!done[u] || faults.contains(a.edge)) continue;
-      if (res.spt.hops[u] + 1 != res.spt.hops[v]) continue;
-      const bool travel_forward =
-          dir == Direction::kOut ? !a.forward : a.forward;  // u -> v travel
-      Tie t = res.tie[u];
-      policy.accumulate(t, g.label(a.edge), travel_forward);
-      if (policy.compare(t, res.tie[v]) == 0) {
-        // Exact match with the settled label: this arc is on the unique
-        // shortest path. (There can be only one by uniqueness.)
-        res.spt.parent[v] = u;
-        res.spt.parent_edge[v] = a.edge;
-        found = true;
-        break;
-      }
-      if (!found || policy.compare(t, best) < 0) {
-        // Fallback tracking in case exact match is never hit (should not
-        // happen with exact policies; protects the long-double policy from
-        // rounding).
-        best = t;
-        res.spt.parent[v] = u;
-        res.spt.parent_edge[v] = a.edge;
-        found = true;
-      }
-    }
-  }
+  establish_sssp_parents(g, policy, root, faults, dir,
+                         [&done](Vertex v) { return done[v] != 0; }, res);
   return res;
 }
 

@@ -2,7 +2,21 @@
 
 #include <queue>
 
+#include "engine/batch_sssp.h"
+
 namespace restorable {
+
+std::vector<Spt> IRpts::spt_batch(std::span<const SsspRequest> requests,
+                                  const BatchSsspEngine* engine) const {
+  // Generic fan-out for schemes without a batch fast path (ArbitraryRpts):
+  // each request still runs on the engine's pool, results in request order.
+  const BatchSsspEngine& eng = BatchSsspEngine::or_shared(engine);
+  std::vector<Spt> out(requests.size());
+  eng.parallel_for(requests.size(), [&](size_t i) {
+    out[i] = spt(requests[i].root, requests[i].faults, requests[i].dir);
+  });
+  return out;
+}
 
 Spt ArbitraryRpts::spt(Vertex root, const FaultSet& faults,
                        Direction dir) const {

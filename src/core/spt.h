@@ -21,6 +21,16 @@ namespace restorable {
 // the reversed reweighted graph. The two differ because r is antisymmetric.
 enum class Direction : uint8_t { kOut, kIn };
 
+// One unit of SSSP work: the scheme restricted to `root` under `faults`,
+// oriented by `dir`. Batches of these are what BatchSsspEngine (and the
+// IRpts::spt_batch interface) consume; results always come back in request
+// order, independent of scheduling.
+struct SsspRequest {
+  Vertex root = kNoVertex;
+  FaultSet faults{};
+  Direction dir = Direction::kOut;
+};
+
 struct Spt {
   Vertex root = kNoVertex;
   Direction dir = Direction::kOut;

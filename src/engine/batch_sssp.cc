@@ -1,0 +1,13 @@
+#include "engine/batch_sssp.h"
+
+namespace restorable {
+
+const BatchSsspEngine& BatchSsspEngine::shared() {
+  // Function-local static: hardware-sized, built on first use, torn down
+  // after main. Consumers that need a specific thread count construct their
+  // own engine and pass it down.
+  static const BatchSsspEngine engine(0);
+  return engine;
+}
+
+}  // namespace restorable

@@ -1,0 +1,206 @@
+// Reusable per-thread state for tiebroken SSSP, plus the workspace-based
+// Dijkstra variant the batch engine runs.
+//
+// The reference implementation (core/dijkstra.h) allocates a lazy-deletion
+// std::priority_queue and a `done` array per call. Under batch fan-out --
+// thousands of SSSP runs over the same graph -- those allocations and the
+// duplicate heap entries dominate. This variant keeps the sparse state
+// (done/open marks, heap positions, heap storage) in a workspace that is
+// reset in O(touched) between runs, and replaces the lazy heap with an
+// indexed 4-ary heap with decrease-key, so each vertex is in the heap at
+// most once.
+//
+// Output equivalence: settled (hops, tie) labels are the unique shortest
+// perturbed distances, identical to the reference implementation's, and the
+// parent pass is the *shared* establish_sssp_parents helper, so results are
+// element-wise identical for the exact policies (and tie-compare-equal for
+// the long-double policy). tests/engine_test.cc asserts this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dijkstra.h"
+#include "graph/graph.h"
+
+namespace restorable {
+
+template <typename Policy>
+class DijkstraWorkspace {
+ public:
+  // Vertex states during a run.
+  static constexpr uint8_t kUnseen = 0;
+  static constexpr uint8_t kOpen = 1;   // in the heap with a tentative label
+  static constexpr uint8_t kDone = 2;   // settled
+
+  static constexpr uint32_t kNoPos = static_cast<uint32_t>(-1);
+
+  // Grows (never shrinks) the flat arrays to cover n vertices and restores
+  // the clean-state invariant if a previous run died mid-way.
+  void ensure(Vertex n) {
+    if (dirty_) {
+      state_.assign(state_.size(), kUnseen);
+      heap_pos_.assign(heap_pos_.size(), kNoPos);
+      heap_.clear();
+      touched_.clear();
+      dirty_ = false;
+    }
+    if (state_.size() < n) {
+      state_.resize(n, kUnseen);
+      heap_pos_.resize(n, kNoPos);
+    }
+  }
+
+  std::vector<uint8_t> state_;
+  std::vector<uint32_t> heap_pos_;
+  std::vector<Vertex> heap_;
+  std::vector<Vertex> touched_;
+  bool dirty_ = false;
+};
+
+// Per-(thread, policy) workspace. Pool workers are long-lived, so this is
+// what makes workspace reuse span whole batches (and successive batches).
+template <typename Policy>
+DijkstraWorkspace<Policy>& thread_workspace() {
+  thread_local DijkstraWorkspace<Policy> ws;
+  return ws;
+}
+
+// Workspace-based tiebroken Dijkstra; drop-in equivalent of tiebroken_sssp
+// (same graph/policy/root/faults/dir contract, same result layout).
+template <typename Policy>
+void tiebroken_sssp_into(const Graph& g, const Policy& policy, Vertex root,
+                         const FaultSet& faults, Direction dir,
+                         DijkstraWorkspace<Policy>& ws,
+                         DijkstraResult<Policy>& res) {
+  using Tie = typename Policy::Tie;
+  const Vertex n = g.num_vertices();
+  ws.ensure(n);
+  ws.dirty_ = true;
+
+  res.spt.root = root;
+  res.spt.dir = dir;
+  res.spt.hops.assign(n, kUnreachable);
+  res.spt.parent.assign(n, kNoVertex);
+  res.spt.parent_edge.assign(n, kNoEdge);
+  res.tie.assign(n, policy.zero());
+
+  auto& state = ws.state_;
+  auto& heap_pos = ws.heap_pos_;
+  auto& heap = ws.heap_;
+  auto& hops = res.spt.hops;
+  auto& tie = res.tie;
+
+  // (hops, tie) lexicographic order on tentative labels.
+  auto less = [&](Vertex a, Vertex b) {
+    if (hops[a] != hops[b]) return hops[a] < hops[b];
+    return policy.compare(tie[a], tie[b]) < 0;
+  };
+  auto place = [&](Vertex v, uint32_t pos) {
+    heap[pos] = v;
+    heap_pos[v] = pos;
+  };
+  auto sift_up = [&](uint32_t pos) {
+    const Vertex v = heap[pos];
+    while (pos > 0) {
+      const uint32_t par = (pos - 1) / 4;
+      if (!less(v, heap[par])) break;
+      place(heap[par], pos);
+      pos = par;
+    }
+    place(v, pos);
+  };
+  auto sift_down = [&](uint32_t pos) {
+    const Vertex v = heap[pos];
+    const uint32_t size = static_cast<uint32_t>(heap.size());
+    for (;;) {
+      uint32_t best = pos;
+      Vertex best_v = v;
+      const uint32_t first = 4 * pos + 1;
+      const uint32_t last = first + 4 < size ? first + 4 : size;
+      for (uint32_t c = first; c < last; ++c)
+        if (less(heap[c], best_v)) {
+          best = c;
+          best_v = heap[c];
+        }
+      if (best == pos) break;
+      place(best_v, pos);
+      pos = best;
+    }
+    place(v, pos);
+  };
+  auto push = [&](Vertex v) {
+    heap.push_back(v);
+    heap_pos[v] = static_cast<uint32_t>(heap.size() - 1);
+    sift_up(heap_pos[v]);
+  };
+  auto pop_min = [&] {
+    const Vertex top = heap[0];
+    heap_pos[top] = DijkstraWorkspace<Policy>::kNoPos;
+    const Vertex last = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) {
+      place(last, 0);
+      sift_down(0);
+    }
+    return top;
+  };
+
+  hops[root] = 0;
+  state[root] = DijkstraWorkspace<Policy>::kOpen;
+  ws.touched_.push_back(root);
+  push(root);
+
+  while (!heap.empty()) {
+    const Vertex v = pop_min();
+    state[v] = DijkstraWorkspace<Policy>::kDone;
+    for (const Arc& a : g.arcs(v)) {
+      const Vertex to = a.to;
+      if (state[to] == DijkstraWorkspace<Policy>::kDone ||
+          faults.contains(a.edge))
+        continue;
+      // Orientation of the perturbation for this hop: travelling v -> to for
+      // kOut trees, to -> v for kIn trees (reversed search).
+      const bool travel_forward =
+          dir == Direction::kOut ? a.forward : !a.forward;
+      const int32_t h = hops[v] + 1;
+      if (state[to] == DijkstraWorkspace<Policy>::kUnseen) {
+        hops[to] = h;
+        tie[to] = tie[v];
+        policy.accumulate(tie[to], g.label(a.edge), travel_forward);
+        state[to] = DijkstraWorkspace<Policy>::kOpen;
+        ws.touched_.push_back(to);
+        push(to);
+        continue;
+      }
+      if (h > hops[to]) continue;
+      Tie t = tie[v];
+      policy.accumulate(t, g.label(a.edge), travel_forward);
+      if (h < hops[to] || policy.compare(t, tie[to]) < 0) {
+        hops[to] = h;
+        tie[to] = std::move(t);
+        sift_up(heap_pos[to]);
+      }
+    }
+  }
+
+  // Every touched vertex was settled (the heap drains completely), so hops
+  // and tie now hold exactly the settled labels; untouched vertices kept
+  // kUnreachable from the assign above. Parents come from the shared pass.
+  establish_sssp_parents(
+      g, policy, root, faults, dir,
+      [&state](Vertex v) {
+        return state[v] == DijkstraWorkspace<Policy>::kDone;
+      },
+      res);
+
+  // O(touched) reset, restoring the clean-state invariant for the next run.
+  for (const Vertex v : ws.touched_) {
+    state[v] = DijkstraWorkspace<Policy>::kUnseen;
+    heap_pos[v] = DijkstraWorkspace<Policy>::kNoPos;
+  }
+  ws.touched_.clear();
+  ws.dirty_ = false;
+}
+
+}  // namespace restorable

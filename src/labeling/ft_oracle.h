@@ -21,8 +21,10 @@ namespace restorable {
 
 class FtDistanceOracle {
  public:
-  // Builds the f-FT S x V preserver under the given restorable scheme.
-  FtDistanceOracle(const IRpts& pi, std::span<const Vertex> sources, int f);
+  // Builds the f-FT S x V preserver under the given restorable scheme; the
+  // preserver's SSSP fan-out runs on `engine` (nullptr = shared engine).
+  FtDistanceOracle(const IRpts& pi, std::span<const Vertex> sources, int f,
+                   const BatchSsspEngine* engine = nullptr);
 
   int fault_tolerance() const { return f_; }
   // One extra fault is supported for queries with both endpoints in S

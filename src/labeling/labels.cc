@@ -25,17 +25,24 @@ size_t DistanceLabel::bits() const {
   return edges.size() * 2 * bits_for(std::max<Vertex>(n, 2));
 }
 
-FtDistanceLabeling::FtDistanceLabeling(const IRpts& pi, int f) : f_(f) {
+FtDistanceLabeling::FtDistanceLabeling(const IRpts& pi, int f,
+                                       const BatchSsspEngine* engine)
+    : f_(f) {
   const Graph& g = pi.graph();
   labels_.resize(g.num_vertices());
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+  // One {v} x V preserver per vertex; the builds are independent, so the
+  // outer loop is the unit of parallelism (the nested per-level batches
+  // inside build_sv_preserver then run inline on the owning thread).
+  const BatchSsspEngine& eng = BatchSsspEngine::or_shared(engine);
+  eng.parallel_for(g.num_vertices(), [&](size_t vi) {
+    const Vertex v = static_cast<Vertex>(vi);
     const Vertex sources[1] = {v};
-    const EdgeSubset pres = build_sv_preserver(pi, sources, f);
+    const EdgeSubset pres = build_sv_preserver(pi, sources, f, nullptr, &eng);
     DistanceLabel& lab = labels_[v];
     lab.owner = v;
     lab.n = g.num_vertices();
     for (EdgeId e : pres.edge_ids()) lab.edges.push_back(g.endpoints(e));
-  }
+  });
 }
 
 size_t FtDistanceLabeling::max_label_bits() const {

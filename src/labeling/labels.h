@@ -33,8 +33,11 @@ struct DistanceLabel {
 class FtDistanceLabeling {
  public:
   // Builds (f+1)-FT labels for every vertex: each label is an f-FT
-  // {v} x V preserver under the given restorable scheme.
-  FtDistanceLabeling(const IRpts& pi, int f);
+  // {v} x V preserver under the given restorable scheme. The n per-vertex
+  // preserver builds are independent and fan out over `engine` (nullptr =
+  // shared engine).
+  FtDistanceLabeling(const IRpts& pi, int f,
+                     const BatchSsspEngine* engine = nullptr);
 
   int fault_tolerance() const { return f_ + 1; }
   const DistanceLabel& label(Vertex v) const { return labels_[v]; }

@@ -6,60 +6,83 @@ namespace restorable {
 
 namespace {
 
-// Recursive fault enumeration for one source. Stability argument: take any
-// |F| <= f and vertex v. Repeatedly discard from F any edge not on the
-// current selected path: pi(s, v | F) = pi(s, v | F') where every edge of F'
-// lies on a path selected under a sub-fault-set -- i.e. on a tree this
-// recursion visits. Hence overlaying the trees of all visited fault sets
-// covers every replacement path. Fault sets are deduplicated globally per
-// source (different recursion orders reach the same set).
-void enumerate(const IRpts& pi, Vertex s, const FaultSet& faults, int depth,
-               int f, EdgeSubset& out, std::set<std::vector<EdgeId>>& seen,
-               PreserverStats* stats) {
-  {
-    std::vector<EdgeId> key(faults.begin(), faults.end());
-    if (!seen.insert(std::move(key)).second) return;
+// Level-synchronous fault enumeration for one source. Stability argument:
+// take any |F| <= f and vertex v. Repeatedly discard from F any edge not on
+// the current selected path: pi(s, v | F) = pi(s, v | F') where every edge
+// of F' lies on a path selected under a sub-fault-set -- i.e. on a tree this
+// exploration visits. Hence overlaying the trees of all visited fault sets
+// covers every replacement path.
+//
+// The exploration expands one depth (= fault-set size) at a time: all fault
+// sets of size k are deduplicated and submitted as ONE engine batch, their
+// trees seed the size-(k+1) frontier. This visits exactly the fault sets
+// the natural recursion visits (a frontier set of size k is F' u {e} with e
+// on tree(F')), but turns the Dijkstra fan-out -- the entire cost -- into
+// batch-parallel work.
+void explore(const IRpts& pi, Vertex s, int f, EdgeSubset& out,
+             PreserverStats* stats, const BatchSsspEngine* engine) {
+  std::set<std::vector<EdgeId>> seen;
+  std::vector<FaultSet> level{FaultSet{}};
+  seen.insert({});
+  for (int depth = 0; depth <= f && !level.empty(); ++depth) {
+    if (stats) {
+      stats->spt_computations += level.size();
+      stats->fault_sets_explored += level.size();
+    }
+    std::vector<SsspRequest> reqs;
+    reqs.reserve(level.size());
+    for (const FaultSet& fs : level) reqs.push_back({s, fs, Direction::kOut});
+    const std::vector<Spt> trees = pi.spt_batch(reqs, engine);
+
+    std::vector<FaultSet> next;
+    for (size_t i = 0; i < trees.size(); ++i) {
+      const auto edges = trees[i].tree_edges();
+      out.insert_all(edges);
+      if (depth == f) continue;
+      for (EdgeId e : edges) {
+        // Dedup at push time: a size-(k+1) set is derivable from up to k+1
+        // parents, and the frontier must hold each unique set once.
+        FaultSet grown = level[i].with(e);
+        std::vector<EdgeId> key(grown.begin(), grown.end());
+        if (seen.insert(std::move(key)).second) next.push_back(std::move(grown));
+      }
+    }
+    level.swap(next);
   }
-  if (stats) {
-    ++stats->spt_computations;
-    ++stats->fault_sets_explored;
-  }
-  const Spt tree = pi.spt(s, faults, Direction::kOut);
-  const auto edges = tree.tree_edges();
-  out.insert_all(edges);
-  if (depth == f) return;
-  for (EdgeId e : edges)
-    enumerate(pi, s, faults.with(e), depth + 1, f, out, seen, stats);
 }
 
 }  // namespace
 
 EdgeSubset build_sv_preserver(const IRpts& pi, std::span<const Vertex> sources,
-                              int f, PreserverStats* stats) {
+                              int f, PreserverStats* stats,
+                              const BatchSsspEngine* engine) {
   EdgeSubset out(pi.graph());
-  for (Vertex s : sources) {
-    std::set<std::vector<EdgeId>> seen;
-    enumerate(pi, s, FaultSet{}, 0, f, out, seen, stats);
-  }
+  for (Vertex s : sources) explore(pi, s, f, out, stats, engine);
   return out;
 }
 
 EdgeSubset build_ss_preserver(const IRpts& pi, std::span<const Vertex> sources,
-                              int f_plus_1, PreserverStats* stats) {
+                              int f_plus_1, PreserverStats* stats,
+                              const BatchSsspEngine* engine) {
   // Theorem 31: overlaying all S x V replacement paths under <= f faults
   // yields an (f+1)-FT S x S preserver. The subgraph is the f-FT S x V
   // overlay; restorability supplies the extra fault for pairs within S.
-  return build_sv_preserver(pi, sources, f_plus_1 - 1, stats);
+  return build_sv_preserver(pi, sources, f_plus_1 - 1, stats, engine);
 }
 
 EdgeSubset build_pairwise_preserver(const IRpts& pi,
                                     std::span<const Vertex> sources) {
+  // The sigma base trees as one batch; path extraction is cheap afterwards.
+  std::vector<SsspRequest> reqs;
+  reqs.reserve(sources.size());
+  for (Vertex s : sources) reqs.push_back({s, {}, Direction::kOut});
+  const std::vector<Spt> trees = pi.spt_batch(reqs);
+
   EdgeSubset out(pi.graph());
-  for (Vertex s : sources) {
-    const Spt tree = pi.spt(s, {}, Direction::kOut);
+  for (size_t i = 0; i < sources.size(); ++i) {
     for (Vertex t : sources) {
-      if (t == s || !tree.reachable(t)) continue;
-      const Path p = tree.path_to(t);
+      if (t == sources[i] || !trees[i].reachable(t)) continue;
+      const Path p = trees[i].path_to(t);
       out.insert_all(p.edges);
     }
   }

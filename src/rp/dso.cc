@@ -3,8 +3,9 @@
 namespace restorable {
 
 SubsetDistanceSensitivityOracle::SubsetDistanceSensitivityOracle(
-    const IsolationRpts& pi, std::span<const Vertex> sources) {
-  const SubsetRpResult rp = subset_replacement_paths(pi, sources);
+    const IsolationRpts& pi, std::span<const Vertex> sources,
+    const BatchSsspEngine* engine) {
+  const SubsetRpResult rp = subset_replacement_paths(pi, sources, engine);
   for (const auto& pair : rp.pairs) {
     PairRecord rec;
     if (!pair.base_path.empty()) {

@@ -21,9 +21,11 @@ namespace restorable {
 
 class SubsetDistanceSensitivityOracle {
  public:
-  // Preprocesses with Algorithm 1: O(sigma m) + O~(sigma^2 n).
+  // Preprocesses with Algorithm 1: O(sigma m) + O~(sigma^2 n), fanned out
+  // over `engine` (nullptr = shared engine).
   SubsetDistanceSensitivityOracle(const IsolationRpts& pi,
-                                  std::span<const Vertex> sources);
+                                  std::span<const Vertex> sources,
+                                  const BatchSsspEngine* engine = nullptr);
 
   // dist_{G \ {e}}(s1, s2); kUnreachable if the failure disconnects the
   // pair (or the pair was never connected). s1, s2 must be in S.

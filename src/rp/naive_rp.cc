@@ -1,5 +1,6 @@
 #include "rp/naive_rp.h"
 
+#include "engine/batch_sssp.h"
 #include "graph/bfs.h"
 
 namespace restorable {
@@ -14,22 +15,45 @@ std::vector<int32_t> naive_replacement_distances(const Graph& g, Vertex s,
   return out;
 }
 
-SubsetRpResult naive_subset_replacement_paths(
-    const IsolationRpts& pi, std::span<const Vertex> sources) {
+SubsetRpResult naive_subset_replacement_paths(const IsolationRpts& pi,
+                                              std::span<const Vertex> sources,
+                                              const BatchSsspEngine* engine) {
   const Graph& g = pi.graph();
+  const BatchSsspEngine& eng = BatchSsspEngine::or_shared(engine);
   SubsetRpResult res;
+
+  // Base trees: one batch over all sources.
+  std::vector<SsspRequest> tree_reqs;
+  tree_reqs.reserve(sources.size());
+  for (Vertex s : sources) tree_reqs.push_back({s, {}, Direction::kOut});
+  const std::vector<Spt> trees = eng.run_batch_spt(g, pi.policy(), tree_reqs);
+
+  // Base paths per pair, then one early-exit BFS per (pair, base-path edge)
+  // -- the unchanged baseline work -- fanned out over the engine's pool.
+  // Each recomputation writes its own slot, so the output is deterministic
+  // at every thread count.
+  struct Slot {
+    size_t pair;
+    size_t k;  // index into the pair's replacement vector
+  };
+  std::vector<Slot> slots;
   for (size_t i = 0; i < sources.size(); ++i) {
-    const Spt tree = pi.spt(sources[i], {}, Direction::kOut);
     for (size_t j = i + 1; j < sources.size(); ++j) {
       PairReplacementPaths out;
       out.s1 = sources[i];
       out.s2 = sources[j];
-      out.base_path = tree.path_to(sources[j]);
-      out.replacement =
-          naive_replacement_distances(g, out.s1, out.s2, out.base_path);
+      out.base_path = trees[i].path_to(sources[j]);
+      out.replacement.assign(out.base_path.length(), kUnreachable);
+      for (size_t k = 0; k < out.base_path.length(); ++k)
+        slots.push_back({res.pairs.size(), k});
       res.pairs.push_back(std::move(out));
     }
   }
+  eng.parallel_for(slots.size(), [&](size_t x) {
+    PairReplacementPaths& pr = res.pairs[slots[x].pair];
+    pr.replacement[slots[x].k] =
+        bfs_distance(g, pr.s1, pr.s2, FaultSet{pr.base_path.edges[slots[x].k]});
+  });
   return res;
 }
 

@@ -20,8 +20,12 @@ std::vector<int32_t> naive_replacement_distances(const Graph& g, Vertex s,
 
 // Full naive subset-rp: selected base paths come from the same scheme (so
 // outputs align 1:1 with subset_replacement_paths), distances from per-fault
-// BFS.
-SubsetRpResult naive_subset_replacement_paths(const IsolationRpts& pi,
-                                              std::span<const Vertex> sources);
+// BFS. The sigma base trees go through the engine as one batch and the
+// per-(pair, fault) BFS recomputations fan out over its pool -- the baseline
+// semantics (early-exit BFS per fault, exactly what the E2 bench has always
+// timed) are unchanged; the engine only spreads the runs over threads.
+SubsetRpResult naive_subset_replacement_paths(
+    const IsolationRpts& pi, std::span<const Vertex> sources,
+    const BatchSsspEngine* engine = nullptr);
 
 }  // namespace restorable

@@ -28,6 +28,7 @@
 
 #include "core/dijkstra.h"
 #include "core/rpts.h"
+#include "engine/dijkstra_workspace.h"
 #include "graph/graph.h"
 
 namespace restorable {
@@ -44,9 +45,15 @@ ReplacementPathsResult single_pair_replacement_paths(const Graph& g,
                                                      const Policy& policy,
                                                      Vertex s, Vertex t) {
   ReplacementPathsResult res;
-  const auto from_s = tiebroken_sssp(g, policy, s, {}, Direction::kOut);
+  // Workspace-based SSSP (engine/dijkstra_workspace.h): same results as
+  // tiebroken_sssp, but the heap/marks are reused across calls on this
+  // thread -- this is the innermost loop of the batched subset-rp fan-out.
+  DijkstraResult<Policy> from_s, to_t;
+  tiebroken_sssp_into(g, policy, s, {}, Direction::kOut,
+                      thread_workspace<Policy>(), from_s);
   if (!from_s.spt.reachable(t)) return res;
-  const auto to_t = tiebroken_sssp(g, policy, t, {}, Direction::kIn);
+  tiebroken_sssp_into(g, policy, t, {}, Direction::kIn,
+                      thread_workspace<Policy>(), to_t);
 
   res.base_path = from_s.spt.path_to(t);
   const size_t d = res.base_path.length();

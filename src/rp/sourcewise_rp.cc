@@ -9,12 +9,21 @@ SourcewiseReplacementPaths::SourcewiseReplacementPaths(const IRpts& pi,
     : s_(s), base_(pi.spt(s, {}, Direction::kOut)) {
   const Graph& g = pi.graph();
   std::vector<char> in_preserver(g.num_edges(), 0);
-  for (EdgeId e : base_.tree_edges()) in_preserver[e] = 1;
+  const std::vector<EdgeId> tree_edges = base_.tree_edges();
+  for (EdgeId e : tree_edges) in_preserver[e] = 1;
+
+  // One SSSP per faulted tree edge -- the n-1 run fan-out this structure is
+  // built from -- submitted as a single batch.
+  std::vector<SsspRequest> reqs;
+  reqs.reserve(tree_edges.size());
+  for (EdgeId e : tree_edges) reqs.push_back({s, FaultSet{e}, Direction::kOut});
+  const std::vector<Spt> repls = pi.spt_batch(reqs);
 
   std::vector<EdgeId> visited(g.num_vertices(), kNoEdge);  // per-fault marker
-  for (EdgeId e : base_.tree_edges()) {
+  for (size_t idx = 0; idx < tree_edges.size(); ++idx) {
+    const EdgeId e = tree_edges[idx];
     const auto cut = base_.paths_using_edge(e);
-    const Spt repl = pi.spt(s, FaultSet{e}, Direction::kOut);
+    const Spt& repl = repls[idx];
     auto& row = table_[e];
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
       if (!cut[v]) continue;

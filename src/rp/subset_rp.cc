@@ -2,49 +2,67 @@
 
 #include <algorithm>
 
+#include "engine/batch_sssp.h"
+
 namespace restorable {
 
 SubsetRpResult subset_replacement_paths(const IsolationRpts& pi,
-                                        std::span<const Vertex> sources) {
+                                        std::span<const Vertex> sources,
+                                        const BatchSsspEngine* engine) {
   const Graph& g = pi.graph();
+  const BatchSsspEngine& eng = BatchSsspEngine::or_shared(engine);
   SubsetRpResult res;
 
-  // Step 1: out-trees under the restorable scheme, one per source.
+  // Step 1: out-trees under the restorable scheme, one batched SSSP
+  // submission for all sources.
+  std::vector<SsspRequest> tree_reqs;
+  tree_reqs.reserve(sources.size());
+  for (Vertex s : sources) tree_reqs.push_back({s, {}, Direction::kOut});
+  const std::vector<Spt> trees = eng.run_batch_spt(g, pi.policy(), tree_reqs);
+
   std::vector<std::vector<EdgeId>> tree_edges;
   tree_edges.reserve(sources.size());
-  for (Vertex s : sources) {
-    tree_edges.push_back(pi.spt(s, {}, Direction::kOut).tree_edges());
+  for (const Spt& t : trees) {
+    tree_edges.push_back(t.tree_edges());
     res.tree_edges_total += tree_edges.back().size();
   }
 
-  // Step 2: per pair, solve on the union of the two trees.
-  for (size_t i = 0; i < sources.size(); ++i) {
-    for (size_t j = i + 1; j < sources.size(); ++j) {
-      // Sorted-set union of edge id lists (both are sorted).
-      std::vector<EdgeId> union_ids;
-      union_ids.reserve(tree_edges[i].size() + tree_edges[j].size());
-      std::set_union(tree_edges[i].begin(), tree_edges[i].end(),
-                     tree_edges[j].begin(), tree_edges[j].end(),
-                     std::back_inserter(union_ids));
-      const Graph h = g.edge_subgraph(union_ids);
-      res.union_graph_edges_total += h.num_edges();
+  // Step 2: per pair, solve on the union of the two trees. Pairs are
+  // independent, so they fan out over the pool; each writes its own slot, so
+  // the output order is the deterministic (i, j) enumeration below.
+  std::vector<std::pair<size_t, size_t>> pair_index;
+  for (size_t i = 0; i < sources.size(); ++i)
+    for (size_t j = i + 1; j < sources.size(); ++j)
+      pair_index.emplace_back(i, j);
 
-      // Same policy over the union graph: labels carry G's edge ids, so the
-      // perturbation of every surviving edge is unchanged and the selected
-      // path pi(s1, s2) of G is also the selected path of h.
-      const auto rp = single_pair_replacement_paths(h, pi.policy(), sources[i],
-                                                    sources[j]);
+  res.pairs.resize(pair_index.size());
+  std::vector<size_t> union_edges_per_pair(pair_index.size(), 0);
+  eng.parallel_for(pair_index.size(), [&](size_t p) {
+    const auto [i, j] = pair_index[p];
+    // Sorted-set union of edge id lists (both are sorted).
+    std::vector<EdgeId> union_ids;
+    union_ids.reserve(tree_edges[i].size() + tree_edges[j].size());
+    std::set_union(tree_edges[i].begin(), tree_edges[i].end(),
+                   tree_edges[j].begin(), tree_edges[j].end(),
+                   std::back_inserter(union_ids));
+    const Graph h = g.edge_subgraph(union_ids);
+    union_edges_per_pair[p] = h.num_edges();
 
-      PairReplacementPaths out;
-      out.s1 = sources[i];
-      out.s2 = sources[j];
-      out.base_path = rp.base_path;
-      // Translate the base path's edge ids from h-local to g-local.
-      for (EdgeId& e : out.base_path.edges) e = union_ids[e];
-      out.replacement = rp.replacement;
-      res.pairs.push_back(std::move(out));
-    }
-  }
+    // Same policy over the union graph: labels carry G's edge ids, so the
+    // perturbation of every surviving edge is unchanged and the selected
+    // path pi(s1, s2) of G is also the selected path of h.
+    const auto rp = single_pair_replacement_paths(h, pi.policy(), sources[i],
+                                                  sources[j]);
+
+    PairReplacementPaths& out = res.pairs[p];
+    out.s1 = sources[i];
+    out.s2 = sources[j];
+    out.base_path = rp.base_path;
+    // Translate the base path's edge ids from h-local to g-local.
+    for (EdgeId& e : out.base_path.edges) e = union_ids[e];
+    out.replacement = rp.replacement;
+  });
+  for (size_t ue : union_edges_per_pair) res.union_graph_edges_total += ue;
   return res;
 }
 

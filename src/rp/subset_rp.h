@@ -38,8 +38,13 @@ struct SubsetRpResult {
   size_t union_graph_edges_total = 0;
 };
 
-// Runs Algorithm 1 with the given (1-restorable) scheme.
+// Runs Algorithm 1 with the given (1-restorable) scheme. The sigma out-tree
+// builds go through the batch engine as one submission, and the sigma^2 / 2
+// per-pair union-graph solves fan out over the engine's pool (nullptr =
+// shared engine). Results are in pair order (i < j, lexicographic) whatever
+// the thread count.
 SubsetRpResult subset_replacement_paths(const IsolationRpts& pi,
-                                        std::span<const Vertex> sources);
+                                        std::span<const Vertex> sources,
+                                        const BatchSsspEngine* engine = nullptr);
 
 }  // namespace restorable

@@ -5,15 +5,35 @@
 namespace restorable {
 
 TwoFaultSubsetOracle::TwoFaultSubsetOracle(const IRpts& pi,
-                                           std::span<const Vertex> sources)
+                                           std::span<const Vertex> sources,
+                                           const BatchSsspEngine* engine)
     : g_(&pi.graph()) {
-  for (Vertex s : sources) {
-    PerSource ps;
-    ps.base = pi.spt(s, {}, Direction::kOut);
-    for (EdgeId e : ps.base.tree_edges())
-      ps.under_fault.emplace(e, pi.spt(s, FaultSet{e}, Direction::kOut));
-    per_source_.emplace(s, std::move(ps));
+  // Batch 1: the sigma base trees.
+  std::vector<SsspRequest> base_reqs;
+  base_reqs.reserve(sources.size());
+  for (Vertex s : sources) base_reqs.push_back({s, {}, Direction::kOut});
+  std::vector<Spt> bases = pi.spt_batch(base_reqs, engine);
+
+  // Batch 2: one tree per (source, faulted base-tree edge) -- the Theta(n)
+  // fault fan-out per source that dominates preprocessing.
+  std::vector<std::pair<Vertex, EdgeId>> keys;
+  std::vector<SsspRequest> fault_reqs;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (EdgeId e : bases[i].tree_edges()) {
+      keys.emplace_back(sources[i], e);
+      fault_reqs.push_back({sources[i], FaultSet{e}, Direction::kOut});
+    }
   }
+  std::vector<Spt> fault_trees = pi.spt_batch(fault_reqs, engine);
+
+  for (size_t i = 0; i < sources.size(); ++i) {
+    PerSource ps;
+    ps.base = std::move(bases[i]);
+    per_source_.emplace(sources[i], std::move(ps));
+  }
+  for (size_t k = 0; k < keys.size(); ++k)
+    per_source_[keys[k].first].under_fault.emplace(
+        keys[k].second, std::move(fault_trees[k]));
 }
 
 int32_t TwoFaultSubsetOracle::query(Vertex s1, Vertex s2,

@@ -27,7 +27,11 @@ namespace restorable {
 
 class TwoFaultSubsetOracle {
  public:
-  TwoFaultSubsetOracle(const IRpts& pi, std::span<const Vertex> sources);
+  // Preprocessing submits the sigma base trees, then the Theta(sigma n)
+  // per-tree-edge fault trees, as two engine batches (nullptr = shared
+  // engine).
+  TwoFaultSubsetOracle(const IRpts& pi, std::span<const Vertex> sources,
+                       const BatchSsspEngine* engine = nullptr);
 
   // dist_{G \ F}(s1, s2) for s1, s2 in S and |F| <= 2 (base-graph edge
   // ids); kUnreachable if disconnected. Exactness for |F| = 2 is the

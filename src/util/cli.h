@@ -1,0 +1,22 @@
+// Tiny argv helpers shared by the bench mains (no dependency, no state):
+// value-taking flags in both "--flag V" and "--flag=V" spellings.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+namespace restorable {
+
+// If argv[i] spells `flag` with a value, returns the value (advancing i for
+// the two-token form); otherwise returns nullptr and leaves i alone.
+inline const char* flag_value(int argc, char** argv, int& i,
+                              const char* flag) {
+  const char* arg = argv[i];
+  const size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0) return nullptr;
+  if (arg[len] == '=') return arg + len + 1;
+  if (arg[len] == '\0' && i + 1 < argc) return argv[++i];
+  return nullptr;
+}
+
+}  // namespace restorable

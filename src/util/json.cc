@@ -1,0 +1,19 @@
+#include "util/json.h"
+
+#include <fstream>
+
+namespace restorable {
+
+bool JsonRows::write_file(const std::string& path, std::ostream& log,
+                          std::ostream& err) {
+  std::ofstream os(path);
+  if (!os) {
+    err << "cannot open " << path << " for writing\n";
+    return false;
+  }
+  write(os);
+  log << "\nwrote " << size() << " JSON rows to " << path << "\n";
+  return true;
+}
+
+}  // namespace restorable

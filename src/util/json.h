@@ -1,0 +1,123 @@
+// Minimal JSON emission for bench trajectory files (BENCH_*.json): an array
+// of flat objects, one per measured configuration. No parsing, no nesting --
+// just enough structure for CI artifacts and plotting scripts to consume.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace restorable {
+
+class JsonRows {
+ public:
+  // Starts a new row (object). Fields added afterwards land in it.
+  JsonRows& row() {
+    flush_current();
+    in_row_ = true;
+    return *this;
+  }
+
+  JsonRows& field(std::string_view key, std::string_view value) {
+    append_key(key);
+    cur_ += '"';
+    escape_into(cur_, value);
+    cur_ += '"';
+    return *this;
+  }
+  JsonRows& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonRows& field(std::string_view key, double value) {
+    std::ostringstream os;
+    os << value;
+    append_key(key);
+    cur_ += os.str();
+    return *this;
+  }
+  JsonRows& field(std::string_view key, int64_t value) {
+    append_key(key);
+    cur_ += std::to_string(value);
+    return *this;
+  }
+  JsonRows& field(std::string_view key, uint64_t value) {
+    append_key(key);
+    cur_ += std::to_string(value);
+    return *this;
+  }
+  JsonRows& field(std::string_view key, int value) {
+    return field(key, static_cast<int64_t>(value));
+  }
+  JsonRows& field(std::string_view key, bool value) {
+    append_key(key);
+    cur_ += value ? "true" : "false";
+    return *this;
+  }
+
+  size_t size() const { return rows_.size() + (in_row_ ? 1 : 0); }
+
+  // Writes the rows to `path`, logging success/failure; returns false (after
+  // printing to err) when the file cannot be opened -- bench mains surface
+  // that as a nonzero exit so CI catches a mis-pointed --json.
+  bool write_file(const std::string& path, std::ostream& log,
+                  std::ostream& err);
+
+  void write(std::ostream& os) {
+    flush_current();
+    os << "[\n";
+    for (size_t i = 0; i < rows_.size(); ++i)
+      os << "  " << rows_[i] << (i + 1 < rows_.size() ? "," : "") << "\n";
+    os << "]\n";
+  }
+
+ private:
+  void flush_current() {
+    if (in_row_) {
+      rows_.push_back("{" + cur_ + "}");
+      cur_.clear();
+      in_row_ = false;
+    }
+  }
+  void append_key(std::string_view key) {
+    if (!cur_.empty()) cur_ += ", ";
+    cur_ += '"';
+    escape_into(cur_, key);
+    cur_ += "\": ";
+  }
+  static void escape_into(std::string& out, std::string_view s) {
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+  }
+
+  std::vector<std::string> rows_;
+  std::string cur_;
+  bool in_row_ = false;
+};
+
+}  // namespace restorable
