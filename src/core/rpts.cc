@@ -1,21 +1,75 @@
 #include "core/rpts.h"
 
+#include <atomic>
 #include <queue>
+#include <unordered_map>
+#include <utility>
 
 #include "engine/batch_sssp.h"
+#include "serve/spt_cache.h"
 
 namespace restorable {
 
+std::vector<Spt> cached_spt_batch(
+    uint64_t scheme_id, SptCache& cache, std::span<const SsspRequest> requests,
+    const std::function<std::vector<Spt>(std::span<const SsspRequest>)>&
+        compute_misses) {
+  std::vector<Spt> out(requests.size());
+  std::vector<std::shared_ptr<const Spt>> resident(requests.size());
+
+  // Pass 1: resolve hits; group the missing slots by key so each unique
+  // missing tree is computed once per batch.
+  std::unordered_map<SptKey, std::vector<size_t>, SptKeyHash> miss_slots;
+  std::vector<SsspRequest> miss_reqs;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SptKey key(scheme_id, requests[i]);
+    if ((resident[i] = cache.lookup(key))) continue;
+    auto [it, fresh] = miss_slots.try_emplace(std::move(key));
+    if (fresh) miss_reqs.push_back(requests[i]);
+    it->second.push_back(i);
+  }
+
+  // Pass 2: one engine batch over the unique misses, then publish. miss_reqs
+  // preserves first-appearance order, so computed[k] matches the k-th
+  // distinct missing key.
+  if (!miss_reqs.empty()) {
+    std::vector<Spt> computed = compute_misses(miss_reqs);
+    for (size_t k = 0; k < miss_reqs.size(); ++k) {
+      const SptKey key(scheme_id, miss_reqs[k]);
+      auto tree = std::make_shared<const Spt>(std::move(computed[k]));
+      cache.insert(key, tree);
+      for (size_t slot : miss_slots.at(key)) resident[slot] = tree;
+    }
+  }
+
+  for (size_t i = 0; i < requests.size(); ++i) out[i] = *resident[i];
+  return out;
+}
+
+uint64_t IRpts::next_scheme_id() {
+  // Process-unique instance ids; never reused, so a stale cache entry can
+  // only miss, never alias a different scheme's trees.
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+IRpts::IRpts() : scheme_id_(next_scheme_id()) {}
+
 std::vector<Spt> IRpts::spt_batch(std::span<const SsspRequest> requests,
-                                  const BatchSsspEngine* engine) const {
+                                  const BatchSsspEngine* engine,
+                                  SptCache* cache) const {
   // Generic fan-out for schemes without a batch fast path (ArbitraryRpts):
   // each request still runs on the engine's pool, results in request order.
   const BatchSsspEngine& eng = BatchSsspEngine::or_shared(engine);
-  std::vector<Spt> out(requests.size());
-  eng.parallel_for(requests.size(), [&](size_t i) {
-    out[i] = spt(requests[i].root, requests[i].faults, requests[i].dir);
-  });
-  return out;
+  auto compute = [&](std::span<const SsspRequest> reqs) {
+    std::vector<Spt> out(reqs.size());
+    eng.parallel_for(reqs.size(), [&](size_t i) {
+      out[i] = spt(reqs[i].root, reqs[i].faults, reqs[i].dir);
+    });
+    return out;
+  };
+  if (!cache) return compute(requests);
+  return cached_spt_batch(scheme_id(), *cache, requests, compute);
 }
 
 Spt ArbitraryRpts::spt(Vertex root, const FaultSet& faults,

@@ -49,6 +49,12 @@ std::vector<EdgeId> Spt::tree_edges() const {
   return out;
 }
 
+size_t Spt::memory_bytes() const {
+  return sizeof(Spt) + hops.capacity() * sizeof(int32_t) +
+         parent.capacity() * sizeof(Vertex) +
+         parent_edge.capacity() * sizeof(EdgeId);
+}
+
 std::vector<Vertex> Spt::top_order() const {
   std::vector<Vertex> order;
   order.reserve(hops.size());

@@ -61,6 +61,10 @@ struct Spt {
   // Vertices in root-to-leaf topological order (increasing hops); includes
   // only reachable vertices.
   std::vector<Vertex> top_order() const;
+
+  // Heap footprint of this tree (object header + the three arrays' reserved
+  // storage). This is what the serving cache's byte budget accounts.
+  size_t memory_bytes() const;
 };
 
 }  // namespace restorable

@@ -111,12 +111,16 @@ void Graph::build_csr() {
   }
   for (Vertex v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
   arcs_.resize(2 * edges_.size());
-  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  // Fill using offsets_ itself as the cursor (no scratch allocation -- this
+  // runs once per pooled-subgraph rebuild), then shift the ends back down
+  // one slot to restore the start offsets.
   for (EdgeId e = 0; e < edges_.size(); ++e) {
     const Edge& ed = edges_[e];
-    arcs_[cursor[ed.u]++] = Arc{ed.v, e, /*forward=*/true};
-    arcs_[cursor[ed.v]++] = Arc{ed.u, e, /*forward=*/false};
+    arcs_[offsets_[ed.u]++] = Arc{ed.v, e, /*forward=*/true};
+    arcs_[offsets_[ed.v]++] = Arc{ed.u, e, /*forward=*/false};
   }
+  for (Vertex v = n_; v > 0; --v) offsets_[v] = offsets_[v - 1];
+  offsets_[0] = 0;
 }
 
 EdgeId Graph::find_edge(Vertex u, Vertex v) const {
@@ -127,15 +131,25 @@ EdgeId Graph::find_edge(Vertex u, Vertex v) const {
 }
 
 Graph Graph::edge_subgraph(std::span<const EdgeId> edge_ids) const {
-  std::vector<Edge> sub_edges;
-  std::vector<EdgeId> sub_labels;
-  sub_edges.reserve(edge_ids.size());
-  sub_labels.reserve(edge_ids.size());
+  Graph sub;
+  sub.assign_edge_subgraph(*this, edge_ids);
+  return sub;
+}
+
+void Graph::assign_edge_subgraph(const Graph& base,
+                                 std::span<const EdgeId> edge_ids) {
+  // base's edges were validated at its construction, so the copies need no
+  // re-validation here.
+  n_ = base.n_;
+  edges_.clear();
+  labels_.clear();
+  edges_.reserve(edge_ids.size());
+  labels_.reserve(edge_ids.size());
   for (EdgeId e : edge_ids) {
-    sub_edges.push_back(edges_[e]);
-    sub_labels.push_back(labels_[e]);
+    edges_.push_back(base.edges_[e]);
+    labels_.push_back(base.labels_[e]);
   }
-  return Graph(n_, std::move(sub_edges), std::move(sub_labels));
+  build_csr();
 }
 
 bool Graph::is_valid_path(const Path& p, const FaultSet& faults) const {

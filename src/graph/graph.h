@@ -137,6 +137,14 @@ class Graph {
   // label of the originating edge.
   Graph edge_subgraph(std::span<const EdgeId> edge_ids) const;
 
+  // In-place variant: rebuilds *this* as base.edge_subgraph(edge_ids),
+  // reusing this object's edge/label/CSR storage. This is the pooling
+  // primitive for stages that build thousands of transient subgraphs (the
+  // per-pair stage of Algorithm 1 in rp/subset_rp.cc): after the first few
+  // pairs a pooled Graph rebuilds with zero allocations.
+  void assign_edge_subgraph(const Graph& base,
+                            std::span<const EdgeId> edge_ids);
+
   // True if the path is a valid walk in this graph avoiding `faults`.
   bool is_valid_path(const Path& p, const FaultSet& faults = {}) const;
 

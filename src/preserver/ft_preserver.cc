@@ -20,7 +20,8 @@ namespace {
 // on tree(F')), but turns the Dijkstra fan-out -- the entire cost -- into
 // batch-parallel work.
 void explore(const IRpts& pi, Vertex s, int f, EdgeSubset& out,
-             PreserverStats* stats, const BatchSsspEngine* engine) {
+             PreserverStats* stats, const BatchSsspEngine* engine,
+             SptCache* cache) {
   std::set<std::vector<EdgeId>> seen;
   std::vector<FaultSet> level{FaultSet{}};
   seen.insert({});
@@ -32,7 +33,7 @@ void explore(const IRpts& pi, Vertex s, int f, EdgeSubset& out,
     std::vector<SsspRequest> reqs;
     reqs.reserve(level.size());
     for (const FaultSet& fs : level) reqs.push_back({s, fs, Direction::kOut});
-    const std::vector<Spt> trees = pi.spt_batch(reqs, engine);
+    const std::vector<Spt> trees = pi.spt_batch(reqs, engine, cache);
 
     std::vector<FaultSet> next;
     for (size_t i = 0; i < trees.size(); ++i) {
@@ -55,28 +56,29 @@ void explore(const IRpts& pi, Vertex s, int f, EdgeSubset& out,
 
 EdgeSubset build_sv_preserver(const IRpts& pi, std::span<const Vertex> sources,
                               int f, PreserverStats* stats,
-                              const BatchSsspEngine* engine) {
+                              const BatchSsspEngine* engine, SptCache* cache) {
   EdgeSubset out(pi.graph());
-  for (Vertex s : sources) explore(pi, s, f, out, stats, engine);
+  for (Vertex s : sources) explore(pi, s, f, out, stats, engine, cache);
   return out;
 }
 
 EdgeSubset build_ss_preserver(const IRpts& pi, std::span<const Vertex> sources,
                               int f_plus_1, PreserverStats* stats,
-                              const BatchSsspEngine* engine) {
+                              const BatchSsspEngine* engine, SptCache* cache) {
   // Theorem 31: overlaying all S x V replacement paths under <= f faults
   // yields an (f+1)-FT S x S preserver. The subgraph is the f-FT S x V
   // overlay; restorability supplies the extra fault for pairs within S.
-  return build_sv_preserver(pi, sources, f_plus_1 - 1, stats, engine);
+  return build_sv_preserver(pi, sources, f_plus_1 - 1, stats, engine, cache);
 }
 
 EdgeSubset build_pairwise_preserver(const IRpts& pi,
-                                    std::span<const Vertex> sources) {
+                                    std::span<const Vertex> sources,
+                                    SptCache* cache) {
   // The sigma base trees as one batch; path extraction is cheap afterwards.
   std::vector<SsspRequest> reqs;
   reqs.reserve(sources.size());
   for (Vertex s : sources) reqs.push_back({s, {}, Direction::kOut});
-  const std::vector<Spt> trees = pi.spt_batch(reqs);
+  const std::vector<Spt> trees = pi.spt_batch(reqs, nullptr, cache);
 
   EdgeSubset out(pi.graph());
   for (size_t i = 0; i < sources.size(); ++i) {

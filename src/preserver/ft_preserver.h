@@ -65,20 +65,26 @@ struct PreserverStats {
 // must be consistent and stable (any Rpts<Policy> is; Theorem 19). The
 // fault-set exploration proceeds level by level (all fault sets of size k
 // at once), each level one batch over `engine` (nullptr = shared engine).
+// A non-null `cache` resolves every level's trees through the shared SPT
+// store -- overlapping fault sets across sources/consumers then compute
+// once; results are bit-identical either way.
 EdgeSubset build_sv_preserver(const IRpts& pi, std::span<const Vertex> sources,
                               int f, PreserverStats* stats = nullptr,
-                              const BatchSsspEngine* engine = nullptr);
+                              const BatchSsspEngine* engine = nullptr,
+                              SptCache* cache = nullptr);
 
 // (f+1)-FT S x S preserver (Theorem 31): identical overlay; the theorem is
 // about what it preserves. Provided as a named entry point for readability.
 EdgeSubset build_ss_preserver(const IRpts& pi, std::span<const Vertex> sources,
                               int f_plus_1, PreserverStats* stats = nullptr,
-                              const BatchSsspEngine* engine = nullptr);
+                              const BatchSsspEngine* engine = nullptr,
+                              SptCache* cache = nullptr);
 
 // 0-FT S x S preserver: union of the selected pairwise paths only (used by
 // the +4 spanner at its f = 0 base case, where full trees would be
 // wastefully large).
 EdgeSubset build_pairwise_preserver(const IRpts& pi,
-                                    std::span<const Vertex> sources);
+                                    std::span<const Vertex> sources,
+                                    SptCache* cache = nullptr);
 
 }  // namespace restorable

@@ -8,17 +8,19 @@ namespace restorable {
 
 SubsetRpResult subset_replacement_paths(const IsolationRpts& pi,
                                         std::span<const Vertex> sources,
-                                        const BatchSsspEngine* engine) {
+                                        const BatchSsspEngine* engine,
+                                        SptCache* cache) {
   const Graph& g = pi.graph();
   const BatchSsspEngine& eng = BatchSsspEngine::or_shared(engine);
   SubsetRpResult res;
 
   // Step 1: out-trees under the restorable scheme, one batched SSSP
-  // submission for all sources.
+  // submission for all sources (resolved through the shared tree store when
+  // a cache is attached).
   std::vector<SsspRequest> tree_reqs;
   tree_reqs.reserve(sources.size());
   for (Vertex s : sources) tree_reqs.push_back({s, {}, Direction::kOut});
-  const std::vector<Spt> trees = eng.run_batch_spt(g, pi.policy(), tree_reqs);
+  const std::vector<Spt> trees = pi.spt_batch(tree_reqs, engine, cache);
 
   std::vector<std::vector<EdgeId>> tree_edges;
   tree_edges.reserve(sources.size());
@@ -39,13 +41,24 @@ SubsetRpResult subset_replacement_paths(const IsolationRpts& pi,
   std::vector<size_t> union_edges_per_pair(pair_index.size(), 0);
   eng.parallel_for(pair_index.size(), [&](size_t p) {
     const auto [i, j] = pair_index[p];
+    // Pooled per-thread pair workspace: the union id list and the union
+    // Graph (with its CSR arrays) are rebuilt in place across the pairs a
+    // worker processes, instead of freshly allocated per pair. Pool workers
+    // are long-lived, so the pool spans whole batches.
+    struct PairWorkspace {
+      std::vector<EdgeId> union_ids;
+      Graph h;
+    };
+    thread_local PairWorkspace ws;
+
     // Sorted-set union of edge id lists (both are sorted).
-    std::vector<EdgeId> union_ids;
-    union_ids.reserve(tree_edges[i].size() + tree_edges[j].size());
+    ws.union_ids.clear();
     std::set_union(tree_edges[i].begin(), tree_edges[i].end(),
                    tree_edges[j].begin(), tree_edges[j].end(),
-                   std::back_inserter(union_ids));
-    const Graph h = g.edge_subgraph(union_ids);
+                   std::back_inserter(ws.union_ids));
+    ws.h.assign_edge_subgraph(g, ws.union_ids);
+    const std::vector<EdgeId>& union_ids = ws.union_ids;
+    const Graph& h = ws.h;
     union_edges_per_pair[p] = h.num_edges();
 
     // Same policy over the union graph: labels carry G's edge ids, so the

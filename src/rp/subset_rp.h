@@ -42,9 +42,12 @@ struct SubsetRpResult {
 // builds go through the batch engine as one submission, and the sigma^2 / 2
 // per-pair union-graph solves fan out over the engine's pool (nullptr =
 // shared engine). Results are in pair order (i < j, lexicographic) whatever
-// the thread count.
+// the thread count. A non-null `cache` resolves the out-trees through the
+// shared SPT store (serve/spt_cache.h), deduplicating them against other
+// consumers of the same scheme; results are bit-identical either way.
 SubsetRpResult subset_replacement_paths(const IsolationRpts& pi,
                                         std::span<const Vertex> sources,
-                                        const BatchSsspEngine* engine = nullptr);
+                                        const BatchSsspEngine* engine = nullptr,
+                                        SptCache* cache = nullptr);
 
 }  // namespace restorable

@@ -6,13 +6,14 @@ namespace restorable {
 
 TwoFaultSubsetOracle::TwoFaultSubsetOracle(const IRpts& pi,
                                            std::span<const Vertex> sources,
-                                           const BatchSsspEngine* engine)
+                                           const BatchSsspEngine* engine,
+                                           SptCache* cache)
     : g_(&pi.graph()) {
   // Batch 1: the sigma base trees.
   std::vector<SsspRequest> base_reqs;
   base_reqs.reserve(sources.size());
   for (Vertex s : sources) base_reqs.push_back({s, {}, Direction::kOut});
-  std::vector<Spt> bases = pi.spt_batch(base_reqs, engine);
+  std::vector<Spt> bases = pi.spt_batch(base_reqs, engine, cache);
 
   // Batch 2: one tree per (source, faulted base-tree edge) -- the Theta(n)
   // fault fan-out per source that dominates preprocessing.
@@ -24,7 +25,7 @@ TwoFaultSubsetOracle::TwoFaultSubsetOracle(const IRpts& pi,
       fault_reqs.push_back({sources[i], FaultSet{e}, Direction::kOut});
     }
   }
-  std::vector<Spt> fault_trees = pi.spt_batch(fault_reqs, engine);
+  std::vector<Spt> fault_trees = pi.spt_batch(fault_reqs, engine, cache);
 
   for (size_t i = 0; i < sources.size(); ++i) {
     PerSource ps;

@@ -29,9 +29,13 @@ class TwoFaultSubsetOracle {
  public:
   // Preprocessing submits the sigma base trees, then the Theta(sigma n)
   // per-tree-edge fault trees, as two engine batches (nullptr = shared
-  // engine).
+  // engine). Both batches resolve through `cache` when one is attached --
+  // the (root, {}) and (root, {e}) keys here are exactly what the serving
+  // path and the preserver exploration request, so oracles built on a
+  // served scheme preheat (and reuse) the shared store.
   TwoFaultSubsetOracle(const IRpts& pi, std::span<const Vertex> sources,
-                       const BatchSsspEngine* engine = nullptr);
+                       const BatchSsspEngine* engine = nullptr,
+                       SptCache* cache = nullptr);
 
   // dist_{G \ F}(s1, s2) for s1, s2 in S and |F| <= 2 (base-graph edge
   // ids); kUnreachable if disconnected. Exactness for |F| = 2 is the

@@ -1,0 +1,176 @@
+#include "serve/coalescing_batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace restorable {
+
+CoalescingBatcher::Enrollment CoalescingBatcher::enroll(
+    const SptKey& key, const SsspRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Enrollment e;
+  auto it = inflight_.find(key);
+  if (it != inflight_.end()) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    e.fl = it->second;
+    return e;
+  }
+  // Double-check the cache under the batcher lock: a completed flight
+  // publishes to the cache BEFORE leaving inflight_, so a key absent from
+  // both was never requested (or has been evicted) -- this is what makes
+  // single-flight airtight against the lookup/enroll race. peek keeps the
+  // caller's earlier counted lookup the only hit/miss sample for this
+  // probe.
+  if (cache_) {
+    if ((e.hit = cache_->peek(key))) return e;
+  }
+  e.fl = std::make_shared<InFlight>();
+  const auto ins = inflight_.emplace(key, e.fl);
+  try {
+    pending_.emplace_back(key, req);
+  } catch (...) {
+    // Keep inflight_ and pending_ consistent: an entry in inflight_ with no
+    // pending twin would make every later caller coalesce onto a flight
+    // nobody will ever flush.
+    inflight_.erase(ins.first);
+    throw;
+  }
+  if (!flushing_) {
+    flushing_ = true;
+    e.leader = true;
+  }
+  return e;
+}
+
+std::shared_ptr<const Spt> CoalescingBatcher::await(InFlight& fl) {
+  std::unique_lock<std::mutex> lock(fl.mu);
+  fl.cv.wait(lock, [&] { return fl.done; });
+  if (fl.error) std::rethrow_exception(fl.error);
+  return fl.tree;
+}
+
+void CoalescingBatcher::flush_loop() {
+  for (;;) {
+    std::vector<std::pair<SptKey, SsspRequest>> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty()) {
+        flushing_ = false;
+        return;
+      }
+      batch.swap(pending_);
+      flushes_.fetch_add(1, std::memory_order_relaxed);
+      computed_.fetch_add(batch.size(), std::memory_order_relaxed);
+      if (batch.size() > max_batch_.load(std::memory_order_relaxed))
+        max_batch_.store(batch.size(), std::memory_order_relaxed);
+    }
+
+    // One engine submission for the whole batch; no batcher lock held, so
+    // new misses keep accumulating in pending_ meanwhile. Everything that
+    // can throw (e.g. bad_alloc) stays inside a try: a throw must fail the
+    // affected flights, not abandon the batch, so flushing_ can never be
+    // left stuck true and no waiter blocks forever.
+    std::vector<Spt> trees;
+    std::exception_ptr error;
+    try {
+      std::vector<SsspRequest> reqs;
+      reqs.reserve(batch.size());
+      for (const auto& [key, req] : batch) reqs.push_back(req);
+      trees = pi_->spt_batch(reqs, engine_, nullptr);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::shared_ptr<const Spt> tree;
+      std::exception_ptr item_error = error;
+      if (!item_error) {
+        // Publication itself allocates (shared_ptr control block, cache
+        // nodes) and so can throw too; such a throw must fail THIS flight,
+        // not abandon the rest of the batch.
+        try {
+          tree = std::make_shared<const Spt>(std::move(trees[i]));
+          // Publish to the cache; a budget-rejected insert returns null, in
+          // which case waiters still get the computed tree.
+          if (cache_) {
+            if (auto resident = cache_->insert(batch[i].first, tree))
+              tree = std::move(resident);
+          }
+        } catch (...) {
+          item_error = std::current_exception();
+          tree = nullptr;
+        }
+      }
+
+      std::shared_ptr<InFlight> fl;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = inflight_.find(batch[i].first);
+        fl = it->second;
+        inflight_.erase(it);
+      }
+      {
+        std::lock_guard<std::mutex> lock(fl->mu);
+        fl->tree = std::move(tree);
+        fl->error = item_error;
+        fl->done = true;
+      }
+      fl->cv.notify_all();
+    }
+  }
+}
+
+std::shared_ptr<const Spt> CoalescingBatcher::get(const SsspRequest& req) {
+  const SptKey key(pi_->scheme_id(), req);
+  if (cache_) {
+    // Hit fast path: shard lock only, no batcher mutex.
+    if (auto tree = cache_->lookup(key)) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      return tree;
+    }
+  }
+  Enrollment e = enroll(key, req);
+  if (e.hit) return e.hit;
+  if (e.leader) flush_loop();
+  return await(*e.fl);
+}
+
+std::vector<std::shared_ptr<const Spt>> CoalescingBatcher::get_batch(
+    std::span<const SsspRequest> requests) {
+  std::vector<std::shared_ptr<const Spt>> out(requests.size());
+  std::vector<std::pair<size_t, std::shared_ptr<InFlight>>> waits;
+  bool leader = false;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const SptKey key(pi_->scheme_id(), requests[i]);
+    if (cache_) {
+      if ((out[i] = cache_->lookup(key))) {
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    Enrollment e = enroll(key, requests[i]);
+    if (e.hit) {
+      out[i] = std::move(e.hit);
+      continue;
+    }
+    waits.emplace_back(i, std::move(e.fl));
+    leader |= e.leader;
+  }
+  // All misses are enqueued before the flush starts, so they form one batch.
+  if (leader) flush_loop();
+  for (auto& [i, fl] : waits) out[i] = await(*fl);
+  return out;
+}
+
+CoalescingBatcher::Stats CoalescingBatcher::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.computed = computed_.load(std::memory_order_relaxed);
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace restorable

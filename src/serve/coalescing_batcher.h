@@ -1,0 +1,111 @@
+// Single-flight request coalescing in front of the batch-SSSP engine.
+//
+// Under serving load, many threads ask for trees at once and the popular
+// keys repeat: N concurrent callers of the same (root, faults, dir) must
+// trigger ONE Dijkstra, and concurrent misses on different keys should ride
+// the engine as ONE batch instead of N serialized runs. This is the classic
+// single-flight + request-coalescing pattern, keyed by SptKey.
+//
+// Flush policy (leader-drains): a miss enqueues its key and, if no flush is
+// running, the calling thread becomes the leader. The leader repeatedly
+// swaps out the whole pending queue and executes it as one
+// IRpts::spt_batch call until the queue stays empty, then steps down --
+// so misses arriving while a batch computes accumulate and form the next
+// batch (natural batching under load, zero added latency when idle).
+// Followers (callers whose key is already in flight) block on the
+// in-flight entry and reuse its result. With a cache attached, every
+// computed tree is published to it, so a key is computed at most once for
+// the cache's retention window regardless of concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rpts.h"
+#include "core/spt.h"
+#include "serve/spt_cache.h"
+
+namespace restorable {
+
+class CoalescingBatcher {
+ public:
+  struct Stats {
+    uint64_t requests = 0;    // get()/get_batch() tree fetches
+    uint64_t coalesced = 0;   // joined an already-in-flight computation
+    uint64_t computed = 0;    // trees actually run on the engine
+    uint64_t flushes = 0;     // engine batches issued
+    uint64_t max_batch = 0;   // largest single flush
+  };
+
+  // `cache` may be null: the batcher then still deduplicates concurrent
+  // requests (single-flight) but retains nothing across quiescence.
+  CoalescingBatcher(const IRpts& pi, SptCache* cache,
+                    const BatchSsspEngine* engine = nullptr)
+      : pi_(&pi), cache_(cache), engine_(engine) {}
+
+  CoalescingBatcher(const CoalescingBatcher&) = delete;
+  CoalescingBatcher& operator=(const CoalescingBatcher&) = delete;
+
+  // The tree for `req`, from cache, an in-flight computation, or a fresh
+  // engine batch this caller leads. Thread-safe; blocks only while the tree
+  // is genuinely being computed. If the compute batch throws (e.g.
+  // bad_alloc), the exception propagates to every caller waiting on that
+  // batch and the batcher stays serviceable for later requests.
+  std::shared_ptr<const Spt> get(const SsspRequest& req);
+
+  // Batch variant: registers every miss before flushing once, so the whole
+  // batch rides one engine submission (plus whatever concurrent callers
+  // piled on). Results in request order.
+  std::vector<std::shared_ptr<const Spt>> get_batch(
+      std::span<const SsspRequest> requests);
+
+  Stats stats() const;
+
+ private:
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const Spt> tree;
+    std::exception_ptr error;  // set instead of tree when the batch threw
+  };
+
+  // Outcome of registering one miss: `hit` resolved on the locked cache
+  // double-check, else the in-flight entry to wait on, plus whether the
+  // caller must drive the flush loop.
+  struct Enrollment {
+    std::shared_ptr<const Spt> hit;
+    std::shared_ptr<InFlight> fl;
+    bool leader = false;
+  };
+
+  Enrollment enroll(const SptKey& key, const SsspRequest& req);
+  void flush_loop();
+  static std::shared_ptr<const Spt> await(InFlight& fl);
+
+  const IRpts* pi_;
+  SptCache* cache_;
+  const BatchSsspEngine* engine_;
+
+  std::mutex mu_;
+  std::unordered_map<SptKey, std::shared_ptr<InFlight>, SptKeyHash> inflight_;
+  std::vector<std::pair<SptKey, SsspRequest>> pending_;  // not yet flushed
+  bool flushing_ = false;
+
+  // Counters are atomics so the cache-hit fast path never touches mu_ (the
+  // sharded cache is the only lock a steady-state hit takes).
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> computed_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> max_batch_{0};
+};
+
+}  // namespace restorable

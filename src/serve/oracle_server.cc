@@ -1,0 +1,61 @@
+#include "serve/oracle_server.h"
+
+namespace restorable {
+
+OracleServer::OracleServer(const IRpts& pi, ServerConfig config)
+    : pi_(&pi), config_(config) {
+  if (config_.enable_cache)
+    cache_ = std::make_unique<SptCache>(config_.cache);
+  if (config_.enable_coalescing)
+    batcher_ = std::make_unique<CoalescingBatcher>(pi, cache_.get(),
+                                                   config_.engine);
+}
+
+std::shared_ptr<const Spt> OracleServer::tree(const SsspRequest& req) {
+  if (batcher_) return batcher_->get(req);
+  const SptKey key(pi_->scheme_id(), req);
+  if (cache_) {
+    if (auto t = cache_->lookup(key)) return t;
+  }
+  auto t = std::make_shared<const Spt>(pi_->spt(req.root, req.faults, req.dir));
+  if (cache_) {
+    if (auto resident = cache_->insert(key, t)) return resident;
+  }
+  return t;
+}
+
+int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return tree({s, faults, Direction::kOut})->hops[t];
+}
+
+Path OracleServer::path(Vertex s, Vertex t, const FaultSet& faults) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return tree({s, faults, Direction::kOut})->path_to(t);
+}
+
+int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const auto base = tree({s, {}, Direction::kOut});
+  if (!base->reachable(t)) {
+    // t unreachable even fault-free; removing e cannot help.
+    return kUnreachable;
+  }
+  // Stability (Definition 13): a fault off the selected path leaves the
+  // selection -- hence the distance -- unchanged. Walking the O(d) parent
+  // chain beats building the fault tree whenever the path avoids e.
+  bool on_path = false;
+  for (Vertex x = t; x != s; x = base->parent[x]) {
+    if (base->parent_edge[x] == e) {
+      on_path = true;
+      break;
+    }
+  }
+  if (!on_path) {
+    stability_hits_.fetch_add(1, std::memory_order_relaxed);
+    return base->hops[t];
+  }
+  return tree({s, FaultSet{e}, Direction::kOut})->hops[t];
+}
+
+}  // namespace restorable

@@ -1,0 +1,82 @@
+// Online query front-end over a tiebreaking scheme: the serving layer.
+//
+// An OracleServer owns the serving stack for one scheme -- a sharded SPT
+// cache (serve/spt_cache.h) and a single-flight coalescing batcher
+// (serve/coalescing_batcher.h) -- and answers mixed (s, t, F) queries from
+// any number of threads:
+//
+//   distance(s, t, F)              hops of pi(s, t | F)
+//   path(s, t, F)                  the selected path itself
+//   replacement_distance(s, t, e)  dist_{G \ e}(s, t), with a stability
+//                                  fast path: if the selected fault-free
+//                                  path avoids e, the base tree answers
+//                                  without computing the fault tree.
+//
+// Every query reduces to tree fetches through the batcher, so repeated
+// roots hit the cache, concurrent identical misses coalesce into one
+// Dijkstra, and distinct misses ride the engine as one batch. The same
+// cache handle can be passed to the construction paths (subset-rp,
+// preservers, labels, oracles via IRpts::spt_batch), making the serving
+// path and offline builds share one tree store.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/rpts.h"
+#include "serve/coalescing_batcher.h"
+#include "serve/spt_cache.h"
+
+namespace restorable {
+
+struct ServerConfig {
+  SptCache::Config cache;           // shards + byte budget
+  bool enable_cache = true;         // false: recompute every fetch
+  bool enable_coalescing = true;    // false: no single-flight (baseline)
+  const BatchSsspEngine* engine = nullptr;  // nullptr = shared engine
+};
+
+class OracleServer {
+ public:
+  explicit OracleServer(const IRpts& pi, ServerConfig config = {});
+
+  const IRpts& scheme() const { return *pi_; }
+
+  // The tree for `req` through the serving stack (shared with any
+  // concurrent reader; do not mutate).
+  std::shared_ptr<const Spt> tree(const SsspRequest& req);
+
+  // Hops of pi(s, t | F); kUnreachable if disconnected in G \ F.
+  int32_t distance(Vertex s, Vertex t, const FaultSet& faults = {});
+
+  // The selected path pi(s, t | F), oriented s -> t; empty if disconnected.
+  Path path(Vertex s, Vertex t, const FaultSet& faults = {});
+
+  // dist_{G \ e}(s, t) via the stability fast path (base tree only when the
+  // selected path avoids e).
+  int32_t replacement_distance(Vertex s, Vertex t, EdgeId e);
+
+  uint64_t queries_served() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  // Replacement queries the stability fast path answered from the base tree.
+  uint64_t stability_fast_paths() const {
+    return stability_hits_.load(std::memory_order_relaxed);
+  }
+
+  // Null when the respective layer is disabled by config.
+  SptCache* cache() { return cache_ ? cache_.get() : nullptr; }
+  const CoalescingBatcher* batcher() const { return batcher_.get(); }
+
+ private:
+  const IRpts* pi_;
+  ServerConfig config_;
+  std::unique_ptr<SptCache> cache_;             // only if enable_cache
+  std::unique_ptr<CoalescingBatcher> batcher_;  // only if enable_coalescing
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> stability_hits_{0};
+};
+
+}  // namespace restorable

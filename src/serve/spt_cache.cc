@@ -1,0 +1,112 @@
+#include "serve/spt_cache.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "util/random.h"
+
+namespace restorable {
+
+size_t SptKeyHash::operator()(const SptKey& k) const {
+  uint64_t h = hash_combine(k.scheme_id, k.root);
+  h = hash_combine(h, static_cast<uint64_t>(k.dir) + 1);
+  for (EdgeId e : k.faults) h = hash_combine(h, static_cast<uint64_t>(e) + 1);
+  return static_cast<size_t>(h);
+}
+
+SptCache::SptCache(Config config) {
+  const size_t shards = std::max<size_t>(1, config.shards);
+  byte_budget_ = config.byte_budget;
+  per_shard_budget_ = byte_budget_ / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+size_t SptCache::entry_bytes(const SptKey& key, const Spt& tree) {
+  // Tree storage + key storage + LRU node / hash slot overhead. The constant
+  // is a deliberate overestimate so tiny budgets degrade to "cache nothing"
+  // rather than "account nothing".
+  return tree.memory_bytes() + sizeof(Entry) +
+         key.faults.capacity() * sizeof(EdgeId) + 64;
+}
+
+std::shared_ptr<const Spt> SptCache::lookup(const SptKey& key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    ++s.misses;
+    return nullptr;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh to MRU
+  return it->second->tree;
+}
+
+std::shared_ptr<const Spt> SptCache::peek(const SptKey& key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) return nullptr;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  return it->second->tree;
+}
+
+std::shared_ptr<const Spt> SptCache::insert(const SptKey& key, Spt tree) {
+  return insert(key, std::make_shared<const Spt>(std::move(tree)));
+}
+
+std::shared_ptr<const Spt> SptCache::insert(const SptKey& key,
+                                            std::shared_ptr<const Spt> tree) {
+  Shard& s = shard_for(key);
+  const size_t bytes = entry_bytes(key, *tree);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    // First writer wins; the racing tree is bit-identical by determinism.
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->tree;
+  }
+  s.lru.push_front(Entry{key, std::move(tree), bytes});
+  s.map.emplace(key, s.lru.begin());
+  s.bytes += bytes;
+  ++s.inserts;
+  while (s.bytes > per_shard_budget_ && !s.lru.empty()) {
+    const Entry& victim = s.lru.back();
+    s.bytes -= victim.bytes;
+    s.map.erase(victim.key);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  // The fresh tree may itself have been evicted (budget smaller than one
+  // entry); the caller's shared_ptr keeps it alive either way.
+  return s.lru.empty() || !(s.lru.front().key == key) ? nullptr
+                                                      : s.lru.front().tree;
+}
+
+void SptCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+    shard->bytes = 0;
+  }
+}
+
+SptCache::Stats SptCache::stats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.inserts += shard->inserts;
+    out.evictions += shard->evictions;
+    out.entries += shard->map.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+}  // namespace restorable

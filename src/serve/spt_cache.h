@@ -1,0 +1,141 @@
+// Sharded, memory-budgeted LRU cache of shortest-path trees.
+//
+// Theorem 19 schemes are deterministic functions of (graph, policy, root,
+// faults, dir): two requests with the same key always produce bit-identical
+// trees, so the expensive resource of every consumer in this library -- a
+// tiebroken SPT -- is perfectly cacheable. This module is the shared tree
+// store behind both the construction paths (subset-rp, preservers, labels,
+// oracles; see IRpts::spt_batch's cache parameter) and the online serving
+// path (serve/oracle_server.h).
+//
+// Concurrency model: the key space is hash-partitioned into shards, each an
+// independent LRU list + hash map behind its own mutex, so concurrent
+// serving threads contend only when their keys collide on a shard. Entries
+// are handed out as shared_ptr<const Spt>: an eviction never invalidates a
+// tree a caller is still reading.
+//
+// Byte accounting: every entry is charged Spt::memory_bytes() plus the key
+// and bookkeeping overhead against a per-shard slice of the global budget;
+// inserting past the slice evicts least-recently-used entries first (an
+// entry larger than the whole slice is evicted immediately -- the caller
+// still holds its shared_ptr, the cache just refuses to retain it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/spt.h"
+#include "graph/graph.h"
+
+namespace restorable {
+
+// Cache key: which scheme instance, restricted to which root / fault set /
+// orientation. scheme_id identifies an IRpts *instance* (see
+// IRpts::scheme_id()), which pins down both the graph and the policy.
+struct SptKey {
+  uint64_t scheme_id = 0;
+  Vertex root = kNoVertex;
+  Direction dir = Direction::kOut;
+  std::vector<EdgeId> faults;  // sorted (copied from FaultSet)
+
+  SptKey() = default;
+  SptKey(uint64_t scheme, const SsspRequest& req)
+      : scheme_id(scheme),
+        root(req.root),
+        dir(req.dir),
+        faults(req.faults.begin(), req.faults.end()) {}
+
+  friend bool operator==(const SptKey&, const SptKey&) = default;
+};
+
+struct SptKeyHash {
+  size_t operator()(const SptKey& k) const;
+};
+
+class SptCache {
+ public:
+  struct Config {
+    size_t shards = 16;                     // clamped to >= 1
+    size_t byte_budget = size_t{256} << 20; // total across shards
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;  // currently resident
+    size_t bytes = 0;    // currently accounted
+
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+
+  SptCache() : SptCache(Config()) {}
+  explicit SptCache(Config config);
+
+  // The resident tree for `key`, refreshed to most-recently-used; nullptr on
+  // miss. Never computes.
+  std::shared_ptr<const Spt> lookup(const SptKey& key);
+
+  // lookup without touching the hit/miss counters (still an LRU use). For
+  // internal re-checks (the batcher's locked double-check) that would
+  // otherwise double-count one logical probe and skew the reported hit
+  // rate.
+  std::shared_ptr<const Spt> peek(const SptKey& key);
+
+  // Stores `tree` under `key` (first writer wins: if the key is already
+  // resident the existing tree is kept -- both are bit-identical by
+  // determinism). Returns the resident tree and evicts LRU entries as needed
+  // to respect the shard's byte slice.
+  std::shared_ptr<const Spt> insert(const SptKey& key, Spt tree);
+
+  // shared_ptr-based insert for callers that already share the tree.
+  std::shared_ptr<const Spt> insert(const SptKey& key,
+                                    std::shared_ptr<const Spt> tree);
+
+  void clear();
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t byte_budget() const { return byte_budget_; }
+  Stats stats() const;  // aggregated over shards
+
+ private:
+  struct Entry {
+    SptKey key;
+    std::shared_ptr<const Spt> tree;
+    size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  struct Shard {
+    std::mutex mu;
+    LruList lru;  // front = most recently used
+    std::unordered_map<SptKey, LruList::iterator, SptKeyHash> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const SptKey& key) {
+    return *shards_[SptKeyHash{}(key) % shards_.size()];
+  }
+  static size_t entry_bytes(const SptKey& key, const Spt& tree);
+
+  size_t byte_budget_;
+  size_t per_shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace restorable

@@ -1,0 +1,395 @@
+// Tests for the serving subsystem (src/serve/): cache-on results must be
+// bit-identical to cache-off at every thread count, the coalescing batcher
+// must give single-flight semantics under concurrent mixed hit/miss load,
+// and the LRU must stay inside tiny byte budgets while staying correct.
+#include "serve/oracle_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <tuple>
+
+#include "graph/generators.h"
+#include "labeling/labels.h"
+#include "preserver/ft_preserver.h"
+#include "rp/dso.h"
+#include "rp/subset_rp.h"
+#include "rp/two_fault_oracle.h"
+#include "serve/coalescing_batcher.h"
+#include "serve/spt_cache.h"
+
+namespace restorable {
+namespace {
+
+void expect_same_tree(const Spt& got, const Spt& want) {
+  EXPECT_EQ(got.root, want.root);
+  EXPECT_EQ(got.dir, want.dir);
+  EXPECT_EQ(got.hops, want.hops);
+  EXPECT_EQ(got.parent, want.parent);
+  EXPECT_EQ(got.parent_edge, want.parent_edge);
+}
+
+TEST(SptCache, LookupInsertAndLruRefresh) {
+  const Graph g = gnp_connected(30, 0.12, 3);
+  const IsolationRpts pi(g, IsolationAtw(4));
+  SptCache cache(SptCache::Config{2, size_t{64} << 20});
+
+  const SsspRequest req{5, {}, Direction::kOut};
+  const SptKey key(pi.scheme_id(), req);
+  EXPECT_EQ(cache.lookup(key), nullptr);
+
+  const auto resident = cache.insert(key, pi.spt(req.root));
+  ASSERT_NE(resident, nullptr);
+  const auto hit = cache.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), resident.get());
+  expect_same_tree(*hit, pi.spt(req.root));
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(SptCache, KeysDistinguishRootFaultsDirAndScheme) {
+  const Graph g = cycle(8);
+  const IsolationRpts a(g, IsolationAtw(1)), b(g, IsolationAtw(1));
+  EXPECT_NE(a.scheme_id(), b.scheme_id());  // instances key separately
+
+  const SsspRequest base{2, {}, Direction::kOut};
+  SptCache cache;
+  cache.insert(SptKey(a.scheme_id(), base), a.spt(2));
+  EXPECT_EQ(cache.lookup(SptKey(b.scheme_id(), base)), nullptr);
+  EXPECT_EQ(cache.lookup(SptKey(a.scheme_id(), {3, {}, Direction::kOut})),
+            nullptr);
+  EXPECT_EQ(cache.lookup(SptKey(a.scheme_id(), {2, {}, Direction::kIn})),
+            nullptr);
+  EXPECT_EQ(cache.lookup(SptKey(a.scheme_id(), {2, FaultSet{0}, Direction::kOut})),
+            nullptr);
+  EXPECT_NE(cache.lookup(SptKey(a.scheme_id(), base)), nullptr);
+}
+
+TEST(SptCache, EvictionKeepsTinyByteBudget) {
+  const Graph g = gnp_connected(60, 0.08, 7);
+  const IsolationRpts pi(g, IsolationAtw(8));
+  // Room for roughly two trees in one shard: inserts must evict LRU-first
+  // and never blow the budget.
+  const Spt probe = pi.spt(0);
+  const size_t budget = 2 * probe.memory_bytes() + 1024;
+  SptCache cache(SptCache::Config{1, budget});
+
+  for (Vertex root = 0; root < 20; ++root) {
+    cache.insert(SptKey(pi.scheme_id(), {root, {}, Direction::kOut}),
+                 pi.spt(root));
+    EXPECT_LE(cache.stats().bytes, budget);
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 20u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, 2u);
+
+  // Most-recent roots survive (LRU order); whatever is resident is correct.
+  for (Vertex root = 0; root < 20; ++root) {
+    const auto hit =
+        cache.lookup(SptKey(pi.scheme_id(), {root, {}, Direction::kOut}));
+    if (hit) expect_same_tree(*hit, pi.spt(root));
+  }
+  // The newest insert must be resident (it was never the LRU victim).
+  EXPECT_NE(cache.lookup(SptKey(pi.scheme_id(), {19, {}, Direction::kOut})),
+            nullptr);
+}
+
+TEST(SptCache, BudgetSmallerThanOneEntryRetainsNothing) {
+  const Graph g = gnp_connected(50, 0.1, 9);
+  const IsolationRpts pi(g, IsolationAtw(10));
+  SptCache cache(SptCache::Config{4, 128});  // smaller than any tree
+  const SptKey key(pi.scheme_id(), {1, {}, Direction::kOut});
+  EXPECT_EQ(cache.insert(key, pi.spt(1)), nullptr);
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(CachedSptBatch, BitIdenticalToUncachedAcrossThreadCounts) {
+  const Graph g = gnp_connected(70, 0.07, 11);
+  const IsolationRpts pi(g, IsolationAtw(12));
+  std::vector<SsspRequest> reqs;
+  for (Vertex root : {3u, 17u, 3u, 42u, 17u})  // duplicates on purpose
+    reqs.push_back({root, {}, Direction::kOut});
+  reqs.push_back({3, FaultSet{2}, Direction::kOut});
+  reqs.push_back({9, {}, Direction::kIn});
+
+  for (int threads : {1, 2, 8}) {
+    const BatchSsspEngine engine(threads);
+    const auto want = pi.spt_batch(reqs, &engine);
+    SptCache cache;
+    // Two rounds through the same cache: cold then fully warm.
+    for (int round = 0; round < 2; ++round) {
+      const auto got = pi.spt_batch(reqs, &engine, &cache);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) + " round=" +
+                     std::to_string(round) + " req=" + std::to_string(i));
+        expect_same_tree(got[i], want[i]);
+      }
+    }
+    // Round 0: every request probes cold (7 misses) but only the 5 unique
+    // keys compute; round 1: all 7 hit.
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 7u);
+    EXPECT_EQ(stats.hits, 7u);
+    EXPECT_EQ(stats.inserts, 5u);
+  }
+}
+
+// The four routed consumers must produce identical results with and without
+// a shared cache, at several engine widths -- the "construction paths share
+// one tree store" guarantee.
+TEST(SharedCache, ConsumersAreCacheInvariant) {
+  const Graph g = gnp_connected(40, 0.1, 21);
+  const IsolationRpts pi(g, IsolationAtw(22));
+  const std::vector<Vertex> sources{0, 9, 23, 31};
+
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const BatchSsspEngine engine(threads);
+    SptCache cache;  // ONE cache shared by all four consumers
+
+    const auto rp0 = subset_replacement_paths(pi, sources, &engine);
+    const auto rp1 = subset_replacement_paths(pi, sources, &engine, &cache);
+    ASSERT_EQ(rp0.pairs.size(), rp1.pairs.size());
+    for (size_t p = 0; p < rp0.pairs.size(); ++p) {
+      EXPECT_EQ(rp0.pairs[p].base_path, rp1.pairs[p].base_path);
+      EXPECT_EQ(rp0.pairs[p].replacement, rp1.pairs[p].replacement);
+    }
+
+    PreserverStats ps0, ps1;
+    const auto pre0 = build_sv_preserver(pi, sources, 2, &ps0, &engine);
+    const auto pre1 =
+        build_sv_preserver(pi, sources, 2, &ps1, &engine, &cache);
+    EXPECT_EQ(pre0.edge_ids(), pre1.edge_ids());
+    EXPECT_EQ(ps0.spt_computations, ps1.spt_computations);
+
+    const TwoFaultSubsetOracle or0(pi, sources, &engine);
+    const TwoFaultSubsetOracle or1(pi, sources, &engine, &cache);
+    for (size_t i = 0; i < sources.size(); ++i)
+      for (size_t j = i + 1; j < sources.size(); ++j)
+        for (EdgeId e = 0; e < g.num_edges(); e += 7)
+          EXPECT_EQ(or0.query(sources[i], sources[j], FaultSet{e}),
+                    or1.query(sources[i], sources[j], FaultSet{e}));
+
+    const FtDistanceLabeling lab0(pi, 1, &engine);
+    const FtDistanceLabeling lab1(pi, 1, &engine, &cache);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(lab0.label(v).edges, lab1.label(v).edges);
+    }
+
+    // The shared store did its job: later consumers re-hit earlier
+    // consumers' trees (e.g. every (s, {}) tree computed at most once).
+    EXPECT_GT(cache.stats().hits, 0u);
+  }
+}
+
+TEST(CoalescingBatcher, SingleFlightUnderConcurrentMixedLoad) {
+  const Graph g = gnp_connected(60, 0.08, 31);
+  const IsolationRpts pi(g, IsolationAtw(32));
+  SptCache cache;
+  const BatchSsspEngine engine(2);
+  CoalescingBatcher batcher(pi, &cache, &engine);
+
+  // Preheat a few keys so the hammer mixes hits and misses.
+  const std::vector<Vertex> hot{0, 7, 14};
+  for (Vertex root : hot) batcher.get({root, {}, Direction::kOut});
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 40;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int r = 0; r < kRounds; ++r) {
+        // Every thread interleaves the hot keys with a cold stripe shared by
+        // all threads, so identical misses collide in flight.
+        const Vertex root = r % 2 ? hot[(w + r) % hot.size()]
+                                  : static_cast<Vertex>(20 + r % 17);
+        FaultSet faults;
+        if (r % 4 == 3) faults.insert(static_cast<EdgeId>(r % 11));
+        const auto tree = batcher.get({root, faults, Direction::kOut});
+        const Spt want = pi.spt(root, faults);
+        if (tree->hops != want.hops || tree->parent != want.parent)
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Single flight: every distinct key was computed exactly once, however
+  // many threads raced on it (the budget is large, so nothing was evicted
+  // and recomputed).
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.computed, cache.stats().inserts);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  std::set<std::tuple<Vertex, std::vector<EdgeId>>> unique_keys;
+  for (int w = 0; w < kThreads; ++w)
+    for (int r = 0; r < kRounds; ++r) {
+      const Vertex root = r % 2 ? hot[(w + r) % hot.size()]
+                                : static_cast<Vertex>(20 + r % 17);
+      FaultSet faults;
+      if (r % 4 == 3) faults.insert(static_cast<EdgeId>(r % 11));
+      unique_keys.emplace(root,
+                          std::vector<EdgeId>(faults.begin(), faults.end()));
+    }
+  for (Vertex root : hot)
+    unique_keys.emplace(root, std::vector<EdgeId>{});
+  EXPECT_EQ(stats.computed, unique_keys.size());
+  EXPECT_EQ(stats.requests,
+            static_cast<uint64_t>(kThreads) * kRounds + hot.size());
+}
+
+// A scheme whose compute path throws for one poisoned root: the batcher
+// must propagate the exception to the waiter AND stay serviceable (a stuck
+// flushing_ flag would deadlock every later miss).
+class ThrowingRpts final : public IRpts {
+ public:
+  ThrowingRpts(const Graph& g, Vertex poisoned) : g_(&g), poisoned_(poisoned) {}
+  const Graph& graph() const override { return *g_; }
+  std::string name() const override { return "throwing"; }
+  Spt spt(Vertex root, const FaultSet& faults = {},
+          Direction dir = Direction::kOut) const override {
+    if (root == poisoned_) throw std::runtime_error("poisoned root");
+    return ArbitraryRpts(*g_).spt(root, faults, dir);
+  }
+
+ private:
+  const Graph* g_;
+  Vertex poisoned_;
+};
+
+TEST(CoalescingBatcher, ComputeExceptionPropagatesAndBatcherSurvives) {
+  const Graph g = cycle(10);
+  const ThrowingRpts pi(g, /*poisoned=*/3);
+  SptCache cache;
+  // Width-1 engine: the generic spt fan-out runs on the calling thread, so
+  // the throw unwinds through the flush loop (a worker-thread throw would
+  // terminate by ThreadPool contract).
+  const BatchSsspEngine engine(1);
+  CoalescingBatcher batcher(pi, &cache, &engine);
+
+  EXPECT_THROW(batcher.get({3, {}, Direction::kOut}), std::runtime_error);
+  // The batcher must not be wedged: a healthy key still computes.
+  const auto tree = batcher.get({5, {}, Direction::kOut});
+  ASSERT_NE(tree, nullptr);
+  expect_same_tree(*tree, pi.spt(5));
+  // And the poisoned key still throws (nothing bogus was cached).
+  EXPECT_THROW(batcher.get({3, {}, Direction::kOut}), std::runtime_error);
+}
+
+TEST(CoalescingBatcher, GetBatchRidesOneFlush) {
+  const Graph g = gnp_connected(40, 0.1, 41);
+  const IsolationRpts pi(g, IsolationAtw(42));
+  SptCache cache;
+  CoalescingBatcher batcher(pi, &cache);
+
+  std::vector<SsspRequest> reqs;
+  for (Vertex root : {1u, 5u, 9u, 5u, 1u})  // in-batch duplicates
+    reqs.push_back({root, {}, Direction::kOut});
+  const auto trees = batcher.get_batch(reqs);
+  ASSERT_EQ(trees.size(), reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i)
+    expect_same_tree(*trees[i], pi.spt(reqs[i].root));
+  EXPECT_EQ(trees[0].get(), trees[4].get());  // shared resident tree
+
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.flushes, 1u);
+  EXPECT_EQ(stats.computed, 3u);
+  EXPECT_EQ(stats.max_batch, 3u);
+}
+
+TEST(OracleServer, AnswersMatchDirectSchemeQueries) {
+  const Graph g = gnp_connected(50, 0.09, 51);
+  const IsolationRpts pi(g, IsolationAtw(52));
+  OracleServer server(pi);
+
+  for (Vertex s : {0u, 11u, 30u}) {
+    for (Vertex t : {4u, 19u, 44u}) {
+      EXPECT_EQ(server.distance(s, t), pi.distance(s, t));
+      EXPECT_EQ(server.path(s, t), pi.path(s, t));
+      const FaultSet faults{static_cast<EdgeId>((s + t) % g.num_edges())};
+      EXPECT_EQ(server.distance(s, t, faults), pi.distance(s, t, faults));
+    }
+  }
+  EXPECT_GT(server.queries_served(), 0u);
+  EXPECT_GT(server.cache()->stats().hit_rate(), 0.0);
+}
+
+TEST(OracleServer, ReplacementDistanceUsesStabilityFastPath) {
+  const Graph g = gnp_connected(45, 0.1, 61);
+  const IsolationRpts pi(g, IsolationAtw(62));
+  OracleServer server(pi);
+
+  for (Vertex s : {2u, 21u}) {
+    for (Vertex t : {8u, 37u}) {
+      for (EdgeId e = 0; e < g.num_edges(); e += 5) {
+        EXPECT_EQ(server.replacement_distance(s, t, e),
+                  pi.distance(s, t, FaultSet{e}))
+            << "s=" << s << " t=" << t << " e=" << e;
+      }
+    }
+  }
+  // On sparse G(n, p) most edges avoid any fixed selected path, so the base
+  // tree must have answered most queries.
+  EXPECT_GT(server.stability_fast_paths(), server.queries_served() / 2);
+}
+
+TEST(OracleServer, CacheOffModeStaysCorrect) {
+  const Graph g = gnp_connected(30, 0.12, 71);
+  const IsolationRpts pi(g, IsolationAtw(72));
+  ServerConfig off;
+  off.enable_cache = false;
+  off.enable_coalescing = false;
+  OracleServer server(pi, off);
+  EXPECT_EQ(server.cache(), nullptr);
+  for (Vertex s = 0; s < 6; ++s)
+    for (Vertex t = 20; t < 26; ++t)
+      EXPECT_EQ(server.distance(s, t), pi.distance(s, t));
+}
+
+TEST(OracleServer, ConcurrentMixedQueriesAreConsistent) {
+  const Graph g = gnp_connected(55, 0.08, 81);
+  const IsolationRpts pi(g, IsolationAtw(82));
+  ServerConfig cfg;
+  cfg.cache.shards = 4;
+  OracleServer server(pi, cfg);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int r = 0; r < 30; ++r) {
+        const Vertex s = static_cast<Vertex>((w * 3 + r) % 10);
+        const Vertex t = static_cast<Vertex>(30 + (w + r * 5) % 20);
+        if (r % 3 == 0) {
+          const EdgeId e = static_cast<EdgeId>((w + r) % g.num_edges());
+          if (server.replacement_distance(s, t, e) !=
+              pi.distance(s, t, FaultSet{e}))
+            mismatches.fetch_add(1);
+        } else {
+          if (server.distance(s, t) != pi.distance(s, t))
+            mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(server.cache()->stats().hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace restorable
