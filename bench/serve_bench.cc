@@ -15,12 +15,19 @@
 // spot check against the scheme computed directly. JSON rows feed
 // BENCH_SERVE.json (committed trajectory) and the CI bench-smoke artifact.
 //
+// A second scenario (bench=serve_scan rows) stresses cache admission: a
+// fault-tree scan (each query computes a fresh single-fault tree) runs
+// against a small budget, once with the flat LRU (protected_fraction = 0)
+// and once with segmented admission. The judged signal is base_hit_rate:
+// segmented admission must keep the hot base trees resident under the scan.
+//
 // Scenario axes:
 //   --threads 1,4     comma list of closed-loop worker counts
 //   --queries N       queries per (family, threads, mode) measurement
 //   --shards K        cache shards            (default 16)
 //   --budget-mb M     cache byte budget       (default 256)
 //   --hot H           size of the hot root set (default 8)
+//   --max-batch B     cap per-flush batcher drain (default 0 = unbounded)
 //   --json PATH       emit one JSON row per measurement
 //   --small           reduced families + query count (CI bench-smoke job)
 #include <algorithm>
@@ -46,6 +53,7 @@ struct Options {
   size_t shards = 16;
   size_t budget_mb = 256;
   size_t hot = 8;
+  size_t max_batch = 0;
   std::string json_path;
   bool small = false;
 };
@@ -69,6 +77,8 @@ Options parse_options(int argc, char** argv) {
       opt.budget_mb = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value("--hot")) {
       opt.hot = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--max-batch")) {
+      opt.max_batch = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value("--json")) {
       opt.json_path = v;
     } else if (std::string(argv[i]) == "--small") {
@@ -222,6 +232,7 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
     ServerConfig on_cfg;
     on_cfg.cache.shards = opt.shards;
     on_cfg.cache.byte_budget = opt.budget_mb << 20;
+    on_cfg.max_batch = opt.max_batch;
     on_cfg.engine = &engine;
     OracleServer on(pi, on_cfg);
     const Measurement mon = drive(on, pi, g, hot_roots, threads, opt.queries);
@@ -229,6 +240,20 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
     const auto cache_stats = on.cache()->stats();
     const auto batch_stats = on.batcher()->stats();
     const double speedup = mon.qps / moff.qps;
+    // Bytes of tree freshly materialized per query: the zero-copy handle
+    // path makes this collapse on repeated-root workloads (hits alias the
+    // resident tree instead of copying it).
+    const double on_bytes_per_query =
+        static_cast<double>(on.bytes_materialized()) /
+        static_cast<double>(std::max<uint64_t>(1, on.queries_served()));
+    const double off_bytes_per_query =
+        static_cast<double>(off.bytes_materialized()) /
+        static_cast<double>(std::max<uint64_t>(1, off.queries_served()));
+    std::string batch_hist;
+    for (size_t b = 0; b < CoalescingBatcher::kHistBuckets; ++b) {
+      if (b) batch_hist += ',';
+      batch_hist += std::to_string(batch_stats.batch_hist[b]);
+    }
 
     table.add_row(family, g.num_vertices(), g.num_edges(), threads, "off",
                   moff.qps, moff.p50_us, moff.p99_us, 0.0, 1.0);
@@ -252,6 +277,7 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
         .field("p99_us", moff.p99_us)
         .field("hit_rate", 0.0)
         .field("speedup_vs_off", 1.0)
+        .field("bytes_per_query", off_bytes_per_query)
         .field("checked", static_cast<uint64_t>(moff.checked))
         .field("correct", static_cast<uint64_t>(moff.correct))
         .field("hw_threads",
@@ -271,19 +297,132 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
         .field("p50_us", mon.p50_us)
         .field("p99_us", mon.p99_us)
         .field("hit_rate", cache_stats.hit_rate())
+        .field("base_hit_rate", cache_stats.base_hit_rate())
         .field("speedup_vs_off", speedup)
+        .field("bytes_per_query", on_bytes_per_query)
+        .field("cache_hits", cache_stats.hits)
+        .field("cache_misses", cache_stats.misses)
         .field("cache_entries", static_cast<uint64_t>(cache_stats.entries))
         .field("cache_bytes", static_cast<uint64_t>(cache_stats.bytes))
+        .field("cache_peak_bytes",
+               static_cast<uint64_t>(cache_stats.peak_bytes))
+        .field("protected_bytes",
+               static_cast<uint64_t>(cache_stats.protected_bytes))
+        .field("protected_entries",
+               static_cast<uint64_t>(cache_stats.protected_entries))
         .field("evictions", cache_stats.evictions)
         .field("coalesced", batch_stats.coalesced)
         .field("computed", batch_stats.computed)
+        .field("computed_bytes", batch_stats.computed_bytes)
         .field("flushes", batch_stats.flushes)
         .field("max_batch", batch_stats.max_batch)
+        .field("max_batch_cap", static_cast<uint64_t>(opt.max_batch))
+        .field("max_queue_depth", batch_stats.max_queue_depth)
+        .field("batch_hist", batch_hist)
         .field("stability_fast_paths", on.stability_fast_paths())
         .field("checked", static_cast<uint64_t>(mon.checked))
         .field("correct", static_cast<uint64_t>(mon.correct))
         .field("hw_threads",
                static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  }
+}
+
+// Admission-policy scenario: a closed-loop mix of hot base-tree queries and
+// a sweeping fault-tree scan (every fault key distinct, so each one computes
+// and inserts a fresh fault tree) against a budget sized to hold the hot
+// base trees plus only a handful of fault trees. Flat LRU lets the scan
+// churn the base trees out; segmented admission confines the scan to the
+// probationary segment. One JSON row per (threads, admission) pair.
+void bench_fault_scan(Table& scan_table, JsonRows& json, const Options& opt,
+                      const std::string& family, const Graph& g) {
+  const IsolationRpts pi(g, IsolationAtw(7));
+  std::vector<Vertex> hot_roots;
+  for (size_t i = 0; i < opt.hot; ++i)
+    hot_roots.push_back(static_cast<Vertex>(
+        (static_cast<uint64_t>(i) * g.num_vertices()) / opt.hot));
+  const size_t probe_bytes = pi.spt(hot_roots[0]).memory_bytes();
+  // Hot base trees + ~8 fault trees of headroom, in one shard so the
+  // eviction pressure is undiluted.
+  const size_t budget = (opt.hot + 8) * (probe_bytes + 1024);
+
+  for (int threads : opt.threads) {
+    const BatchSsspEngine engine(threads);
+    for (const double fraction : {0.0, 0.5}) {
+      ServerConfig cfg;
+      cfg.cache.shards = 1;
+      cfg.cache.byte_budget = budget;
+      cfg.cache.protected_fraction = fraction;
+      cfg.max_batch = opt.max_batch;
+      cfg.engine = &engine;
+      OracleServer server(pi, cfg);
+
+      const size_t per_thread = opt.queries / threads;
+      std::vector<std::vector<std::pair<Query, int32_t>>> samples(threads);
+      Stopwatch wall;
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (int w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w] {
+          for (size_t i = 0; i < per_thread; ++i) {
+            const uint64_t seq = static_cast<uint64_t>(w) * per_thread + i;
+            const uint64_t h = hash_combine(0x5ca9, seq);
+            Query q;
+            q.s = hot_roots[h % hot_roots.size()];
+            q.t = static_cast<Vertex>(hash_combine(h, 1) % g.num_vertices());
+            // Every other query scans a fresh fault; the rest read the hot
+            // base trees the policy is supposed to protect.
+            if (seq % 2 == 0) {
+              q.kind = Query::kDistance;
+              q.e = 0;
+            } else {
+              q.kind = Query::kFaultDistance;
+              q.e = static_cast<EdgeId>(seq / 2 % g.num_edges());
+            }
+            const int32_t got = run_query(server, q);
+            if (i % 64 == 0) samples[w].emplace_back(q, got);
+          }
+        });
+      }
+      for (auto& t : workers) t.join();
+      const double wall_ms = wall.millis();
+
+      size_t checked = 0, correct = 0;
+      for (const auto& per_worker : samples)
+        for (const auto& [q, got] : per_worker) {
+          ++checked;
+          if (got == reference_answer(pi, q)) ++correct;
+        }
+
+      const auto stats = server.cache()->stats();
+      const double qps = static_cast<double>(per_thread) * threads /
+                         (wall_ms / 1e3);
+      const char* mode = fraction > 0 ? "scan_segmented" : "scan_flat";
+      scan_table.add_row(family, threads, mode, qps, stats.hit_rate(),
+                         stats.base_hit_rate(), stats.evictions);
+      json.row()
+          .field("bench", "serve_scan")
+          .field("family", family)
+          .field("n", static_cast<uint64_t>(g.num_vertices()))
+          .field("m", static_cast<uint64_t>(g.num_edges()))
+          .field("threads", threads)
+          .field("mode", mode)
+          .field("protected_fraction", fraction)
+          .field("budget_bytes", static_cast<uint64_t>(budget))
+          .field("queries", static_cast<uint64_t>(per_thread * threads))
+          .field("qps", qps)
+          .field("hit_rate", stats.hit_rate())
+          .field("base_hit_rate", stats.base_hit_rate())
+          .field("base_hits", stats.base_hits)
+          .field("base_misses", stats.base_misses)
+          .field("evictions", stats.evictions)
+          .field("cache_peak_bytes", static_cast<uint64_t>(stats.peak_bytes))
+          .field("protected_bytes",
+                 static_cast<uint64_t>(stats.protected_bytes))
+          .field("checked", static_cast<uint64_t>(checked))
+          .field("correct", static_cast<uint64_t>(correct))
+          .field("hw_threads",
+                 static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    }
   }
 }
 
@@ -295,17 +434,24 @@ int run(const Options& opt) {
             << " MB) + single-flight batcher.\n\n";
   Table table({"family", "n", "m", "threads", "cache", "qps", "p50_us",
                "p99_us", "hit_rate", "speedup"});
+  Table scan_table({"family", "threads", "admission", "qps", "hit_rate",
+                    "base_hit_rate", "evictions"});
   JsonRows json;
 
-  bench_family(table, json, opt, "gnp(400)",
-               gnp_connected(400, 16.0 / 400, 1234));
+  const Graph g400 = gnp_connected(400, 16.0 / 400, 1234);
+  bench_family(table, json, opt, "gnp(400)", g400);
   if (!opt.small) {
     bench_family(table, json, opt, "gnp(2000)",
                  gnp_connected(2000, 8.0 / 2000, 1236));
     bench_family(table, json, opt, "cliquechain(20,20)", clique_chain(20, 20));
   }
+  bench_fault_scan(scan_table, json, opt, "gnp(400)", g400);
 
   table.print();
+  std::cout << "\nFault-scan admission scenario (small budget, sweeping "
+               "fault keys;\nflat = protected_fraction 0, segmented = base "
+               "trees protected):\n";
+  scan_table.print();
   std::cout << "Expected shape: cache_on hit rate approaches 1 on the "
                "repeated-root workload, so qps is bounded by tree lookups\n"
                "+ O(d) path walks instead of full Dijkstra recomputes; "

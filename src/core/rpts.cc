@@ -10,20 +10,20 @@
 
 namespace restorable {
 
-std::vector<Spt> cached_spt_batch(
+std::vector<SptHandle> cached_spt_batch(
     uint64_t scheme_id, SptCache& cache, std::span<const SsspRequest> requests,
     const std::function<std::vector<Spt>(std::span<const SsspRequest>)>&
         compute_misses) {
-  std::vector<Spt> out(requests.size());
-  std::vector<std::shared_ptr<const Spt>> resident(requests.size());
+  std::vector<SptHandle> out(requests.size());
 
-  // Pass 1: resolve hits; group the missing slots by key so each unique
-  // missing tree is computed once per batch.
+  // Pass 1: resolve hits zero-copy (the cached pointer IS the result); group
+  // the missing slots by key so each unique missing tree is computed once
+  // per batch.
   std::unordered_map<SptKey, std::vector<size_t>, SptKeyHash> miss_slots;
   std::vector<SsspRequest> miss_reqs;
   for (size_t i = 0; i < requests.size(); ++i) {
     SptKey key(scheme_id, requests[i]);
-    if ((resident[i] = cache.lookup(key))) continue;
+    if ((out[i] = cache.lookup(key))) continue;
     auto [it, fresh] = miss_slots.try_emplace(std::move(key));
     if (fresh) miss_reqs.push_back(requests[i]);
     it->second.push_back(i);
@@ -31,18 +31,18 @@ std::vector<Spt> cached_spt_batch(
 
   // Pass 2: one engine batch over the unique misses, then publish. miss_reqs
   // preserves first-appearance order, so computed[k] matches the k-th
-  // distinct missing key.
+  // distinct missing key. Each tree is wrapped into a handle exactly once;
+  // the cache and every requesting slot share it (insert may prefer an
+  // already-resident bit-identical tree from a racing writer).
   if (!miss_reqs.empty()) {
     std::vector<Spt> computed = compute_misses(miss_reqs);
     for (size_t k = 0; k < miss_reqs.size(); ++k) {
       const SptKey key(scheme_id, miss_reqs[k]);
       auto tree = std::make_shared<const Spt>(std::move(computed[k]));
-      cache.insert(key, tree);
-      for (size_t slot : miss_slots.at(key)) resident[slot] = tree;
+      if (auto resident = cache.insert(key, tree)) tree = std::move(resident);
+      for (size_t slot : miss_slots.at(key)) out[slot] = tree;
     }
   }
-
-  for (size_t i = 0; i < requests.size(); ++i) out[i] = *resident[i];
   return out;
 }
 
@@ -55,9 +55,9 @@ uint64_t IRpts::next_scheme_id() {
 
 IRpts::IRpts() : scheme_id_(next_scheme_id()) {}
 
-std::vector<Spt> IRpts::spt_batch(std::span<const SsspRequest> requests,
-                                  const BatchSsspEngine* engine,
-                                  SptCache* cache) const {
+std::vector<SptHandle> IRpts::spt_batch(std::span<const SsspRequest> requests,
+                                        const BatchSsspEngine* engine,
+                                        SptCache* cache) const {
   // Generic fan-out for schemes without a batch fast path (ArbitraryRpts):
   // each request still runs on the engine's pool, results in request order.
   const BatchSsspEngine& eng = BatchSsspEngine::or_shared(engine);
@@ -68,7 +68,7 @@ std::vector<Spt> IRpts::spt_batch(std::span<const SsspRequest> requests,
     });
     return out;
   };
-  if (!cache) return compute(requests);
+  if (!cache) return share_spts(compute(requests));
   return cached_spt_batch(scheme_id(), *cache, requests, compute);
 }
 

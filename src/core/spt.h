@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -66,5 +67,17 @@ struct Spt {
   // storage). This is what the serving cache's byte budget accounts.
   size_t memory_bytes() const;
 };
+
+// The canonical tree currency of the library. Trees are deterministic
+// functions of (scheme, root, faults, dir) and are therefore shared, never
+// copied: IRpts::spt_batch hands them out as SptHandle, the serving cache
+// (serve/spt_cache.h) retains the same pointers, and consumers that keep
+// trees beyond construction (two-fault oracle, sourcewise-rp) hold handles.
+// Ownership rules: the pointee is immutable -- never mutate through a
+// handle, never const_cast; a handle stays valid across cache evictions
+// (eviction only drops the cache's reference); equality of handles implies
+// bit-identical trees, but distinct handles may also be bit-identical
+// (e.g. computed before and after an eviction).
+using SptHandle = std::shared_ptr<const Spt>;
 
 }  // namespace restorable

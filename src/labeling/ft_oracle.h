@@ -23,8 +23,11 @@ class FtDistanceOracle {
  public:
   // Builds the f-FT S x V preserver under the given restorable scheme; the
   // preserver's SSSP fan-out runs on `engine` (nullptr = shared engine).
+  // A non-null `cache` routes the exploration's trees through the shared
+  // SPT store, deduplicating them against every other consumer.
   FtDistanceOracle(const IRpts& pi, std::span<const Vertex> sources, int f,
-                   const BatchSsspEngine* engine = nullptr);
+                   const BatchSsspEngine* engine = nullptr,
+                   SptCache* cache = nullptr);
 
   int fault_tolerance() const { return f_; }
   // One extra fault is supported for queries with both endpoints in S

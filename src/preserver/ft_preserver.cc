@@ -33,11 +33,11 @@ void explore(const IRpts& pi, Vertex s, int f, EdgeSubset& out,
     std::vector<SsspRequest> reqs;
     reqs.reserve(level.size());
     for (const FaultSet& fs : level) reqs.push_back({s, fs, Direction::kOut});
-    const std::vector<Spt> trees = pi.spt_batch(reqs, engine, cache);
+    const std::vector<SptHandle> trees = pi.spt_batch(reqs, engine, cache);
 
     std::vector<FaultSet> next;
     for (size_t i = 0; i < trees.size(); ++i) {
-      const auto edges = trees[i].tree_edges();
+      const auto edges = trees[i]->tree_edges();
       out.insert_all(edges);
       if (depth == f) continue;
       for (EdgeId e : edges) {
@@ -78,13 +78,13 @@ EdgeSubset build_pairwise_preserver(const IRpts& pi,
   std::vector<SsspRequest> reqs;
   reqs.reserve(sources.size());
   for (Vertex s : sources) reqs.push_back({s, {}, Direction::kOut});
-  const std::vector<Spt> trees = pi.spt_batch(reqs, nullptr, cache);
+  const std::vector<SptHandle> trees = pi.spt_batch(reqs, nullptr, cache);
 
   EdgeSubset out(pi.graph());
   for (size_t i = 0; i < sources.size(); ++i) {
     for (Vertex t : sources) {
-      if (t == sources[i] || !trees[i].reachable(t)) continue;
-      const Path p = trees[i].path_to(t);
+      if (t == sources[i] || !trees[i]->reachable(t)) continue;
+      const Path p = trees[i]->path_to(t);
       out.insert_all(p.edges);
     }
   }

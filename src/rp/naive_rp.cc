@@ -22,11 +22,11 @@ SubsetRpResult naive_subset_replacement_paths(const IsolationRpts& pi,
   const BatchSsspEngine& eng = BatchSsspEngine::or_shared(engine);
   SubsetRpResult res;
 
-  // Base trees: one batch over all sources.
+  // Base trees: one batch over all sources, held as shared handles.
   std::vector<SsspRequest> tree_reqs;
   tree_reqs.reserve(sources.size());
   for (Vertex s : sources) tree_reqs.push_back({s, {}, Direction::kOut});
-  const std::vector<Spt> trees = eng.run_batch_spt(g, pi.policy(), tree_reqs);
+  const std::vector<SptHandle> trees = pi.spt_batch(tree_reqs, engine);
 
   // Base paths per pair, then one early-exit BFS per (pair, base-path edge)
   // -- the unchanged baseline work -- fanned out over the engine's pool.
@@ -42,7 +42,7 @@ SubsetRpResult naive_subset_replacement_paths(const IsolationRpts& pi,
       PairReplacementPaths out;
       out.s1 = sources[i];
       out.s2 = sources[j];
-      out.base_path = trees[i].path_to(sources[j]);
+      out.base_path = trees[i]->path_to(sources[j]);
       out.replacement.assign(out.base_path.length(), kUnreachable);
       for (size_t k = 0; k < out.base_path.length(); ++k)
         slots.push_back({res.pairs.size(), k});

@@ -23,7 +23,6 @@
 #pragma once
 
 #include <algorithm>
-#include <queue>
 #include <vector>
 
 #include "core/dijkstra.h"
@@ -40,6 +39,32 @@ struct ReplacementPathsResult {
   std::vector<int32_t> replacement;
 };
 
+// Pooled per-thread state for single_pair_replacement_paths: the two SSSP
+// results, the path-indexing arrays (pos / l / r / on_p), the candidate
+// activation buckets, and the sweep heap. Under the subset-rp fan-out this
+// function runs once per source pair on long-lived pool workers; pooling
+// these arrays (like DijkstraWorkspace pools the SSSP state) makes the
+// whole per-pair solve allocation-free after warmup.
+template <typename Policy>
+struct PairRpWorkspace {
+  struct Candidate {
+    int32_t hops;
+    typename Policy::Tie tie;
+    int32_t deadline;  // covers failures up to r(v)
+  };
+  DijkstraResult<Policy> from_s, to_t;
+  std::vector<int32_t> pos, l, r;
+  std::vector<char> on_p;
+  std::vector<std::vector<Candidate>> activate;
+  std::vector<Candidate> heap;
+};
+
+template <typename Policy>
+PairRpWorkspace<Policy>& pair_rp_workspace() {
+  thread_local PairRpWorkspace<Policy> ws;
+  return ws;
+}
+
 template <typename Policy>
 ReplacementPathsResult single_pair_replacement_paths(const Graph& g,
                                                      const Policy& policy,
@@ -48,7 +73,11 @@ ReplacementPathsResult single_pair_replacement_paths(const Graph& g,
   // Workspace-based SSSP (engine/dijkstra_workspace.h): same results as
   // tiebroken_sssp, but the heap/marks are reused across calls on this
   // thread -- this is the innermost loop of the batched subset-rp fan-out.
-  DijkstraResult<Policy> from_s, to_t;
+  // The per-pair arrays live in the pooled workspace for the same reason;
+  // assign() below reuses their capacity run over run.
+  PairRpWorkspace<Policy>& ws = pair_rp_workspace<Policy>();
+  DijkstraResult<Policy>& from_s = ws.from_s;
+  DijkstraResult<Policy>& to_t = ws.to_t;
   tiebroken_sssp_into(g, policy, s, {}, Direction::kOut,
                       thread_workspace<Policy>(), from_s);
   if (!from_s.spt.reachable(t)) return res;
@@ -62,15 +91,18 @@ ReplacementPathsResult single_pair_replacement_paths(const Graph& g,
 
   // Index P's vertices and edges.
   const Vertex n = g.num_vertices();
-  std::vector<int32_t> pos(n, -1);  // pos[p_j] = j
+  std::vector<int32_t>& pos = ws.pos;  // pos[p_j] = j
+  pos.assign(n, -1);
   for (size_t j = 0; j < res.base_path.vertices.size(); ++j)
     pos[res.base_path.vertices[j]] = static_cast<int32_t>(j);
-  std::vector<char> on_p(g.num_edges(), 0);
+  std::vector<char>& on_p = ws.on_p;
+  on_p.assign(g.num_edges(), 0);
   for (EdgeId e : res.base_path.edges) on_p[e] = 1;
 
   // l(u): number of P-edges on the selected s ~> u path (a prefix, by
   // consistency). Computed by propagating down the out-tree.
-  std::vector<int32_t> l(n, 0);
+  std::vector<int32_t>& l = ws.l;
+  l.assign(n, 0);
   for (Vertex v : from_s.spt.top_order()) {
     if (v == s) continue;
     const Vertex par = from_s.spt.parent[v];
@@ -79,7 +111,8 @@ ReplacementPathsResult single_pair_replacement_paths(const Graph& g,
   }
   // r(v): d minus the number of P-edges on the selected v ~> t path (a
   // suffix), i.e. the selected v ~> t path uses e_{r(v)+1} .. e_d.
-  std::vector<int32_t> r(n, 0);
+  std::vector<int32_t>& r = ws.r;
+  r.assign(n, 0);
   for (Vertex v : to_t.spt.top_order()) {
     if (v == t) {
       r[v] = static_cast<int32_t>(d);
@@ -92,13 +125,11 @@ ReplacementPathsResult single_pair_replacement_paths(const Graph& g,
 
   // Candidates: every arc (u, v) with both trees reaching u resp. v and
   // (u, v) not a P-edge. Candidate value is exact perturbed length; bucketed
-  // by activation index l(u) + 1.
-  struct Candidate {
-    int32_t hops;
-    typename Policy::Tie tie;
-    int32_t deadline;  // covers failures up to r(v)
-  };
-  std::vector<std::vector<Candidate>> activate(d + 2);
+  // by activation index l(u) + 1. Buckets are cleared, not reallocated.
+  using Candidate = typename PairRpWorkspace<Policy>::Candidate;
+  std::vector<std::vector<Candidate>>& activate = ws.activate;
+  if (activate.size() < d + 2) activate.resize(d + 2);
+  for (size_t i = 0; i <= d + 1; ++i) activate[i].clear();
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (on_p[e]) continue;
     const Edge& ed = g.endpoints(e);
@@ -128,20 +159,26 @@ ReplacementPathsResult single_pair_replacement_paths(const Graph& g,
   }
 
   // Sweep failures i = 1..d with a lazy-deletion min-heap ordered by exact
-  // perturbed length.
+  // perturbed length. The heap storage is pooled; std::push_heap/pop_heap
+  // on it are exactly priority_queue's operations without the allocation.
   auto cmp = [&policy](const Candidate& a, const Candidate& b) {
     if (a.hops != b.hops) return a.hops > b.hops;
     return policy.compare(a.tie, b.tie) > 0;
   };
-  std::priority_queue<Candidate, std::vector<Candidate>, decltype(cmp)> heap(
-      cmp);
+  std::vector<Candidate>& heap = ws.heap;
+  heap.clear();
   for (size_t i = 1; i <= d; ++i) {
-    for (auto& c : activate[i]) heap.push(std::move(c));
+    for (auto& c : activate[i]) {
+      heap.push_back(std::move(c));
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
     while (!heap.empty() &&
-           heap.top().deadline < static_cast<int32_t>(i))
-      heap.pop();
+           heap.front().deadline < static_cast<int32_t>(i)) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.pop_back();
+    }
     if (!heap.empty())
-      res.replacement[i - 1] = heap.top().hops;
+      res.replacement[i - 1] = heap.front().hops;
   }
   return res;
 }

@@ -4,12 +4,17 @@
 
 namespace restorable {
 
-SourcewiseReplacementPaths::SourcewiseReplacementPaths(const IRpts& pi,
-                                                       Vertex s)
-    : s_(s), base_(pi.spt(s, {}, Direction::kOut)) {
+SourcewiseReplacementPaths::SourcewiseReplacementPaths(
+    const IRpts& pi, Vertex s, const BatchSsspEngine* engine, SptCache* cache)
+    : s_(s) {
+  // The base tree through the same batch API as everything else: a cache
+  // hit hands back the resident handle zero-copy.
+  const SsspRequest base_req[1] = {{s, {}, Direction::kOut}};
+  base_ = pi.spt_batch(base_req, engine, cache)[0];
+
   const Graph& g = pi.graph();
   std::vector<char> in_preserver(g.num_edges(), 0);
-  const std::vector<EdgeId> tree_edges = base_.tree_edges();
+  const std::vector<EdgeId> tree_edges = base_->tree_edges();
   for (EdgeId e : tree_edges) in_preserver[e] = 1;
 
   // One SSSP per faulted tree edge -- the n-1 run fan-out this structure is
@@ -17,13 +22,13 @@ SourcewiseReplacementPaths::SourcewiseReplacementPaths(const IRpts& pi,
   std::vector<SsspRequest> reqs;
   reqs.reserve(tree_edges.size());
   for (EdgeId e : tree_edges) reqs.push_back({s, FaultSet{e}, Direction::kOut});
-  const std::vector<Spt> repls = pi.spt_batch(reqs);
+  const std::vector<SptHandle> repls = pi.spt_batch(reqs, engine, cache);
 
   std::vector<EdgeId> visited(g.num_vertices(), kNoEdge);  // per-fault marker
   for (size_t idx = 0; idx < tree_edges.size(); ++idx) {
     const EdgeId e = tree_edges[idx];
-    const auto cut = base_.paths_using_edge(e);
-    const Spt& repl = repls[idx];
+    const auto cut = base_->paths_using_edge(e);
+    const Spt& repl = *repls[idx];
     auto& row = table_[e];
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
       if (!cut[v]) continue;
@@ -49,10 +54,10 @@ SourcewiseReplacementPaths::SourcewiseReplacementPaths(const IRpts& pi,
 
 int32_t SourcewiseReplacementPaths::query(Vertex v, EdgeId e) const {
   const auto it = table_.find(e);
-  if (it == table_.end()) return base_.hops[v];  // fault off every path
+  if (it == table_.end()) return base_->hops[v];  // fault off every path
   const auto hit = it->second.find(v);
   // Fault on the tree but not on pi(s, v): stability again.
-  return hit == it->second.end() ? base_.hops[v] : hit->second;
+  return hit == it->second.end() ? base_->hops[v] : hit->second;
 }
 
 size_t SourcewiseReplacementPaths::entries() const {

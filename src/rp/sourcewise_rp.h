@@ -22,8 +22,13 @@ namespace restorable {
 class SourcewiseReplacementPaths {
  public:
   // Preprocesses all single-fault distances from s: O(n) tiebroken SSSP
-  // runs (only tree-edge faults matter).
-  SourcewiseReplacementPaths(const IRpts& pi, Vertex s);
+  // runs (only tree-edge faults matter), submitted as one batch over
+  // `engine` (nullptr = shared engine). A non-null `cache` resolves the
+  // base tree and every fault tree through the shared SPT store -- the same
+  // (s, {}) / (s, {e}) keys the serving path and the two-fault oracle use.
+  SourcewiseReplacementPaths(const IRpts& pi, Vertex s,
+                             const BatchSsspEngine* engine = nullptr,
+                             SptCache* cache = nullptr);
 
   Vertex source() const { return s_; }
 
@@ -32,7 +37,7 @@ class SourcewiseReplacementPaths {
   int32_t query(Vertex v, EdgeId e) const;
 
   // The fault-free selected distance.
-  int32_t base_distance(Vertex v) const { return base_.hops[v]; }
+  int32_t base_distance(Vertex v) const { return base_->hops[v]; }
 
   // Number of stored replacement entries (the structure's space).
   size_t entries() const;
@@ -43,7 +48,9 @@ class SourcewiseReplacementPaths {
 
  private:
   Vertex s_;
-  Spt base_;
+  // Retained as a shared handle: zero-copy when fetched from a cache, and
+  // still valid if the cache later evicts the tree (see SptHandle).
+  SptHandle base_;
   // Per faulted tree edge: the replacement distances of the vertices whose
   // selected path used that edge.
   std::unordered_map<EdgeId, std::unordered_map<Vertex, int32_t>> table_;

@@ -16,16 +16,17 @@ SubsetRpResult subset_replacement_paths(const IsolationRpts& pi,
 
   // Step 1: out-trees under the restorable scheme, one batched SSSP
   // submission for all sources (resolved through the shared tree store when
-  // a cache is attached).
+  // a cache is attached). Handles, not copies: on cache hits the trees are
+  // read in place from the shared store.
   std::vector<SsspRequest> tree_reqs;
   tree_reqs.reserve(sources.size());
   for (Vertex s : sources) tree_reqs.push_back({s, {}, Direction::kOut});
-  const std::vector<Spt> trees = pi.spt_batch(tree_reqs, engine, cache);
+  const std::vector<SptHandle> trees = pi.spt_batch(tree_reqs, engine, cache);
 
   std::vector<std::vector<EdgeId>> tree_edges;
   tree_edges.reserve(sources.size());
-  for (const Spt& t : trees) {
-    tree_edges.push_back(t.tree_edges());
+  for (const SptHandle& t : trees) {
+    tree_edges.push_back(t->tree_edges());
     res.tree_edges_total += tree_edges.back().size();
   }
 

@@ -13,19 +13,19 @@ TwoFaultSubsetOracle::TwoFaultSubsetOracle(const IRpts& pi,
   std::vector<SsspRequest> base_reqs;
   base_reqs.reserve(sources.size());
   for (Vertex s : sources) base_reqs.push_back({s, {}, Direction::kOut});
-  std::vector<Spt> bases = pi.spt_batch(base_reqs, engine, cache);
+  std::vector<SptHandle> bases = pi.spt_batch(base_reqs, engine, cache);
 
   // Batch 2: one tree per (source, faulted base-tree edge) -- the Theta(n)
   // fault fan-out per source that dominates preprocessing.
   std::vector<std::pair<Vertex, EdgeId>> keys;
   std::vector<SsspRequest> fault_reqs;
   for (size_t i = 0; i < sources.size(); ++i) {
-    for (EdgeId e : bases[i].tree_edges()) {
+    for (EdgeId e : bases[i]->tree_edges()) {
       keys.emplace_back(sources[i], e);
       fault_reqs.push_back({sources[i], FaultSet{e}, Direction::kOut});
     }
   }
-  std::vector<Spt> fault_trees = pi.spt_batch(fault_reqs, engine, cache);
+  std::vector<SptHandle> fault_trees = pi.spt_batch(fault_reqs, engine, cache);
 
   for (size_t i = 0; i < sources.size(); ++i) {
     PerSource ps;
@@ -53,9 +53,9 @@ int32_t TwoFaultSubsetOracle::query(Vertex s1, Vertex s2,
   int32_t best = kUnreachable;
   for (const FaultSet& sub : subsets) {
     // tree(s, F') -- F' is {} or one edge.
-    const Spt& t1 = sub.empty() ? it1->second.base
+    const Spt& t1 = sub.empty() ? *it1->second.base
                                 : tree(it1->second, *sub.begin());
-    const Spt& t2 = sub.empty() ? it2->second.base
+    const Spt& t2 = sub.empty() ? *it2->second.base
                                 : tree(it2->second, *sub.begin());
     const auto bad1 = t1.paths_using_any(faults);
     const auto bad2 = t2.paths_using_any(faults);

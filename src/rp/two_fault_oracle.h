@@ -45,15 +45,19 @@ class TwoFaultSubsetOracle {
   size_t trees_stored() const;
 
  private:
+  // Trees are retained as shared handles: when built over a cache, the
+  // oracle and the serving path reference the SAME resident trees -- the
+  // oracle's footprint is pointers, not tree copies (and a later cache
+  // eviction cannot invalidate them; see SptHandle).
   struct PerSource {
-    Spt base;
-    std::unordered_map<EdgeId, Spt> under_fault;  // key: faulted tree edge
+    SptHandle base;
+    std::unordered_map<EdgeId, SptHandle> under_fault;  // key: faulted edge
   };
 
   // Tree pi(s, . | {e}); by stability the base tree when e is not on it.
   const Spt& tree(const PerSource& ps, EdgeId e) const {
     const auto it = ps.under_fault.find(e);
-    return it == ps.under_fault.end() ? ps.base : it->second;
+    return it == ps.under_fault.end() ? *ps.base : *it->second;
   }
 
   const Graph* g_;

@@ -1,6 +1,8 @@
 #include "serve/coalescing_batcher.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <iterator>
 #include <utility>
 
 namespace restorable {
@@ -36,6 +38,7 @@ CoalescingBatcher::Enrollment CoalescingBatcher::enroll(
     inflight_.erase(ins.first);
     throw;
   }
+  if (pending_.size() > max_queue_depth_) max_queue_depth_ = pending_.size();
   if (!flushing_) {
     flushing_ = true;
     e.leader = true;
@@ -43,7 +46,7 @@ CoalescingBatcher::Enrollment CoalescingBatcher::enroll(
   return e;
 }
 
-std::shared_ptr<const Spt> CoalescingBatcher::await(InFlight& fl) {
+SptHandle CoalescingBatcher::await(InFlight& fl) {
   std::unique_lock<std::mutex> lock(fl.mu);
   fl.cv.wait(lock, [&] { return fl.done; });
   if (fl.error) std::rethrow_exception(fl.error);
@@ -59,11 +62,26 @@ void CoalescingBatcher::flush_loop() {
         flushing_ = false;
         return;
       }
-      batch.swap(pending_);
+      // Bounded drain (max_batch_ > 0): take the oldest keys up to the cap,
+      // leave the rest queued for the next iteration (their waiters stay
+      // parked on their in-flight entries, so nothing is lost -- latency is
+      // just paid in installments instead of one unbounded batch).
+      const size_t take = max_batch_ > 0
+                              ? std::min(max_batch_, pending_.size())
+                              : pending_.size();
+      batch.assign(std::make_move_iterator(pending_.begin()),
+                   std::make_move_iterator(pending_.begin() +
+                                           static_cast<ptrdiff_t>(take)));
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<ptrdiff_t>(take));
       flushes_.fetch_add(1, std::memory_order_relaxed);
       computed_.fetch_add(batch.size(), std::memory_order_relaxed);
-      if (batch.size() > max_batch_.load(std::memory_order_relaxed))
-        max_batch_.store(batch.size(), std::memory_order_relaxed);
+      if (batch.size() > largest_batch_.load(std::memory_order_relaxed))
+        largest_batch_.store(batch.size(), std::memory_order_relaxed);
+      size_t bucket = 0;
+      while ((batch.size() >> (bucket + 1)) > 0 && bucket + 1 < kHistBuckets)
+        ++bucket;
+      ++batch_hist_[bucket];
     }
 
     // One engine submission for the whole batch; no batcher lock held, so
@@ -71,7 +89,7 @@ void CoalescingBatcher::flush_loop() {
     // can throw (e.g. bad_alloc) stays inside a try: a throw must fail the
     // affected flights, not abandon the batch, so flushing_ can never be
     // left stuck true and no waiter blocks forever.
-    std::vector<Spt> trees;
+    std::vector<SptHandle> trees;
     std::exception_ptr error;
     try {
       std::vector<SsspRequest> reqs;
@@ -83,16 +101,18 @@ void CoalescingBatcher::flush_loop() {
     }
 
     for (size_t i = 0; i < batch.size(); ++i) {
-      std::shared_ptr<const Spt> tree;
+      SptHandle tree;
       std::exception_ptr item_error = error;
       if (!item_error) {
-        // Publication itself allocates (shared_ptr control block, cache
-        // nodes) and so can throw too; such a throw must fail THIS flight,
-        // not abandon the rest of the batch.
+        // Publication can allocate (cache nodes) and so can throw too; such
+        // a throw must fail THIS flight, not abandon the rest of the batch.
         try {
-          tree = std::make_shared<const Spt>(std::move(trees[i]));
-          // Publish to the cache; a budget-rejected insert returns null, in
-          // which case waiters still get the computed tree.
+          tree = std::move(trees[i]);
+          computed_bytes_.fetch_add(tree->memory_bytes(),
+                                    std::memory_order_relaxed);
+          // Publish the SAME handle to the cache (zero-copy admission); a
+          // budget-rejected insert returns null, in which case waiters
+          // still get the computed tree.
           if (cache_) {
             if (auto resident = cache_->insert(batch[i].first, tree))
               tree = std::move(resident);
@@ -121,7 +141,7 @@ void CoalescingBatcher::flush_loop() {
   }
 }
 
-std::shared_ptr<const Spt> CoalescingBatcher::get(const SsspRequest& req) {
+SptHandle CoalescingBatcher::get(const SsspRequest& req) {
   const SptKey key(pi_->scheme_id(), req);
   if (cache_) {
     // Hit fast path: shard lock only, no batcher mutex.
@@ -136,9 +156,9 @@ std::shared_ptr<const Spt> CoalescingBatcher::get(const SsspRequest& req) {
   return await(*e.fl);
 }
 
-std::vector<std::shared_ptr<const Spt>> CoalescingBatcher::get_batch(
+std::vector<SptHandle> CoalescingBatcher::get_batch(
     std::span<const SsspRequest> requests) {
-  std::vector<std::shared_ptr<const Spt>> out(requests.size());
+  std::vector<SptHandle> out(requests.size());
   std::vector<std::pair<size_t, std::shared_ptr<InFlight>>> waits;
   bool leader = false;
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -168,8 +188,14 @@ CoalescingBatcher::Stats CoalescingBatcher::stats() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
   s.computed = computed_.load(std::memory_order_relaxed);
+  s.computed_bytes = computed_bytes_.load(std::memory_order_relaxed);
   s.flushes = flushes_.load(std::memory_order_relaxed);
-  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.max_batch = largest_batch_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.max_queue_depth = max_queue_depth_;
+    for (size_t i = 0; i < kHistBuckets; ++i) s.batch_hist[i] = batch_hist_[i];
+  }
   return s;
 }
 

@@ -8,7 +8,9 @@
 //
 // Flush policy (leader-drains): a miss enqueues its key and, if no flush is
 // running, the calling thread becomes the leader. The leader repeatedly
-// swaps out the whole pending queue and executes it as one
+// swaps out the pending queue -- bounded by `max_batch` when set, so a
+// single flush cannot balloon under overload and queued followers get
+// results in bounded installments -- and executes it as one
 // IRpts::spt_batch call until the queue stays empty, then steps down --
 // so misses arriving while a batch computes accumulate and form the next
 // batch (natural batching under load, zero added latency when idle).
@@ -21,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -36,19 +39,32 @@ namespace restorable {
 
 class CoalescingBatcher {
  public:
+  // Batch-size histogram: bucket k counts flushes of size in
+  // [2^k, 2^(k+1)), i.e. bucket 0 = size 1, bucket 1 = 2-3, bucket 2 =
+  // 4-7, ... Fixed width covers any realistic flush (2^15 trees).
+  static constexpr size_t kHistBuckets = 16;
+
   struct Stats {
-    uint64_t requests = 0;    // get()/get_batch() tree fetches
-    uint64_t coalesced = 0;   // joined an already-in-flight computation
-    uint64_t computed = 0;    // trees actually run on the engine
-    uint64_t flushes = 0;     // engine batches issued
-    uint64_t max_batch = 0;   // largest single flush
+    uint64_t requests = 0;        // get()/get_batch() tree fetches
+    uint64_t coalesced = 0;       // joined an already-in-flight computation
+    uint64_t computed = 0;        // trees actually run on the engine
+    uint64_t computed_bytes = 0;  // memory_bytes() of those trees: the
+                                  // bytes-materialized cost of all misses
+    uint64_t flushes = 0;         // engine batches issued
+    uint64_t max_batch = 0;       // largest single flush
+    uint64_t max_queue_depth = 0; // pending-queue high-water mark
+    uint64_t batch_hist[kHistBuckets] = {};  // flush sizes, log2 buckets
   };
 
   // `cache` may be null: the batcher then still deduplicates concurrent
   // requests (single-flight) but retains nothing across quiescence.
+  // `max_batch` caps how many pending keys one flush drains (0 =
+  // unbounded): under overload the leader issues bounded engine batches,
+  // keeping per-flush latency bounded while the queue drains in order.
   CoalescingBatcher(const IRpts& pi, SptCache* cache,
-                    const BatchSsspEngine* engine = nullptr)
-      : pi_(&pi), cache_(cache), engine_(engine) {}
+                    const BatchSsspEngine* engine = nullptr,
+                    size_t max_batch = 0)
+      : pi_(&pi), cache_(cache), engine_(engine), max_batch_(max_batch) {}
 
   CoalescingBatcher(const CoalescingBatcher&) = delete;
   CoalescingBatcher& operator=(const CoalescingBatcher&) = delete;
@@ -58,13 +74,12 @@ class CoalescingBatcher {
   // is genuinely being computed. If the compute batch throws (e.g.
   // bad_alloc), the exception propagates to every caller waiting on that
   // batch and the batcher stays serviceable for later requests.
-  std::shared_ptr<const Spt> get(const SsspRequest& req);
+  SptHandle get(const SsspRequest& req);
 
   // Batch variant: registers every miss before flushing once, so the whole
   // batch rides one engine submission (plus whatever concurrent callers
   // piled on). Results in request order.
-  std::vector<std::shared_ptr<const Spt>> get_batch(
-      std::span<const SsspRequest> requests);
+  std::vector<SptHandle> get_batch(std::span<const SsspRequest> requests);
 
   Stats stats() const;
 
@@ -73,7 +88,7 @@ class CoalescingBatcher {
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;
-    std::shared_ptr<const Spt> tree;
+    SptHandle tree;
     std::exception_ptr error;  // set instead of tree when the batch threw
   };
 
@@ -81,31 +96,40 @@ class CoalescingBatcher {
   // double-check, else the in-flight entry to wait on, plus whether the
   // caller must drive the flush loop.
   struct Enrollment {
-    std::shared_ptr<const Spt> hit;
+    SptHandle hit;
     std::shared_ptr<InFlight> fl;
     bool leader = false;
   };
 
   Enrollment enroll(const SptKey& key, const SsspRequest& req);
   void flush_loop();
-  static std::shared_ptr<const Spt> await(InFlight& fl);
+  static SptHandle await(InFlight& fl);
 
   const IRpts* pi_;
   SptCache* cache_;
   const BatchSsspEngine* engine_;
+  const size_t max_batch_;  // 0 = drain everything per flush
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::unordered_map<SptKey, std::shared_ptr<InFlight>, SptKeyHash> inflight_;
-  std::vector<std::pair<SptKey, SsspRequest>> pending_;  // not yet flushed
+  // Not-yet-flushed misses; a deque so the bounded drain pops prefixes in
+  // O(taken), not O(remaining) -- the remainder must not be shifted under
+  // mu_ while enrolling callers wait.
+  std::deque<std::pair<SptKey, SsspRequest>> pending_;
   bool flushing_ = false;
+  // Flush-shape telemetry, mutated only under mu_ (flush boundaries and
+  // enroll already hold it).
+  uint64_t max_queue_depth_ = 0;
+  uint64_t batch_hist_[kHistBuckets] = {};
 
   // Counters are atomics so the cache-hit fast path never touches mu_ (the
   // sharded cache is the only lock a steady-state hit takes).
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> computed_{0};
+  std::atomic<uint64_t> computed_bytes_{0};
   std::atomic<uint64_t> flushes_{0};
-  std::atomic<uint64_t> max_batch_{0};
+  std::atomic<uint64_t> largest_batch_{0};
 };
 
 }  // namespace restorable

@@ -7,21 +7,28 @@ OracleServer::OracleServer(const IRpts& pi, ServerConfig config)
   if (config_.enable_cache)
     cache_ = std::make_unique<SptCache>(config_.cache);
   if (config_.enable_coalescing)
-    batcher_ = std::make_unique<CoalescingBatcher>(pi, cache_.get(),
-                                                   config_.engine);
+    batcher_ = std::make_unique<CoalescingBatcher>(
+        pi, cache_.get(), config_.engine, config_.max_batch);
 }
 
-std::shared_ptr<const Spt> OracleServer::tree(const SsspRequest& req) {
+SptHandle OracleServer::tree(const SsspRequest& req) {
   if (batcher_) return batcher_->get(req);
   const SptKey key(pi_->scheme_id(), req);
   if (cache_) {
     if (auto t = cache_->lookup(key)) return t;
   }
   auto t = std::make_shared<const Spt>(pi_->spt(req.root, req.faults, req.dir));
+  direct_bytes_.fetch_add(t->memory_bytes(), std::memory_order_relaxed);
   if (cache_) {
     if (auto resident = cache_->insert(key, t)) return resident;
   }
   return t;
+}
+
+uint64_t OracleServer::bytes_materialized() const {
+  uint64_t total = direct_bytes_.load(std::memory_order_relaxed);
+  if (batcher_) total += batcher_->stats().computed_bytes;
+  return total;
 }
 
 int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults) {

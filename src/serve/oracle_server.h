@@ -32,9 +32,10 @@
 namespace restorable {
 
 struct ServerConfig {
-  SptCache::Config cache;           // shards + byte budget
+  SptCache::Config cache;           // shards + budget + protected fraction
   bool enable_cache = true;         // false: recompute every fetch
   bool enable_coalescing = true;    // false: no single-flight (baseline)
+  size_t max_batch = 0;             // cap per-flush drain (0 = unbounded)
   const BatchSsspEngine* engine = nullptr;  // nullptr = shared engine
 };
 
@@ -45,8 +46,8 @@ class OracleServer {
   const IRpts& scheme() const { return *pi_; }
 
   // The tree for `req` through the serving stack (shared with any
-  // concurrent reader; do not mutate).
-  std::shared_ptr<const Spt> tree(const SsspRequest& req);
+  // concurrent reader; see SptHandle for the ownership rules).
+  SptHandle tree(const SsspRequest& req);
 
   // Hops of pi(s, t | F); kUnreachable if disconnected in G \ F.
   int32_t distance(Vertex s, Vertex t, const FaultSet& faults = {});
@@ -65,6 +66,12 @@ class OracleServer {
   uint64_t stability_fast_paths() const {
     return stability_hits_.load(std::memory_order_relaxed);
   }
+  // Total Spt bytes this server materialized (fresh Dijkstra results,
+  // whether through the batcher or direct computes). Cache hits and
+  // coalesced waits materialize nothing -- handles alias resident trees --
+  // so bytes_materialized / queries_served is the bytes-per-query cost the
+  // zero-copy serving stack is judged by.
+  uint64_t bytes_materialized() const;
 
   // Null when the respective layer is disabled by config.
   SptCache* cache() { return cache_ ? cache_.get() : nullptr; }
@@ -77,6 +84,7 @@ class OracleServer {
   std::unique_ptr<CoalescingBatcher> batcher_;  // only if enable_coalescing
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> stability_hits_{0};
+  std::atomic<uint64_t> direct_bytes_{0};  // materialized without a batcher
 };
 
 }  // namespace restorable

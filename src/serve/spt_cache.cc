@@ -19,6 +19,9 @@ SptCache::SptCache(Config config) {
   const size_t shards = std::max<size_t>(1, config.shards);
   byte_budget_ = config.byte_budget;
   per_shard_budget_ = byte_budget_ / shards;
+  protected_fraction_ = std::clamp(config.protected_fraction, 0.0, 1.0);
+  protected_budget_ = static_cast<size_t>(
+      static_cast<double>(per_shard_budget_) * protected_fraction_);
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i)
     shards_.push_back(std::make_unique<Shard>());
@@ -32,66 +35,104 @@ size_t SptCache::entry_bytes(const SptKey& key, const Spt& tree) {
          key.faults.capacity() * sizeof(EdgeId) + 64;
 }
 
-std::shared_ptr<const Spt> SptCache::lookup(const SptKey& key) {
+SptHandle SptCache::lookup(const SptKey& key) {
   Shard& s = shard_for(key);
+  const bool base = key.is_base();
   std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.map.find(key);
   if (it == s.map.end()) {
     ++s.misses;
+    if (base) ++s.base_misses;
     return nullptr;
   }
   ++s.hits;
-  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh to MRU
+  if (base) ++s.base_hits;
+  LruList& list = list_of(s, it->second->prot);
+  list.splice(list.begin(), list, it->second);  // refresh to MRU
   return it->second->tree;
 }
 
-std::shared_ptr<const Spt> SptCache::peek(const SptKey& key) {
+SptHandle SptCache::peek(const SptKey& key) {
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.map.find(key);
   if (it == s.map.end()) return nullptr;
-  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  LruList& list = list_of(s, it->second->prot);
+  list.splice(list.begin(), list, it->second);
   return it->second->tree;
 }
 
-std::shared_ptr<const Spt> SptCache::insert(const SptKey& key, Spt tree) {
+SptHandle SptCache::insert(const SptKey& key, Spt tree) {
   return insert(key, std::make_shared<const Spt>(std::move(tree)));
 }
 
-std::shared_ptr<const Spt> SptCache::insert(const SptKey& key,
-                                            std::shared_ptr<const Spt> tree) {
+size_t SptCache::evict_back(Shard& s, LruList& list) {
+  const Entry& victim = list.back();
+  const size_t bytes = victim.bytes;
+  s.map.erase(victim.key);
+  list.pop_back();
+  ++s.evictions;
+  return bytes;
+}
+
+SptHandle SptCache::insert(const SptKey& key, SptHandle tree) {
   Shard& s = shard_for(key);
+  // Admission class: base trees are protected only when segmentation is on;
+  // with protected_fraction == 0 every entry shares the probationary list,
+  // which is then exactly the old flat LRU.
+  const bool prot = protected_budget_ > 0 && key.is_base();
   const size_t bytes = entry_bytes(key, *tree);
   std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.map.find(key);
   if (it != s.map.end()) {
     // First writer wins; the racing tree is bit-identical by determinism.
-    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    LruList& list = list_of(s, it->second->prot);
+    list.splice(list.begin(), list, it->second);
     return it->second->tree;
   }
-  s.lru.push_front(Entry{key, std::move(tree), bytes});
-  s.map.emplace(key, s.lru.begin());
-  s.bytes += bytes;
+  LruList& list = list_of(s, prot);
+  list.push_front(Entry{key, std::move(tree), bytes, prot});
+  s.map.emplace(key, list.begin());
+  (prot ? s.prot_bytes : s.prob_bytes) += bytes;
   ++s.inserts;
-  while (s.bytes > per_shard_budget_ && !s.lru.empty()) {
-    const Entry& victim = s.lru.back();
-    s.bytes -= victim.bytes;
-    s.map.erase(victim.key);
-    s.lru.pop_back();
-    ++s.evictions;
+  s.peak_bytes = std::max(s.peak_bytes, s.prot_bytes + s.prob_bytes);
+
+  if (prot) {
+    // A base tree may use the whole shard slice: reclaim probationary bytes
+    // first (fault trees are the scan class), then fall back to evicting
+    // older base trees.
+    while (s.prot_bytes + s.prob_bytes > per_shard_budget_ &&
+           !s.prob_lru.empty())
+      s.prob_bytes -= evict_back(s, s.prob_lru);
+    while (s.prot_bytes > per_shard_budget_ && !s.prot_lru.empty())
+      s.prot_bytes -= evict_back(s, s.prot_lru);
+  } else {
+    // Fault trees are confined to the unprotected remainder of the slice
+    // AND to whatever the resident base trees leave of the total (base
+    // trees may legitimately fill past their nominal fraction): however
+    // hard a fault-scan churns, it can only evict other fault trees, never
+    // a resident base tree, and the shard's total never exceeds its slice.
+    const size_t prob_budget = per_shard_budget_ - protected_budget_;
+    while ((s.prob_bytes > prob_budget ||
+            s.prot_bytes + s.prob_bytes > per_shard_budget_) &&
+           !s.prob_lru.empty())
+      s.prob_bytes -= evict_back(s, s.prob_lru);
   }
-  // The fresh tree may itself have been evicted (budget smaller than one
-  // entry); the caller's shared_ptr keeps it alive either way.
-  return s.lru.empty() || !(s.lru.front().key == key) ? nullptr
-                                                      : s.lru.front().tree;
+
+  // The fresh tree may itself have been evicted (its segment's slice is
+  // smaller than the entry); the caller's handle keeps it alive either way.
+  const auto kept = s.map.find(key);
+  return kept == s.map.end() ? nullptr : kept->second->tree;
 }
 
 void SptCache::clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    shard->lru.clear();
+    shard->prot_lru.clear();
+    shard->prob_lru.clear();
     shard->map.clear();
-    shard->bytes = 0;
+    shard->prot_bytes = 0;
+    shard->prob_bytes = 0;
   }
 }
 
@@ -101,10 +142,15 @@ SptCache::Stats SptCache::stats() const {
     std::lock_guard<std::mutex> lock(shard->mu);
     out.hits += shard->hits;
     out.misses += shard->misses;
+    out.base_hits += shard->base_hits;
+    out.base_misses += shard->base_misses;
     out.inserts += shard->inserts;
     out.evictions += shard->evictions;
     out.entries += shard->map.size();
-    out.bytes += shard->bytes;
+    out.bytes += shard->prot_bytes + shard->prob_bytes;
+    out.peak_bytes += shard->peak_bytes;
+    out.protected_entries += shard->prot_lru.size();
+    out.protected_bytes += shard->prot_bytes;
   }
   return out;
 }

@@ -1,4 +1,4 @@
-// Sharded, memory-budgeted LRU cache of shortest-path trees.
+// Sharded, memory-budgeted tree store with class-aware segmented admission.
 //
 // Theorem 19 schemes are deterministic functions of (graph, policy, root,
 // faults, dir): two requests with the same key always produce bit-identical
@@ -9,16 +9,27 @@
 // path (serve/oracle_server.h).
 //
 // Concurrency model: the key space is hash-partitioned into shards, each an
-// independent LRU list + hash map behind its own mutex, so concurrent
-// serving threads contend only when their keys collide on a shard. Entries
-// are handed out as shared_ptr<const Spt>: an eviction never invalidates a
-// tree a caller is still reading.
+// independent pair of LRU lists + hash map behind its own mutex, so
+// concurrent serving threads contend only when their keys collide on a
+// shard. Entries are handed out as SptHandle (shared_ptr<const Spt>): an
+// eviction never invalidates a tree a caller is still reading.
+//
+// Segmented admission: keys split into two classes. Fault-free base trees
+// (faults.empty()) are n x more reusable than any single fault tree -- every
+// consumer asks for them, and the fault fan-outs of the oracle / preserver /
+// labeling builds are one-shot scans -- so base trees live in a *protected*
+// segment sized as `protected_fraction` of each shard's budget slice. Fault
+// trees live in the probationary segment and may only use the remaining
+// fraction; a scan-heavy fault workload therefore evicts other fault trees,
+// never the base trees. Base-tree inserts may reclaim probationary bytes
+// before evicting other base trees. protected_fraction == 0 degrades to the
+// flat LRU (one class, one list) -- the bench baseline.
 //
 // Byte accounting: every entry is charged Spt::memory_bytes() plus the key
 // and bookkeeping overhead against a per-shard slice of the global budget;
 // inserting past the slice evicts least-recently-used entries first (an
-// entry larger than the whole slice is evicted immediately -- the caller
-// still holds its shared_ptr, the cache just refuses to retain it).
+// entry larger than its segment's slice is evicted immediately -- the
+// caller still holds its SptHandle, the cache just refuses to retain it).
 #pragma once
 
 #include <cstdint>
@@ -51,6 +62,9 @@ struct SptKey {
         dir(req.dir),
         faults(req.faults.begin(), req.faults.end()) {}
 
+  // The admission class: fault-free base trees are the protected class.
+  bool is_base() const { return faults.empty(); }
+
   friend bool operator==(const SptKey&, const SptKey&) = default;
 };
 
@@ -63,6 +77,11 @@ class SptCache {
   struct Config {
     size_t shards = 16;                     // clamped to >= 1
     size_t byte_budget = size_t{256} << 20; // total across shards
+    // Fraction of each shard's slice reserved for fault-free base trees
+    // (clamped to [0, 1]). 0 disables segmentation: one flat LRU list, any
+    // entry can evict any other -- the pre-segmentation behavior, kept as
+    // the bench baseline.
+    double protected_fraction = 0.5;
   };
 
   struct Stats {
@@ -70,12 +89,27 @@ class SptCache {
     uint64_t misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
-    size_t entries = 0;  // currently resident
-    size_t bytes = 0;    // currently accounted
+    // The base-tree (protected-class) slice of hits/misses, whatever the
+    // protected_fraction -- this is the signal the admission policy is
+    // judged by (base trees must keep hitting under fault-tree scans).
+    uint64_t base_hits = 0;
+    uint64_t base_misses = 0;
+    size_t entries = 0;           // currently resident
+    size_t bytes = 0;             // currently accounted
+    size_t peak_bytes = 0;        // high-water mark of `bytes` (sum of
+                                  // per-shard high-water marks)
+    size_t protected_entries = 0; // resident in the protected segment
+    size_t protected_bytes = 0;   // accounted to the protected segment
 
     double hit_rate() const {
       const uint64_t total = hits + misses;
       return total ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+    }
+    double base_hit_rate() const {
+      const uint64_t total = base_hits + base_misses;
+      return total ? static_cast<double>(base_hits) /
+                         static_cast<double>(total)
                    : 0.0;
     }
   };
@@ -85,45 +119,54 @@ class SptCache {
 
   // The resident tree for `key`, refreshed to most-recently-used; nullptr on
   // miss. Never computes.
-  std::shared_ptr<const Spt> lookup(const SptKey& key);
+  SptHandle lookup(const SptKey& key);
 
   // lookup without touching the hit/miss counters (still an LRU use). For
   // internal re-checks (the batcher's locked double-check) that would
   // otherwise double-count one logical probe and skew the reported hit
   // rate.
-  std::shared_ptr<const Spt> peek(const SptKey& key);
+  SptHandle peek(const SptKey& key);
 
   // Stores `tree` under `key` (first writer wins: if the key is already
   // resident the existing tree is kept -- both are bit-identical by
-  // determinism). Returns the resident tree and evicts LRU entries as needed
-  // to respect the shard's byte slice.
-  std::shared_ptr<const Spt> insert(const SptKey& key, Spt tree);
+  // determinism). Returns the resident tree, evicting LRU entries of the
+  // appropriate segment as needed to respect the shard's byte slice, or
+  // nullptr if the entry itself could not be retained.
+  SptHandle insert(const SptKey& key, Spt tree);
 
-  // shared_ptr-based insert for callers that already share the tree.
-  std::shared_ptr<const Spt> insert(const SptKey& key,
-                                    std::shared_ptr<const Spt> tree);
+  // Handle-based insert for callers that already share the tree (the normal
+  // path: cached_spt_batch and the coalescing batcher publish the same
+  // handle they hand to their callers, so admission costs zero copies).
+  SptHandle insert(const SptKey& key, SptHandle tree);
 
   void clear();
 
   size_t shard_count() const { return shards_.size(); }
   size_t byte_budget() const { return byte_budget_; }
+  double protected_fraction() const { return protected_fraction_; }
   Stats stats() const;  // aggregated over shards
 
  private:
   struct Entry {
     SptKey key;
-    std::shared_ptr<const Spt> tree;
+    SptHandle tree;
     size_t bytes = 0;
+    bool prot = false;  // which segment's list/bytes this entry is on
   };
   using LruList = std::list<Entry>;
 
   struct Shard {
     std::mutex mu;
-    LruList lru;  // front = most recently used
+    LruList prot_lru;  // protected segment (base trees); front = MRU
+    LruList prob_lru;  // probationary segment (fault trees); front = MRU
     std::unordered_map<SptKey, LruList::iterator, SptKeyHash> map;
-    size_t bytes = 0;
+    size_t prot_bytes = 0;
+    size_t prob_bytes = 0;
+    size_t peak_bytes = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t base_hits = 0;
+    uint64_t base_misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
   };
@@ -131,10 +174,17 @@ class SptCache {
   Shard& shard_for(const SptKey& key) {
     return *shards_[SptKeyHash{}(key) % shards_.size()];
   }
+  LruList& list_of(Shard& s, bool prot) {
+    return prot ? s.prot_lru : s.prob_lru;
+  }
+  // Drops the LRU entry of `list` and returns its byte charge.
+  size_t evict_back(Shard& s, LruList& list);
   static size_t entry_bytes(const SptKey& key, const Spt& tree);
 
   size_t byte_budget_;
   size_t per_shard_budget_;
+  size_t protected_budget_;  // per shard; 0 = flat (single-class) mode
+  double protected_fraction_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

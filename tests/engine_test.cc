@@ -135,9 +135,9 @@ TEST(SptBatch, RptsOverrideMatchesSequentialSpt) {
   ASSERT_EQ(got.size(), reqs.size());
   for (size_t i = 0; i < reqs.size(); ++i) {
     const Spt want = pi.spt(reqs[i].root, reqs[i].faults, reqs[i].dir);
-    EXPECT_EQ(got[i].hops, want.hops);
-    EXPECT_EQ(got[i].parent, want.parent);
-    EXPECT_EQ(got[i].parent_edge, want.parent_edge);
+    EXPECT_EQ(got[i]->hops, want.hops);
+    EXPECT_EQ(got[i]->parent, want.parent);
+    EXPECT_EQ(got[i]->parent_edge, want.parent_edge);
   }
 }
 
@@ -151,8 +151,8 @@ TEST(SptBatch, DefaultImplementationCoversArbitraryRpts) {
   ASSERT_EQ(got.size(), reqs.size());
   for (size_t i = 0; i < reqs.size(); ++i) {
     const Spt want = pi.spt(reqs[i].root, reqs[i].faults, reqs[i].dir);
-    EXPECT_EQ(got[i].hops, want.hops);
-    EXPECT_EQ(got[i].parent, want.parent);
+    EXPECT_EQ(got[i]->hops, want.hops);
+    EXPECT_EQ(got[i]->parent, want.parent);
   }
 }
 

@@ -15,6 +15,7 @@
 #include "labeling/labels.h"
 #include "preserver/ft_preserver.h"
 #include "rp/dso.h"
+#include "rp/sourcewise_rp.h"
 #include "rp/subset_rp.h"
 #include "rp/two_fault_oracle.h"
 #include "serve/coalescing_batcher.h"
@@ -113,6 +114,114 @@ TEST(SptCache, BudgetSmallerThanOneEntryRetainsNothing) {
   EXPECT_EQ(cache.stats().bytes, 0u);
 }
 
+// Handle-lifetime guarantee: evicting a tree from the cache must not
+// invalidate a handle a consumer still holds, and a re-fetch after the
+// eviction recomputes a bit-identical tree.
+TEST(SptCache, EvictionUnderLiveReadersKeepsHandleValid) {
+  const Graph g = gnp_connected(60, 0.08, 7);
+  const IsolationRpts pi(g, IsolationAtw(8));
+  const Spt probe = pi.spt(0);
+  // Room for about two trees in one shard; every insert past that evicts.
+  SptCache cache(SptCache::Config{1, 2 * probe.memory_bytes() + 1024});
+  const BatchSsspEngine engine(1);
+
+  const SsspRequest req{0, {}, Direction::kOut};
+  const SptHandle live = pi.spt_batch({&req, 1}, &engine, &cache)[0];
+  ASSERT_NE(live, nullptr);
+  const Spt want = pi.spt(0);  // computed outside the cache
+  expect_same_tree(*live, want);
+
+  // Churn the cache until root 0 is definitely evicted.
+  for (Vertex root = 1; root < 20; ++root)
+    cache.insert(SptKey(pi.scheme_id(), {root, {}, Direction::kOut}),
+                 pi.spt(root));
+  EXPECT_EQ(cache.peek(SptKey(pi.scheme_id(), req)), nullptr);
+  EXPECT_GT(cache.stats().evictions, 0u);
+
+  // The live handle is unaffected by the eviction: same contents, readable.
+  expect_same_tree(*live, want);
+
+  // A re-fetch misses, recomputes, and produces a bit-identical tree (a
+  // fresh allocation -- the cache no longer owns the evicted one).
+  const SptHandle refetch = pi.spt_batch({&req, 1}, &engine, &cache)[0];
+  ASSERT_NE(refetch, nullptr);
+  EXPECT_NE(refetch.get(), live.get());
+  expect_same_tree(*refetch, *live);
+}
+
+// Base trees may legitimately fill past their nominal protected fraction
+// (they are allowed the whole slice); a fault-tree scan arriving on top must
+// squeeze into what the bases leave of the TOTAL budget -- never push the
+// shard past it, and never evict a base tree to make room.
+TEST(SptCache, FaultScanRespectsTotalBudgetWhenBasesOverfillTheirFraction) {
+  const Graph g = gnp_connected(60, 0.08, 23);
+  const IsolationRpts pi(g, IsolationAtw(24));
+  const Spt probe = pi.spt(0);
+  SptCache cache(SptCache::Config{1, 4 * (probe.memory_bytes() + 512), 0.5});
+
+  // Four base trees ~fill the whole slice (nominal protected half is two).
+  for (Vertex root = 0; root < 4; ++root)
+    cache.insert(SptKey(pi.scheme_id(), {root, {}, Direction::kOut}),
+                 pi.spt(root));
+  const size_t base_entries = cache.stats().protected_entries;
+  EXPECT_GT(base_entries, 2u);
+
+  for (EdgeId e = 0; e < 10; ++e)
+    cache.insert(SptKey(pi.scheme_id(), {0, FaultSet{e}, Direction::kOut}),
+                 pi.spt(0, FaultSet{e}));
+
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.bytes, cache.byte_budget());
+  EXPECT_EQ(stats.protected_entries, base_entries);  // no base was evicted
+}
+
+// Segmented admission: a scan of fault trees (the one-shot class) can only
+// evict other fault trees, so the n x-more-reusable base trees survive; the
+// flat-LRU baseline (protected_fraction = 0) loses them.
+TEST(SptCache, SegmentedAdmissionProtectsBaseTreesFromFaultScan) {
+  const Graph g = gnp_connected(60, 0.08, 17);
+  const IsolationRpts pi(g, IsolationAtw(18));
+  const Spt probe = pi.spt(0);
+  // One shard, room for ~4 trees; protected half fits the two base trees.
+  SptCache::Config cfg{1, 4 * (probe.memory_bytes() + 512), 0.5};
+
+  for (const double fraction : {0.5, 0.0}) {
+    cfg.protected_fraction = fraction;
+    SptCache cache(cfg);
+    const std::vector<Vertex> bases{3, 11};
+    for (Vertex root : bases)
+      ASSERT_NE(cache.insert(SptKey(pi.scheme_id(), {root, {}, Direction::kOut}),
+                             pi.spt(root)),
+                nullptr);
+    EXPECT_EQ(cache.stats().protected_entries, fraction > 0 ? 2u : 0u);
+
+    // The fault-tree scan: many single-fault trees for one root.
+    for (EdgeId e = 0; e < 30; ++e)
+      cache.insert(
+          SptKey(pi.scheme_id(), {0, FaultSet{e}, Direction::kOut}),
+          pi.spt(0, FaultSet{e}));
+
+    const auto stats = cache.stats();
+    EXPECT_GT(stats.evictions, 0u);
+    size_t surviving = 0;
+    for (Vertex root : bases)
+      if (cache.peek(SptKey(pi.scheme_id(), {root, {}, Direction::kOut})))
+        ++surviving;
+    if (fraction > 0) {
+      // Protected segment: the scan could not touch the base trees.
+      EXPECT_EQ(surviving, bases.size());
+      EXPECT_EQ(stats.protected_entries, bases.size());
+      EXPECT_GT(stats.protected_bytes, 0u);
+      EXPECT_LE(stats.bytes, cache.byte_budget());
+    } else {
+      // Flat LRU: the scan churned the base trees out.
+      EXPECT_EQ(surviving, 0u);
+      EXPECT_EQ(stats.protected_entries, 0u);
+    }
+    EXPECT_GT(stats.peak_bytes, 0u);
+  }
+}
+
 TEST(CachedSptBatch, BitIdenticalToUncachedAcrossThreadCounts) {
   const Graph g = gnp_connected(70, 0.07, 11);
   const IsolationRpts pi(g, IsolationAtw(12));
@@ -133,7 +242,18 @@ TEST(CachedSptBatch, BitIdenticalToUncachedAcrossThreadCounts) {
       for (size_t i = 0; i < got.size(); ++i) {
         SCOPED_TRACE("threads=" + std::to_string(threads) + " round=" +
                      std::to_string(round) + " req=" + std::to_string(i));
-        expect_same_tree(got[i], want[i]);
+        expect_same_tree(*got[i], *want[i]);
+      }
+      // Zero-copy within the batch: duplicate requests share ONE tree.
+      EXPECT_EQ(got[0].get(), got[2].get());  // root 3, miss-side dedup
+      EXPECT_EQ(got[1].get(), got[4].get());  // root 17
+      // Zero-copy against the store: every handle IS the resident tree, on
+      // the miss round (publish returns the same handle) and the hit round
+      // (lookup hands out the cached pointer).
+      for (size_t i = 0; i < got.size(); ++i) {
+        const auto resident = cache.peek(SptKey(pi.scheme_id(), reqs[i]));
+        ASSERT_NE(resident, nullptr);
+        EXPECT_EQ(got[i].get(), resident.get());
       }
     }
     // Round 0: every request probes cold (7 misses) but only the 5 unique
@@ -186,6 +306,12 @@ TEST(SharedCache, ConsumersAreCacheInvariant) {
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
       EXPECT_EQ(lab0.label(v).edges, lab1.label(v).edges);
     }
+
+    const SourcewiseReplacementPaths sw0(pi, sources[0], &engine);
+    const SourcewiseReplacementPaths sw1(pi, sources[0], &engine, &cache);
+    for (Vertex v = 0; v < g.num_vertices(); v += 3)
+      for (EdgeId e = 0; e < g.num_edges(); e += 5)
+        EXPECT_EQ(sw0.query(v, e), sw1.query(v, e));
 
     // The shared store did its job: later consumers re-hit earlier
     // consumers' trees (e.g. every (s, {}) tree computed at most once).
@@ -308,6 +434,35 @@ TEST(CoalescingBatcher, GetBatchRidesOneFlush) {
   EXPECT_EQ(stats.flushes, 1u);
   EXPECT_EQ(stats.computed, 3u);
   EXPECT_EQ(stats.max_batch, 3u);
+}
+
+TEST(CoalescingBatcher, MaxBatchDrainsBoundedInstallments) {
+  const Graph g = gnp_connected(40, 0.1, 43);
+  const IsolationRpts pi(g, IsolationAtw(44));
+  SptCache cache;
+  CoalescingBatcher batcher(pi, &cache, nullptr, /*max_batch=*/2);
+
+  std::vector<SsspRequest> reqs;
+  for (Vertex root : {1u, 5u, 9u, 13u, 17u})
+    reqs.push_back({root, {}, Direction::kOut});
+  const auto trees = batcher.get_batch(reqs);
+  ASSERT_EQ(trees.size(), reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i)
+    expect_same_tree(*trees[i], pi.spt(reqs[i].root));
+
+  // 5 unique misses, drained 2 + 2 + 1: no flush exceeds the cap, the
+  // queue high-water saw all 5 registered before the leader drained.
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.computed, 5u);
+  EXPECT_EQ(stats.flushes, 3u);
+  EXPECT_LE(stats.max_batch, 2u);
+  EXPECT_EQ(stats.max_queue_depth, 5u);
+  EXPECT_GT(stats.computed_bytes, 0u);
+  uint64_t hist_total = 0;
+  for (uint64_t b : stats.batch_hist) hist_total += b;
+  EXPECT_EQ(hist_total, stats.flushes);
+  EXPECT_EQ(stats.batch_hist[0], 1u);  // the size-1 remainder flush
+  EXPECT_EQ(stats.batch_hist[1], 2u);  // the two size-2 flushes
 }
 
 TEST(OracleServer, AnswersMatchDirectSchemeQueries) {
