@@ -21,6 +21,15 @@
 // and once with segmented admission. The judged signal is base_hit_rate:
 // segmented admission must keep the hot base trees resident under the scan.
 //
+// A third scenario (bench=serve_churn rows) exercises the dynamic-update
+// pipeline: query phases interleaved with seeded edge flaps (remove a hot
+// tree edge or a random edge, then put it back) applied through
+// OracleServer::apply_update. Reported per (family, threads) row:
+// invalidated-vs-carried-forward tree counts, post-update recovery latency
+// (first queries of each post-flap phase) versus steady-state, the
+// per-phase hit-rate trajectory, and a correctness spot check of sampled
+// answers against a from-scratch IRpts rebuild of each phase's topology.
+//
 // Scenario axes:
 //   --threads 1,4     comma list of closed-loop worker counts
 //   --queries N       queries per (family, threads, mode) measurement
@@ -28,9 +37,13 @@
 //   --budget-mb M     cache byte budget       (default 256)
 //   --hot H           size of the hot root set (default 8)
 //   --max-batch B     cap per-flush batcher drain (default 0 = unbounded)
+//   --flaps F         edge flaps in the churn scenario (default 12)
+//   --seed S          workload + flap seed, recorded in the JSON artifact
+//                     (default 1): same seed, same queries, same flaps
 //   --json PATH       emit one JSON row per measurement
 //   --small           reduced families + query count (CI bench-smoke job)
 #include <algorithm>
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -54,6 +67,8 @@ struct Options {
   size_t budget_mb = 256;
   size_t hot = 8;
   size_t max_batch = 0;
+  size_t flaps = 12;
+  uint64_t seed = 1;
   std::string json_path;
   bool small = false;
 };
@@ -79,6 +94,10 @@ Options parse_options(int argc, char** argv) {
       opt.hot = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value("--max-batch")) {
       opt.max_batch = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--flaps")) {
+      opt.flaps = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--seed")) {
+      opt.seed = static_cast<uint64_t>(std::atoll(v));
     } else if (const char* v = value("--json")) {
       opt.json_path = v;
     } else if (std::string(argv[i]) == "--small") {
@@ -95,7 +114,14 @@ Options parse_options(int argc, char** argv) {
       std::exit(2);
     }
   }
-  if (opt.small) opt.queries = std::min<size_t>(opt.queries, 4000);
+  if (opt.small) {
+    opt.queries = std::min<size_t>(opt.queries, 4000);
+    opt.flaps = std::min<size_t>(opt.flaps, 6);
+  }
+  if (opt.flaps == 0) {
+    std::cerr << "--flaps must be positive\n";
+    std::exit(2);
+  }
   return opt;
 }
 
@@ -108,8 +134,8 @@ struct Query {
 };
 
 Query make_query(const Graph& g, std::span<const Vertex> hot_roots,
-                 uint64_t seq) {
-  const uint64_t h = hash_combine(0x5e7e5e7e, seq);
+                 uint64_t seed, uint64_t seq) {
+  const uint64_t h = hash_combine(hash_combine(0x5e7e5e7e, seed), seq);
   Query q;
   q.s = hot_roots[h % hot_roots.size()];
   q.t = static_cast<Vertex>(hash_combine(h, 1) % g.num_vertices());
@@ -161,7 +187,7 @@ struct Measurement {
 
 Measurement drive(OracleServer& server, const IRpts& pi, const Graph& g,
                   std::span<const Vertex> hot_roots, int threads,
-                  size_t queries) {
+                  size_t queries, uint64_t seed) {
   Measurement m;
   const size_t per_thread = queries / threads;
   std::vector<std::vector<double>> latencies(threads);
@@ -178,8 +204,8 @@ Measurement drive(OracleServer& server, const IRpts& pi, const Graph& g,
       auto& lat = latencies[w];
       lat.reserve(per_thread);
       for (size_t i = 0; i < per_thread; ++i) {
-        const Query q =
-            make_query(g, hot_roots, static_cast<uint64_t>(w) * per_thread + i);
+        const Query q = make_query(
+            g, hot_roots, seed, static_cast<uint64_t>(w) * per_thread + i);
         Stopwatch sw;
         const int32_t got = run_query(server, q);
         lat.push_back(sw.seconds() * 1e6);
@@ -226,7 +252,8 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
     off_cfg.enable_coalescing = false;
     off_cfg.engine = &engine;
     OracleServer off(pi, off_cfg);
-    const Measurement moff = drive(off, pi, g, hot_roots, threads, opt.queries);
+    const Measurement moff =
+        drive(off, pi, g, hot_roots, threads, opt.queries, opt.seed);
 
     // Serving stack: sharded cache + single-flight batcher.
     ServerConfig on_cfg;
@@ -235,7 +262,8 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
     on_cfg.max_batch = opt.max_batch;
     on_cfg.engine = &engine;
     OracleServer on(pi, on_cfg);
-    const Measurement mon = drive(on, pi, g, hot_roots, threads, opt.queries);
+    const Measurement mon =
+        drive(on, pi, g, hot_roots, threads, opt.queries, opt.seed);
 
     const auto cache_stats = on.cache()->stats();
     const auto batch_stats = on.batcher()->stats();
@@ -271,6 +299,7 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
         .field("budget_mb", static_cast<uint64_t>(opt.budget_mb))
         .field("hot_roots", static_cast<uint64_t>(hot_roots.size()))
         .field("queries", static_cast<uint64_t>(opt.queries))
+        .field("seed", opt.seed)
         .field("mode", "cache_off")
         .field("qps", moff.qps)
         .field("p50_us", moff.p50_us)
@@ -292,6 +321,7 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
         .field("budget_mb", static_cast<uint64_t>(opt.budget_mb))
         .field("hot_roots", static_cast<uint64_t>(hot_roots.size()))
         .field("queries", static_cast<uint64_t>(opt.queries))
+        .field("seed", opt.seed)
         .field("mode", "cache_on")
         .field("qps", mon.qps)
         .field("p50_us", mon.p50_us)
@@ -365,7 +395,7 @@ void bench_fault_scan(Table& scan_table, JsonRows& json, const Options& opt,
         workers.emplace_back([&, w] {
           for (size_t i = 0; i < per_thread; ++i) {
             const uint64_t seq = static_cast<uint64_t>(w) * per_thread + i;
-            const uint64_t h = hash_combine(0x5ca9, seq);
+            const uint64_t h = hash_combine(hash_combine(0x5ca9, opt.seed), seq);
             Query q;
             q.s = hot_roots[h % hot_roots.size()];
             q.t = static_cast<Vertex>(hash_combine(h, 1) % g.num_vertices());
@@ -409,6 +439,7 @@ void bench_fault_scan(Table& scan_table, JsonRows& json, const Options& opt,
           .field("protected_fraction", fraction)
           .field("budget_bytes", static_cast<uint64_t>(budget))
           .field("queries", static_cast<uint64_t>(per_thread * threads))
+          .field("seed", opt.seed)
           .field("qps", qps)
           .field("hit_rate", stats.hit_rate())
           .field("base_hit_rate", stats.base_hit_rate())
@@ -426,6 +457,199 @@ void bench_fault_scan(Table& scan_table, JsonRows& json, const Options& opt,
   }
 }
 
+// Dynamic-update scenario: phases of closed-loop queries interleaved with
+// seeded edge flaps through OracleServer::apply_update. Every other flap
+// removes an edge off a hot root's current tree (guaranteed to invalidate
+// that root), the rest remove a uniformly random present edge; each removal
+// is healed by re-inserting the same endpoints (tombstone resurrection, so
+// labels -- and therefore tiebreak weights -- are stable). Reported: carried
+// vs invalidated tree counts, apply_update latency, recovery-vs-steady query
+// latency, the per-phase hit-rate trajectory, and sampled answers verified
+// against a from-scratch rebuild of each phase's exact topology.
+void bench_churn(Table& churn_table, JsonRows& json, const Options& opt,
+                 const std::string& family, const Graph& g0) {
+  for (int threads : opt.threads) {
+    Graph g = g0;  // the mutable working copy this scheme serves
+    const IsolationRpts pi(g, IsolationAtw(7));
+    const BatchSsspEngine engine(threads);
+    ServerConfig cfg;
+    cfg.cache.shards = opt.shards;
+    cfg.cache.byte_budget = opt.budget_mb << 20;
+    cfg.max_batch = opt.max_batch;
+    cfg.engine = &engine;
+    OracleServer server(pi, cfg);
+
+    std::vector<Vertex> hot_roots;
+    for (size_t i = 0; i < opt.hot; ++i)
+      hot_roots.push_back(static_cast<Vertex>(
+          (static_cast<uint64_t>(i) * g.num_vertices()) / opt.hot));
+
+    const size_t phases = opt.flaps + 1;
+    const size_t per_thread = std::max<size_t>(
+        1, opt.queries / phases / static_cast<size_t>(threads));
+    Rng flap_rng(hash_combine(opt.seed, 0xf1a9));
+
+    struct Sample {
+      size_t phase;
+      Query q;
+      int32_t got;
+    };
+    std::vector<Graph> snapshots;  // topology per phase, for verification
+    std::vector<std::vector<Sample>> samples(threads);
+    std::vector<double> recovery_lat, steady_lat;
+    double query_wall_ms = 0, apply_ms = 0;
+    size_t carried = 0, invalidated = 0, purged = 0, prewarmed = 0;
+    std::string trajectory;
+    uint64_t last_hits = 0, last_misses = 0;
+    EdgeId flapped = kNoEdge;  // currently-removed edge awaiting re-insert
+    Vertex fu = 0, fv = 0;
+    size_t removals = 0;
+
+    for (size_t phase = 0; phase < phases; ++phase) {
+      snapshots.push_back(g);
+      std::vector<std::vector<double>> rec(threads), steady(threads);
+      Stopwatch wall;
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (int w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w, phase] {
+          for (size_t i = 0; i < per_thread; ++i) {
+            const uint64_t seq =
+                (static_cast<uint64_t>(phase) * threads + w) * per_thread + i;
+            const Query q = make_query(g, hot_roots, opt.seed, seq);
+            Stopwatch sw;
+            const int32_t got = run_query(server, q);
+            // The first queries of a post-flap phase pay the recovery cost
+            // (whatever pre-warming left cold); the rest are steady state.
+            ((phase > 0 && i < 8) ? rec : steady)[w].push_back(sw.seconds() *
+                                                               1e6);
+            if (i % 32 == 0) samples[w].push_back({phase, q, got});
+          }
+        });
+      }
+      for (auto& t : workers) t.join();
+      query_wall_ms += wall.millis();
+      for (int w = 0; w < threads; ++w) {
+        recovery_lat.insert(recovery_lat.end(), rec[w].begin(), rec[w].end());
+        steady_lat.insert(steady_lat.end(), steady[w].begin(),
+                          steady[w].end());
+      }
+      const auto cs = server.cache()->stats();
+      const uint64_t ph = cs.hits - last_hits, pm = cs.misses - last_misses;
+      last_hits = cs.hits;
+      last_misses = cs.misses;
+      if (phase) trajectory += ',';
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%.4f",
+                    ph + pm ? static_cast<double>(ph) /
+                                  static_cast<double>(ph + pm)
+                            : 0.0);
+      trajectory += buf;
+
+      if (phase + 1 == phases) break;
+      // The flap. Removals alternate hot-tree edges (provably affecting the
+      // hot root) with uniform present edges; each is healed next time.
+      GraphDelta d;
+      if (flapped != kNoEdge) {
+        d = GraphDelta::insert(fu, fv);
+      } else if (removals++ % 2 == 0) {
+        const Vertex h = hot_roots[flap_rng.next_below(hot_roots.size())];
+        const auto tree = server.tree({h, {}, Direction::kOut});
+        Vertex x = static_cast<Vertex>(flap_rng.next_below(g.num_vertices()));
+        while (tree->parent[x] == kNoVertex)
+          x = static_cast<Vertex>(flap_rng.next_below(g.num_vertices()));
+        d = GraphDelta::remove(tree->parent_edge[x]);
+      } else {
+        EdgeId e = static_cast<EdgeId>(flap_rng.next_below(g.num_edges()));
+        while (!g.edge_present(e))
+          e = static_cast<EdgeId>(flap_rng.next_below(g.num_edges()));
+        d = GraphDelta::remove(e);
+      }
+      Stopwatch usw;
+      const UpdateResult res = server.apply_update(g, d);
+      apply_ms += usw.millis();
+      carried += res.carried;
+      invalidated += res.invalidated;
+      purged += res.purged_stale;
+      prewarmed += res.prewarmed;
+      if (d.kind == GraphDelta::Kind::kRemove) {
+        flapped = res.delta.edge;
+        fu = res.delta.u;
+        fv = res.delta.v;
+      } else {
+        flapped = kNoEdge;
+      }
+    }
+
+    // Verify the sampled answers against a from-scratch rebuild of each
+    // phase's exact topology (same policy seed => same scheme), outside the
+    // measurement window.
+    size_t checked = 0, correct = 0;
+    for (size_t phase = 0; phase < phases; ++phase) {
+      const IsolationRpts ref(snapshots[phase], IsolationAtw(7));
+      for (const auto& per_worker : samples)
+        for (const Sample& s : per_worker) {
+          if (s.phase != phase) continue;
+          ++checked;
+          if (s.got == reference_answer(ref, s.q)) ++correct;
+        }
+    }
+
+    auto percentile = [](std::vector<double>& v, size_t num, size_t den) {
+      if (v.empty()) return 0.0;
+      std::sort(v.begin(), v.end());
+      return v[std::min(v.size() - 1, v.size() * num / den)];
+    };
+    const size_t total_queries =
+        per_thread * static_cast<size_t>(threads) * phases;
+    const double qps =
+        static_cast<double>(total_queries) / (query_wall_ms / 1e3);
+    const double carried_fraction =
+        carried + invalidated
+            ? static_cast<double>(carried) /
+                  static_cast<double>(carried + invalidated)
+            : 0.0;
+    const auto cache_stats = server.cache()->stats();
+
+    churn_table.add_row(family, threads, qps, carried, invalidated,
+                        carried_fraction, apply_ms / opt.flaps,
+                        cache_stats.hit_rate());
+    json.row()
+        .field("bench", "serve_churn")
+        .field("family", family)
+        .field("n", static_cast<uint64_t>(g.num_vertices()))
+        .field("m", static_cast<uint64_t>(g.num_edges()))
+        .field("threads", threads)
+        .field("mode", "churn")
+        .field("seed", opt.seed)
+        .field("flaps", static_cast<uint64_t>(opt.flaps))
+        .field("queries", static_cast<uint64_t>(total_queries))
+        .field("qps", qps)
+        .field("steady_p50_us", percentile(steady_lat, 1, 2))
+        .field("steady_p99_us", percentile(steady_lat, 99, 100))
+        .field("recovery_p50_us", percentile(recovery_lat, 1, 2))
+        .field("recovery_p99_us", percentile(recovery_lat, 99, 100))
+        .field("apply_ms_avg", apply_ms / opt.flaps)
+        .field("carried_total", static_cast<uint64_t>(carried))
+        .field("invalidated_total", static_cast<uint64_t>(invalidated))
+        .field("purged_stale_total", static_cast<uint64_t>(purged))
+        .field("prewarmed_total", static_cast<uint64_t>(prewarmed))
+        .field("carried_fraction", carried_fraction)
+        .field("updates_applied", server.updates_applied())
+        .field("hit_rate", cache_stats.hit_rate())
+        .field("hit_rate_trajectory", trajectory)
+        .field("cache_entries", static_cast<uint64_t>(cache_stats.entries))
+        .field("cache_carried_forward", cache_stats.carried_forward)
+        .field("cache_invalidated", cache_stats.invalidated)
+        .field("cache_peak_bytes",
+               static_cast<uint64_t>(cache_stats.peak_bytes))
+        .field("checked", static_cast<uint64_t>(checked))
+        .field("correct", static_cast<uint64_t>(correct))
+        .field("hw_threads",
+               static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  }
+}
+
 int run(const Options& opt) {
   std::cout << "Serving bench: closed-loop mixed (s, t, F) queries against "
                "OracleServer.\nhot root set = "
@@ -436,6 +660,8 @@ int run(const Options& opt) {
                "p99_us", "hit_rate", "speedup"});
   Table scan_table({"family", "threads", "admission", "qps", "hit_rate",
                     "base_hit_rate", "evictions"});
+  Table churn_table({"family", "threads", "qps", "carried", "invalidated",
+                     "carried_frac", "apply_ms", "hit_rate"});
   JsonRows json;
 
   const Graph g400 = gnp_connected(400, 16.0 / 400, 1234);
@@ -446,12 +672,18 @@ int run(const Options& opt) {
     bench_family(table, json, opt, "cliquechain(20,20)", clique_chain(20, 20));
   }
   bench_fault_scan(scan_table, json, opt, "gnp(400)", g400);
+  bench_churn(churn_table, json, opt, "gnp(400)", g400);
 
   table.print();
   std::cout << "\nFault-scan admission scenario (small budget, sweeping "
                "fault keys;\nflat = protected_fraction 0, segmented = base "
                "trees protected):\n";
   scan_table.print();
+  std::cout << "\nLive-churn scenario (" << opt.flaps
+            << " seeded edge flaps through apply_update, seed " << opt.seed
+            << ";\ncarried = trees rekeyed forward zero-copy, invalidated = "
+               "affected trees dropped + pre-warmed):\n";
+  churn_table.print();
   std::cout << "Expected shape: cache_on hit rate approaches 1 on the "
                "repeated-root workload, so qps is bounded by tree lookups\n"
                "+ O(d) path walks instead of full Dijkstra recomputes; "

@@ -169,6 +169,14 @@ class DeterministicAtw {
 
   Tie zero() const { return {}; }
 
+  // Unlike the hash-derived policies, this one tabulates sign(u - v) per
+  // label at construction, so it cannot evaluate a label appended to the
+  // graph afterwards. The dynamic-update tightness check
+  // (Rpts<Policy>::tree_survives) probes this and falls back to
+  // conservative invalidation for unknown labels; re-inserted (resurrected)
+  // edges keep their old label and stay evaluable.
+  bool can_accumulate(EdgeId label) const { return label < sign_.size(); }
+
   void accumulate(Tie& t, EdgeId label, bool forward) const {
     const int32_t s = forward ? sign_[label] : -sign_[label];
     const int32_t entry = s * (static_cast<int32_t>(label) + 1);

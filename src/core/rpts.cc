@@ -11,7 +11,8 @@
 namespace restorable {
 
 std::vector<SptHandle> cached_spt_batch(
-    uint64_t scheme_id, SptCache& cache, std::span<const SsspRequest> requests,
+    SchemeVersion version, SptCache& cache,
+    std::span<const SsspRequest> requests,
     const std::function<std::vector<Spt>(std::span<const SsspRequest>)>&
         compute_misses) {
   std::vector<SptHandle> out(requests.size());
@@ -22,7 +23,7 @@ std::vector<SptHandle> cached_spt_batch(
   std::unordered_map<SptKey, std::vector<size_t>, SptKeyHash> miss_slots;
   std::vector<SsspRequest> miss_reqs;
   for (size_t i = 0; i < requests.size(); ++i) {
-    SptKey key(scheme_id, requests[i]);
+    SptKey key(version, requests[i]);
     if ((out[i] = cache.lookup(key))) continue;
     auto [it, fresh] = miss_slots.try_emplace(std::move(key));
     if (fresh) miss_reqs.push_back(requests[i]);
@@ -37,7 +38,7 @@ std::vector<SptHandle> cached_spt_batch(
   if (!miss_reqs.empty()) {
     std::vector<Spt> computed = compute_misses(miss_reqs);
     for (size_t k = 0; k < miss_reqs.size(); ++k) {
-      const SptKey key(scheme_id, miss_reqs[k]);
+      const SptKey key(version, miss_reqs[k]);
       auto tree = std::make_shared<const Spt>(std::move(computed[k]));
       if (auto resident = cache.insert(key, tree)) tree = std::move(resident);
       for (size_t slot : miss_slots.at(key)) out[slot] = tree;
@@ -69,7 +70,35 @@ std::vector<SptHandle> IRpts::spt_batch(std::span<const SsspRequest> requests,
     return out;
   };
   if (!cache) return share_spts(compute(requests));
-  return cached_spt_batch(scheme_id(), *cache, requests, compute);
+  return cached_spt_batch(version(), *cache, requests, compute);
+}
+
+bool IRpts::tree_survives(const GraphDelta& delta, const Spt& tree,
+                          const FaultSet& faults) const {
+  // A delta on a faulted-out edge never matters: e is excluded from G \ F
+  // whether or not it is currently in G, so the tree's graph is unchanged.
+  if (delta.edge != kNoEdge && faults.contains(delta.edge)) return true;
+  if (delta.kind == GraphDelta::Kind::kInsert) {
+    // Deciding insert-tightness needs the policy's exact arithmetic;
+    // schemes without one (e.g. ArbitraryRpts) invalidate conservatively.
+    return false;
+  }
+  // Removal stability: dropping an edge only removes competing paths, so a
+  // tree that avoids it selects exactly the same paths afterwards (and the
+  // reachable set cannot shrink -- the tree itself certifies every old
+  // distance). This holds for any scheme that selects among surviving
+  // paths, which every scheme in this library does.
+  return !tree.uses_edge(delta.edge);
+}
+
+std::vector<Vertex> IRpts::affected_roots(
+    const GraphDelta& delta, std::span<const SptHandle> base_trees) const {
+  std::vector<Vertex> out;
+  for (const SptHandle& tree : base_trees) {
+    if (!tree) continue;
+    if (!tree_survives(delta, *tree, FaultSet{})) out.push_back(tree->root);
+  }
+  return out;
 }
 
 Spt ArbitraryRpts::spt(Vertex root, const FaultSet& faults,

@@ -21,6 +21,12 @@ Path Spt::path_to(Vertex v) const {
   return p;
 }
 
+bool Spt::uses_edge(EdgeId e) const {
+  // Unreachable vertices hold kNoEdge, which never equals a real edge id.
+  return std::find(parent_edge.begin(), parent_edge.end(), e) !=
+         parent_edge.end();
+}
+
 std::vector<char> Spt::paths_using_edge(EdgeId e) const {
   std::vector<char> uses(hops.size(), 0);
   for (Vertex v : top_order()) {

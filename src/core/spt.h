@@ -32,6 +32,19 @@ struct SsspRequest {
   Direction dir = Direction::kOut;
 };
 
+// Composite identity of a tree producer at a point in time: which scheme
+// instance (graph + policy; see IRpts::scheme_id()) at which topology epoch
+// (Graph::epoch()). Trees are deterministic functions of
+// (version, root, faults, dir); a graph mutation bumps the epoch instead of
+// abandoning the scheme, so unaffected trees can be carried forward across
+// the bump (SptCache::advance_epoch) rather than recomputed.
+struct SchemeVersion {
+  uint64_t scheme_id = 0;
+  uint64_t epoch = 0;
+
+  friend bool operator==(const SchemeVersion&, const SchemeVersion&) = default;
+};
+
 struct Spt {
   Vertex root = kNoVertex;
   Direction dir = Direction::kOut;
@@ -48,6 +61,11 @@ struct Spt {
   // The selected path between root and v, oriented root -> v for kOut trees
   // and v -> root for kIn trees. Empty if unreachable.
   Path path_to(Vertex v) const;
+
+  // Whether any tree path uses edge e (in either orientation): one O(n)
+  // scan of the parent edges. This is the stability test driving removal
+  // carry-forward (IRpts::tree_survives).
+  bool uses_edge(EdgeId e) const;
 
   // For every vertex v: whether the tree path root~v uses edge e (in either
   // orientation). One O(n) pass via parent propagation.

@@ -105,22 +105,101 @@ Graph::Graph(Vertex n, std::vector<Edge> edges, std::vector<EdgeId> labels)
 
 void Graph::build_csr() {
   offsets_.assign(n_ + 1, 0);
-  for (const Edge& e : edges_) {
-    ++offsets_[e.u + 1];
-    ++offsets_[e.v + 1];
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!edge_present(e)) continue;
+    ++offsets_[edges_[e].u + 1];
+    ++offsets_[edges_[e].v + 1];
   }
   for (Vertex v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
-  arcs_.resize(2 * edges_.size());
+  arcs_.resize(2 * (edges_.size() - absent_));
   // Fill using offsets_ itself as the cursor (no scratch allocation -- this
-  // runs once per pooled-subgraph rebuild), then shift the ends back down
-  // one slot to restore the start offsets.
+  // runs once per pooled-subgraph rebuild and once per mutation), then shift
+  // the ends back down one slot to restore the start offsets.
   for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!edge_present(e)) continue;
     const Edge& ed = edges_[e];
     arcs_[offsets_[ed.u]++] = Arc{ed.v, e, /*forward=*/true};
     arcs_[offsets_[ed.v]++] = Arc{ed.u, e, /*forward=*/false};
   }
   for (Vertex v = n_; v > 0; --v) offsets_[v] = offsets_[v - 1];
   offsets_[0] = 0;
+}
+
+bool Graph::apply(GraphDelta& delta) {
+  if (delta.kind == GraphDelta::Kind::kRemove) {
+    const EdgeId e = delta.edge;
+    if (e >= num_edges()) throw std::invalid_argument("remove: edge id out of range");
+    // Record the slot whether or not this is a no-op, so the caller's delta
+    // is always a complete description of the edge it names.
+    delta.u = edges_[e].u;
+    delta.v = edges_[e].v;
+    delta.label = labels_[e];
+    if (!edge_present(e)) return false;  // already absent: no-op
+    if (present_.empty()) present_.assign(edges_.size(), 1);
+    present_[e] = 0;
+    ++absent_;
+    build_csr();
+    ++epoch_;
+    return true;
+  }
+
+  // Insert.
+  const Vertex u = delta.u, v = delta.v;
+  if (u == v) throw std::invalid_argument("insert: self-loops are not allowed");
+  if (u >= n_ || v >= n_)
+    throw std::invalid_argument("insert: endpoint out of range");
+  // A present {u, v} edge makes this a no-op; a tombstoned one is
+  // resurrected in place, keeping its id, label and stored endpoint order
+  // (the orientation the antisymmetric weight is defined on).
+  EdgeId tomb = kNoEdge;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const Edge& ed = edges_[e];
+    if (!((ed.u == u && ed.v == v) || (ed.u == v && ed.v == u))) continue;
+    if (edge_present(e)) {
+      delta.edge = e;
+      delta.u = ed.u;
+      delta.v = ed.v;
+      delta.label = labels_[e];
+      return false;
+    }
+    tomb = e;
+    break;
+  }
+  if (tomb != kNoEdge) {
+    present_[tomb] = 1;
+    --absent_;
+    delta.edge = tomb;
+    delta.u = edges_[tomb].u;
+    delta.v = edges_[tomb].v;
+    delta.label = labels_[tomb];
+  } else {
+    const EdgeId e = static_cast<EdgeId>(edges_.size());
+    // A fresh slot needs a label no existing edge holds -- per-label
+    // tiebreak weights must stay distinct -- so take one past the largest.
+    // On identity-labeled graphs (the default) that is exactly the slot
+    // index.
+    EdgeId fresh_label = 0;
+    for (EdgeId l : labels_) fresh_label = std::max(fresh_label, l + 1);
+    edges_.push_back(Edge{u, v});
+    labels_.push_back(fresh_label);
+    if (!present_.empty()) present_.push_back(1);
+    delta.edge = e;
+    delta.label = fresh_label;
+  }
+  build_csr();
+  ++epoch_;
+  return true;
+}
+
+EdgeId Graph::add_edge(Vertex u, Vertex v) {
+  GraphDelta d = GraphDelta::insert(u, v);
+  apply(d);
+  return d.edge;
+}
+
+bool Graph::remove_edge(EdgeId e) {
+  GraphDelta d = GraphDelta::remove(e);
+  return apply(d);
 }
 
 EdgeId Graph::find_edge(Vertex u, Vertex v) const {
@@ -143,6 +222,10 @@ void Graph::assign_edge_subgraph(const Graph& base,
   n_ = base.n_;
   edges_.clear();
   labels_.clear();
+  // A rebuilt subgraph is a fresh static value: no tombstones, epoch 0.
+  present_.clear();
+  absent_ = 0;
+  epoch_ = 0;
   edges_.reserve(edge_ids.size());
   labels_.reserve(edge_ids.size());
   for (EdgeId e : edge_ids) {
@@ -157,7 +240,7 @@ bool Graph::is_valid_path(const Path& p, const FaultSet& faults) const {
   if (p.edges.size() + 1 != p.vertices.size()) return false;
   for (size_t i = 0; i < p.edges.size(); ++i) {
     const EdgeId e = p.edges[i];
-    if (e >= num_edges()) return false;
+    if (e >= num_edges() || !edge_present(e)) return false;
     if (faults.contains(e)) return false;
     const Edge& ed = edges_[e];
     const Vertex a = p.vertices[i], b = p.vertices[i + 1];

@@ -97,7 +97,44 @@ class FaultSet {
   std::vector<EdgeId> ids_;  // sorted, unique
 };
 
+// One topology mutation, the unit of the dynamic-update pipeline. A delta
+// is *intent* when handed to Graph::apply (insert: endpoints; remove: edge
+// id) and a complete record afterwards: apply fills every field, so the
+// same value can then drive the carry-forward machinery downstream
+// (IRpts::tree_survives / affected_roots, SptCache::advance_epoch).
+struct GraphDelta {
+  enum class Kind : uint8_t { kInsert, kRemove };
+
+  Kind kind = Kind::kInsert;
+  // The edge id affected. Removals name it up front; inserts get it filled
+  // by apply (a resurrected tombstone's old id, or the appended slot).
+  EdgeId edge = kNoEdge;
+  // Stored endpoint order of the affected edge (filled/normalized by apply;
+  // the antisymmetric weight r(u, v) is defined on this orientation).
+  Vertex u = kNoVertex;
+  Vertex v = kNoVertex;
+  // Tiebreak label of the affected edge (filled by apply). A re-inserted
+  // edge keeps its old label -- label stability -- so its perturbation, and
+  // therefore every tree that never used it, is unchanged.
+  EdgeId label = kNoEdge;
+
+  static GraphDelta insert(Vertex u, Vertex v) {
+    return {Kind::kInsert, kNoEdge, u, v, kNoEdge};
+  }
+  static GraphDelta remove(EdgeId e) {
+    return {Kind::kRemove, e, kNoVertex, kNoVertex, kNoEdge};
+  }
+};
+
 // Undirected unweighted multigraph-free graph with CSR adjacency.
+//
+// Dynamic updates: remove_edge tombstones the slot (the edge keeps its id
+// and label but contributes no arcs), and add_edge resurrects a matching
+// tombstone before appending a fresh slot -- so edge ids and labels are
+// stable across any flap sequence, which is what keeps per-label tiebreak
+// weights (core/perturbation.h) meaningful on the mutated graph. Every
+// successful mutation bumps epoch(), the version the serving layer keys
+// cached trees by.
 class Graph {
  public:
   Graph() = default;
@@ -107,7 +144,13 @@ class Graph {
   Graph(Vertex n, std::vector<Edge> edges, std::vector<EdgeId> labels = {});
 
   Vertex num_vertices() const { return n_; }
+  // Edge *slots*, including tombstoned (removed) edges: edge ids stay dense
+  // and stable, so per-id loops and FaultSets remain valid across updates.
   EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+  // Slots currently present (contributing arcs).
+  EdgeId num_present_edges() const {
+    return static_cast<EdgeId>(edges_.size()) - absent_;
+  }
 
   const Edge& endpoints(EdgeId e) const { return edges_[e]; }
   const std::vector<Edge>& edges() const { return edges_; }
@@ -115,6 +158,32 @@ class Graph {
   // The original-graph edge id of local edge e (see file comment).
   EdgeId label(EdgeId e) const { return labels_[e]; }
   const std::vector<EdgeId>& labels() const { return labels_; }
+
+  // False for a tombstoned (removed) slot.
+  bool edge_present(EdgeId e) const {
+    return present_.empty() || present_[e] != 0;
+  }
+
+  // Monotonically increasing topology version; bumped by every successful
+  // mutation (and only those -- no-op mutations leave it unchanged). Freshly
+  // built graphs start at 0.
+  uint64_t epoch() const { return epoch_; }
+
+  // Applies the mutation described by `delta`, filling in its edge / u / v /
+  // label fields (see GraphDelta), and returns true if the topology changed.
+  // No-ops -- inserting an edge that is already present, removing one that
+  // is absent -- return false and do not bump the epoch. Inserts resurrect a
+  // tombstoned {u, v} slot (same id, same label) when one exists; otherwise
+  // a fresh slot is appended with a label one past the largest existing
+  // label (= the slot index on identity-labeled graphs), so per-label
+  // tiebreak weights stay distinct. Throws invalid_argument on self-loops /
+  // out-of-range endpoints or ids.
+  bool apply(GraphDelta& delta);
+
+  // Convenience forms of apply(). add_edge returns the edge id (existing id
+  // for a no-op duplicate); remove_edge returns whether anything changed.
+  EdgeId add_edge(Vertex u, Vertex v);
+  bool remove_edge(EdgeId e);
 
   std::span<const Arc> arcs(Vertex v) const {
     return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
@@ -155,7 +224,12 @@ class Graph {
   std::vector<Edge> edges_;
   std::vector<EdgeId> labels_;
   std::vector<uint32_t> offsets_;  // size n_ + 1
-  std::vector<Arc> arcs_;          // size 2m
+  std::vector<Arc> arcs_;          // size 2 * num_present_edges()
+  // Tombstone map; empty means "every slot present" (the common static
+  // case), so static graphs pay nothing. Materialized by the first removal.
+  std::vector<char> present_;
+  EdgeId absent_ = 0;  // tombstone count
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace restorable

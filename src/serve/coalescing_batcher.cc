@@ -142,7 +142,7 @@ void CoalescingBatcher::flush_loop() {
 }
 
 SptHandle CoalescingBatcher::get(const SsspRequest& req) {
-  const SptKey key(pi_->scheme_id(), req);
+  const SptKey key(pi_->version(), req);
   if (cache_) {
     // Hit fast path: shard lock only, no batcher mutex.
     if (auto tree = cache_->lookup(key)) {
@@ -162,7 +162,7 @@ std::vector<SptHandle> CoalescingBatcher::get_batch(
   std::vector<std::pair<size_t, std::shared_ptr<InFlight>>> waits;
   bool leader = false;
   for (size_t i = 0; i < requests.size(); ++i) {
-    const SptKey key(pi_->scheme_id(), requests[i]);
+    const SptKey key(pi_->version(), requests[i]);
     if (cache_) {
       if ((out[i] = cache_->lookup(key))) {
         requests_.fetch_add(1, std::memory_order_relaxed);

@@ -1,5 +1,8 @@
 #include "serve/oracle_server.h"
 
+#include <mutex>
+#include <stdexcept>
+
 namespace restorable {
 
 OracleServer::OracleServer(const IRpts& pi, ServerConfig config)
@@ -11,9 +14,9 @@ OracleServer::OracleServer(const IRpts& pi, ServerConfig config)
         pi, cache_.get(), config_.engine, config_.max_batch);
 }
 
-SptHandle OracleServer::tree(const SsspRequest& req) {
+SptHandle OracleServer::fetch_tree(const SsspRequest& req) {
   if (batcher_) return batcher_->get(req);
-  const SptKey key(pi_->scheme_id(), req);
+  const SptKey key(pi_->version(), req);
   if (cache_) {
     if (auto t = cache_->lookup(key)) return t;
   }
@@ -25,6 +28,11 @@ SptHandle OracleServer::tree(const SsspRequest& req) {
   return t;
 }
 
+SptHandle OracleServer::tree(const SsspRequest& req) {
+  std::shared_lock<std::shared_mutex> guard(update_mu_);
+  return fetch_tree(req);
+}
+
 uint64_t OracleServer::bytes_materialized() const {
   uint64_t total = direct_bytes_.load(std::memory_order_relaxed);
   if (batcher_) total += batcher_->stats().computed_bytes;
@@ -33,17 +41,22 @@ uint64_t OracleServer::bytes_materialized() const {
 
 int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults) {
   queries_.fetch_add(1, std::memory_order_relaxed);
-  return tree({s, faults, Direction::kOut})->hops[t];
+  std::shared_lock<std::shared_mutex> guard(update_mu_);
+  return fetch_tree({s, faults, Direction::kOut})->hops[t];
 }
 
 Path OracleServer::path(Vertex s, Vertex t, const FaultSet& faults) {
   queries_.fetch_add(1, std::memory_order_relaxed);
-  return tree({s, faults, Direction::kOut})->path_to(t);
+  std::shared_lock<std::shared_mutex> guard(update_mu_);
+  return fetch_tree({s, faults, Direction::kOut})->path_to(t);
 }
 
 int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
   queries_.fetch_add(1, std::memory_order_relaxed);
-  const auto base = tree({s, {}, Direction::kOut});
+  // One guard across both fetches: the base tree and the fault tree of a
+  // single query always belong to the same epoch.
+  std::shared_lock<std::shared_mutex> guard(update_mu_);
+  const auto base = fetch_tree({s, {}, Direction::kOut});
   if (!base->reachable(t)) {
     // t unreachable even fault-free; removing e cannot help.
     return kUnreachable;
@@ -62,7 +75,56 @@ int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
     stability_hits_.fetch_add(1, std::memory_order_relaxed);
     return base->hops[t];
   }
-  return tree({s, FaultSet{e}, Direction::kOut})->hops[t];
+  return fetch_tree({s, FaultSet{e}, Direction::kOut})->hops[t];
+}
+
+UpdateResult OracleServer::apply_update(Graph& graph, GraphDelta delta) {
+  if (&graph != &pi_->graph())
+    throw std::invalid_argument(
+        "apply_update: graph is not the served scheme's graph");
+  UpdateResult res;
+  std::vector<SptKey> invalidated_base;
+  {
+    std::unique_lock<std::shared_mutex> guard(update_mu_);
+    res.old_epoch = graph.epoch();
+    res.changed = graph.apply(delta);
+    res.delta = delta;
+    res.new_epoch = graph.epoch();
+    if (!res.changed) return res;
+    updates_.fetch_add(1, std::memory_order_relaxed);
+    if (!cache_) return res;
+
+    const auto adv = cache_->advance_epoch(
+        pi_->scheme_id(), res.old_epoch, res.new_epoch,
+        [&](const SptKey& key, const Spt& tree) {
+          return pi_->tree_survives(delta, tree, key.fault_set());
+        },
+        config_.prewarm_on_update ? &invalidated_base : nullptr);
+    res.carried = adv.carried;
+    res.invalidated = adv.invalidated;
+    res.purged_stale = adv.purged_stale;
+  }
+
+  if (!invalidated_base.empty()) {
+    // Rebuild exactly the trees the delta touched, as ONE engine batch at
+    // the new epoch; cached_spt_batch publishes them straight back into the
+    // cache. This runs OUTSIDE the exclusive section -- queries on carried
+    // roots resume immediately instead of stalling behind the rebuild --
+    // but under a shared guard, so no later apply_update can mutate the
+    // CSR mid-batch. A query racing the pre-warm at worst duplicates one
+    // compute; first-writer-wins keeps the cache consistent.
+    std::shared_lock<std::shared_mutex> guard(update_mu_);
+    std::vector<SsspRequest> reqs;
+    reqs.reserve(invalidated_base.size());
+    for (const SptKey& k : invalidated_base)
+      reqs.push_back({k.root, {}, k.dir});
+    const auto trees = pi_->spt_batch(reqs, config_.engine, cache_.get());
+    for (const auto& t : trees)
+      if (t) direct_bytes_.fetch_add(t->memory_bytes(),
+                                     std::memory_order_relaxed);
+    res.prewarmed = trees.size();
+  }
+  return res;
 }
 
 }  // namespace restorable

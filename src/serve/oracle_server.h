@@ -18,12 +18,24 @@
 // cache handle can be passed to the construction paths (subset-rp,
 // preservers, labels, oracles via IRpts::spt_batch), making the serving
 // path and offline builds share one tree store.
+//
+// Live topology churn: apply_update(graph, delta) mutates the scheme's
+// graph under an exclusive lock (queries hold it shared), bumps the
+// composite (scheme_id, epoch) version, and walks the cache ONCE: trees the
+// delta provably cannot change (IRpts::tree_survives) are rekeyed to the
+// new epoch zero-copy, affected trees are invalidated (and their base roots
+// optionally pre-warmed as one engine batch), and dead-version strays are
+// aged out of the protected segment. The oracle keeps serving correct
+// answers across edge inserts/removals without a full rebuild or cache
+// flush; handles held by in-flight readers stay valid and bit-identical
+// throughout (see SptHandle).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 
 #include "core/rpts.h"
 #include "serve/coalescing_batcher.h"
@@ -36,7 +48,23 @@ struct ServerConfig {
   bool enable_cache = true;         // false: recompute every fetch
   bool enable_coalescing = true;    // false: no single-flight (baseline)
   size_t max_batch = 0;             // cap per-flush drain (0 = unbounded)
+  // After an update, recompute the invalidated base (fault-free) trees
+  // eagerly as one engine batch, so the first post-update queries on the
+  // hot roots hit instead of paying the rebuild inline.
+  bool prewarm_on_update = true;
   const BatchSsspEngine* engine = nullptr;  // nullptr = shared engine
+};
+
+// What one apply_update did, for telemetry and tests.
+struct UpdateResult {
+  GraphDelta delta;        // as applied: edge / endpoints / label filled
+  bool changed = false;    // false = no-op mutation (nothing else happened)
+  uint64_t old_epoch = 0;
+  uint64_t new_epoch = 0;
+  size_t carried = 0;      // cached trees rekeyed forward zero-copy
+  size_t invalidated = 0;  // cached trees the delta may have changed
+  size_t purged_stale = 0; // dead-version entries aged out
+  size_t prewarmed = 0;    // invalidated base roots recomputed eagerly
 };
 
 class OracleServer {
@@ -59,8 +87,22 @@ class OracleServer {
   // selected path avoids e).
   int32_t replacement_distance(Vertex s, Vertex t, EdgeId e);
 
+  // Applies one topology mutation to the scheme's graph -- `graph` must BE
+  // that graph (passed explicitly because the server only holds a const
+  // view; the caller owns mutability) -- and advances the serving stack to
+  // the new epoch: unaffected cached trees carry forward zero-copy,
+  // affected ones are invalidated and (per config) pre-warmed through the
+  // batch engine. Queries are excluded only while this runs (shared/
+  // exclusive lock); answers before it reflect the old topology, answers
+  // after it the new one, and handles held across it stay valid and
+  // bit-identical. Thread-safe against any number of concurrent queriers.
+  UpdateResult apply_update(Graph& graph, GraphDelta delta);
+
   uint64_t queries_served() const {
     return queries_.load(std::memory_order_relaxed);
+  }
+  uint64_t updates_applied() const {
+    return updates_.load(std::memory_order_relaxed);
   }
   // Replacement queries the stability fast path answered from the base tree.
   uint64_t stability_fast_paths() const {
@@ -78,11 +120,19 @@ class OracleServer {
   const CoalescingBatcher* batcher() const { return batcher_.get(); }
 
  private:
+  // Tree fetch without the epoch guard; callers hold update_mu_ (shared).
+  SptHandle fetch_tree(const SsspRequest& req);
+
   const IRpts* pi_;
   ServerConfig config_;
   std::unique_ptr<SptCache> cache_;             // only if enable_cache
   std::unique_ptr<CoalescingBatcher> batcher_;  // only if enable_coalescing
+  // Epoch guard: queries hold it shared (one uncontended atomic in steady
+  // state), apply_update exclusive -- so a mutation never races an engine
+  // batch reading the CSR, and every query observes one coherent epoch.
+  std::shared_mutex update_mu_;
   std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> updates_{0};
   std::atomic<uint64_t> stability_hits_{0};
   std::atomic<uint64_t> direct_bytes_{0};  // materialized without a batcher
 };

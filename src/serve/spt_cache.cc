@@ -8,11 +8,15 @@
 
 namespace restorable {
 
-size_t SptKeyHash::operator()(const SptKey& k) const {
+size_t SptKeyHash::epoch_free(const SptKey& k) {
   uint64_t h = hash_combine(k.scheme_id, k.root);
   h = hash_combine(h, static_cast<uint64_t>(k.dir) + 1);
   for (EdgeId e : k.faults) h = hash_combine(h, static_cast<uint64_t>(e) + 1);
   return static_cast<size_t>(h);
+}
+
+size_t SptKeyHash::operator()(const SptKey& k) const {
+  return static_cast<size_t>(hash_combine(epoch_free(k), k.epoch + 1));
 }
 
 SptCache::SptCache(Config config) {
@@ -125,6 +129,91 @@ SptHandle SptCache::insert(const SptKey& key, SptHandle tree) {
   return kept == s.map.end() ? nullptr : kept->second->tree;
 }
 
+size_t SptCache::invalidate(
+    uint64_t scheme_id,
+    const std::function<bool(const SptKey&, const Spt&)>& pred) {
+  size_t erased = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (LruList* list : {&shard->prot_lru, &shard->prob_lru}) {
+      for (auto it = list->begin(); it != list->end();) {
+        if (it->key.scheme_id != scheme_id ||
+            (pred && !pred(it->key, *it->tree))) {
+          ++it;
+          continue;
+        }
+        (it->prot ? shard->prot_bytes : shard->prob_bytes) -= it->bytes;
+        shard->map.erase(it->key);
+        it = list->erase(it);
+        ++shard->invalidated;
+        ++erased;
+      }
+    }
+  }
+  return erased;
+}
+
+SptCache::AdvanceStats SptCache::advance_epoch(
+    uint64_t scheme_id, uint64_t old_epoch, uint64_t new_epoch,
+    const std::function<bool(const SptKey&, const Spt&)>& survives,
+    std::vector<SptKey>* invalidated_base) {
+  AdvanceStats out;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (LruList* list : {&shard->prot_lru, &shard->prob_lru}) {
+      for (auto it = list->begin(); it != list->end();) {
+        Entry& e = *it;
+        if (e.key.scheme_id != scheme_id || e.key.epoch == new_epoch) {
+          ++it;
+          continue;
+        }
+        const bool current = e.key.epoch == old_epoch;
+        if (current && survives && survives(e.key, *e.tree)) {
+          // Zero-copy carry-forward: rekey the resident entry in place (the
+          // shard hash ignores epochs, so it stays on this shard) and keep
+          // its LRU position and byte accounting as-is.
+          shard->map.erase(e.key);
+          e.key.epoch = new_epoch;
+          if (!shard->map.emplace(e.key, it).second) {
+            // A twin is already resident at the new epoch (a racing insert
+            // between the mutation and this walk); it is bit-identical by
+            // determinism, so keep it and drop the redundant survivor --
+            // stale, not invalidated: nothing needs recomputing.
+            (e.prot ? shard->prot_bytes : shard->prob_bytes) -= e.bytes;
+            it = list->erase(it);
+            ++shard->purged_stale;
+            ++out.purged_stale;
+            continue;
+          }
+          ++shard->carried_forward;
+          ++out.carried;
+          ++it;
+          continue;
+        }
+        if (current && invalidated_base && e.key.is_base()) {
+          SptKey rekeyed = e.key;
+          rekeyed.epoch = new_epoch;
+          invalidated_base->push_back(std::move(rekeyed));
+        }
+        (e.prot ? shard->prot_bytes : shard->prob_bytes) -= e.bytes;
+        shard->map.erase(e.key);
+        it = list->erase(it);
+        if (current) {
+          ++shard->invalidated;
+          ++out.invalidated;
+        } else {
+          // Dead-version aging: whatever epoch this stray came from, it can
+          // never be looked up again -- reclaim it even from the protected
+          // segment.
+          ++shard->purged_stale;
+          ++out.purged_stale;
+        }
+      }
+    }
+  }
+  return out;
+}
+
 void SptCache::clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -146,6 +235,9 @@ SptCache::Stats SptCache::stats() const {
     out.base_misses += shard->base_misses;
     out.inserts += shard->inserts;
     out.evictions += shard->evictions;
+    out.carried_forward += shard->carried_forward;
+    out.invalidated += shard->invalidated;
+    out.purged_stale += shard->purged_stale;
     out.entries += shard->map.size();
     out.bytes += shard->prot_bytes + shard->prob_bytes;
     out.peak_bytes += shard->peak_bytes;

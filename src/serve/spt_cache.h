@@ -46,29 +46,49 @@
 
 namespace restorable {
 
-// Cache key: which scheme instance, restricted to which root / fault set /
-// orientation. scheme_id identifies an IRpts *instance* (see
-// IRpts::scheme_id()), which pins down both the graph and the policy.
+// Cache key: which scheme instance at which topology epoch, restricted to
+// which root / fault set / orientation. (scheme_id, epoch) is the composite
+// SchemeVersion (see IRpts::version()): the instance id pins down the graph
+// object and the policy, the epoch pins down the topology over time, so a
+// key addresses bit-identical trees even across graph mutations.
 struct SptKey {
   uint64_t scheme_id = 0;
+  uint64_t epoch = 0;
   Vertex root = kNoVertex;
   Direction dir = Direction::kOut;
   std::vector<EdgeId> faults;  // sorted (copied from FaultSet)
 
   SptKey() = default;
-  SptKey(uint64_t scheme, const SsspRequest& req)
-      : scheme_id(scheme),
+  SptKey(SchemeVersion version, const SsspRequest& req)
+      : scheme_id(version.scheme_id),
+        epoch(version.epoch),
         root(req.root),
         dir(req.dir),
         faults(req.faults.begin(), req.faults.end()) {}
+  // Epoch-0 convenience for static-graph callers (a never-mutated graph
+  // stays at epoch 0, so this matches its scheme's version()).
+  SptKey(uint64_t scheme, const SsspRequest& req)
+      : SptKey(SchemeVersion{scheme, 0}, req) {}
 
   // The admission class: fault-free base trees are the protected class.
   bool is_base() const { return faults.empty(); }
+
+  // The key's fault list as a FaultSet (one copy; `faults` is already
+  // sorted and unique). This is what carry-forward predicates consume.
+  FaultSet fault_set() const {
+    return FaultSet(std::vector<EdgeId>(faults.begin(), faults.end()));
+  }
 
   friend bool operator==(const SptKey&, const SptKey&) = default;
 };
 
 struct SptKeyHash {
+  // Hash of everything EXCEPT the epoch. Shard selection uses this alone,
+  // so every epoch of one (scheme, root, faults, dir) lands on one shard
+  // and advance_epoch can rekey survivors in place under a single shard
+  // lock instead of migrating entries between shards.
+  static size_t epoch_free(const SptKey& k);
+  // Full map hash: the epoch-free part combined with the epoch.
   size_t operator()(const SptKey& k) const;
 };
 
@@ -89,6 +109,12 @@ class SptCache {
     uint64_t misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
+    // Dynamic-update accounting (advance_epoch / invalidate): trees rekeyed
+    // forward across an epoch bump zero-copy, trees dropped because the
+    // delta could change them, and dead-version strays aged out.
+    uint64_t carried_forward = 0;
+    uint64_t invalidated = 0;
+    uint64_t purged_stale = 0;
     // The base-tree (protected-class) slice of hits/misses, whatever the
     // protected_fraction -- this is the signal the admission policy is
     // judged by (base trees must keep hitting under fault-tree scans).
@@ -139,6 +165,36 @@ class SptCache {
   // handle they hand to their callers, so admission costs zero copies).
   SptHandle insert(const SptKey& key, SptHandle tree);
 
+  // Fine-grained invalidation: drops every resident entry of `scheme_id`
+  // (any epoch) matching `pred` -- all of them when `pred` is empty, e.g.
+  // when retiring a scheme so its base trees cannot strand bytes in the
+  // protected segment. Eviction-safe: live SptHandle readers keep their
+  // trees; only the cache's references are dropped. Returns the count.
+  size_t invalidate(uint64_t scheme_id,
+                    const std::function<bool(const SptKey&, const Spt&)>&
+                        pred = nullptr);
+
+  struct AdvanceStats {
+    size_t carried = 0;       // rekeyed old_epoch -> new_epoch, zero-copy
+    size_t invalidated = 0;   // old_epoch entries the delta may have changed
+    size_t purged_stale = 0;  // entries from epochs older than old_epoch
+  };
+
+  // The epoch-bump primitive of the dynamic-update pipeline. For every
+  // resident entry of `scheme_id`: entries at `old_epoch` satisfying
+  // `survives(key, tree)` are rekeyed to `new_epoch` in place -- the SAME
+  // handle, so carry-forward costs zero copies and zero recomputes --
+  // while the rest of the old epoch is invalidated and anything from even
+  // older (dead) epochs is purged, protected segment included, so a chain
+  // of version bumps cannot strand unreachable trees. Keys of invalidated
+  // fault-free entries are appended to `invalidated_base` (if non-null)
+  // already rekeyed to `new_epoch`: exactly the requests an update path
+  // wants to pre-warm. Entries already at `new_epoch` are left untouched.
+  AdvanceStats advance_epoch(
+      uint64_t scheme_id, uint64_t old_epoch, uint64_t new_epoch,
+      const std::function<bool(const SptKey&, const Spt&)>& survives,
+      std::vector<SptKey>* invalidated_base = nullptr);
+
   void clear();
 
   size_t shard_count() const { return shards_.size(); }
@@ -169,10 +225,13 @@ class SptCache {
     uint64_t base_misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
+    uint64_t carried_forward = 0;
+    uint64_t invalidated = 0;
+    uint64_t purged_stale = 0;
   };
 
   Shard& shard_for(const SptKey& key) {
-    return *shards_[SptKeyHash{}(key) % shards_.size()];
+    return *shards_[SptKeyHash::epoch_free(key) % shards_.size()];
   }
   LruList& list_of(Shard& s, bool prot) {
     return prot ? s.prot_lru : s.prob_lru;

@@ -185,6 +185,106 @@ TEST(Bfs, DiameterOfKnownGraphs) {
   EXPECT_EQ(diameter(grid(3, 4)), 5);
 }
 
+TEST(GraphMutation, RemoveTombstonesAndBumpsEpoch) {
+  Graph g = cycle(5);
+  EXPECT_EQ(g.epoch(), 0u);
+  EXPECT_EQ(g.num_present_edges(), 5u);
+
+  GraphDelta d = GraphDelta::remove(0);
+  EXPECT_TRUE(g.apply(d));
+  EXPECT_EQ(g.epoch(), 1u);
+  // The delta came back fully filled in.
+  EXPECT_EQ(d.edge, 0u);
+  EXPECT_EQ(d.u, cycle(5).endpoints(0).u);
+  EXPECT_EQ(d.v, cycle(5).endpoints(0).v);
+  EXPECT_EQ(d.label, 0u);
+  // Ids stay dense and stable; only the arcs are gone.
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.num_present_edges(), 4u);
+  EXPECT_FALSE(g.edge_present(0));
+  EXPECT_EQ(g.find_edge(d.u, d.v), kNoEdge);
+  EXPECT_EQ(g.degree(d.u), 1u);
+
+  // Removing an absent edge is a no-op and does not bump the epoch.
+  EXPECT_FALSE(g.remove_edge(0));
+  EXPECT_EQ(g.epoch(), 1u);
+}
+
+TEST(GraphMutation, ReinsertResurrectsIdAndLabel) {
+  Graph g = cycle(6);
+  const Edge victim = g.endpoints(2);
+  ASSERT_TRUE(g.remove_edge(2));
+  // Re-insert with endpoints in the OPPOSITE order: the tombstone is
+  // resurrected with its original id, label and stored orientation (label
+  // stability -- the antisymmetric weight of the flapped edge is unchanged).
+  GraphDelta d = GraphDelta::insert(victim.v, victim.u);
+  EXPECT_TRUE(g.apply(d));
+  EXPECT_EQ(d.edge, 2u);
+  EXPECT_EQ(d.label, 2u);
+  EXPECT_EQ(d.u, victim.u);  // normalized back to stored order
+  EXPECT_EQ(d.v, victim.v);
+  EXPECT_EQ(g.epoch(), 2u);
+  EXPECT_TRUE(g.edge_present(2));
+  EXPECT_EQ(g.num_edges(), 6u);  // no slot was appended
+  EXPECT_EQ(g.find_edge(victim.u, victim.v), 2u);
+}
+
+TEST(GraphMutation, FreshInsertAppendsSlotWithIdentityLabel) {
+  Graph g = cycle(5);  // no chord 0-2 yet
+  const EdgeId e = g.add_edge(0, 2);
+  EXPECT_EQ(e, 5u);
+  EXPECT_EQ(g.label(e), 5u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.num_present_edges(), 6u);
+  EXPECT_EQ(g.epoch(), 1u);
+  EXPECT_EQ(g.find_edge(2, 0), e);
+  EXPECT_EQ(g.degree(0), 3u);
+
+  // Duplicate insert is a no-op reporting the existing edge.
+  GraphDelta dup = GraphDelta::insert(2, 0);
+  EXPECT_FALSE(g.apply(dup));
+  EXPECT_EQ(dup.edge, e);
+  EXPECT_EQ(g.epoch(), 1u);
+
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 99), std::invalid_argument);
+  EXPECT_THROW(g.remove_edge(77), std::invalid_argument);
+}
+
+TEST(GraphMutation, FreshInsertNeverDuplicatesACustomLabel) {
+  // Non-identity labels (a subgraph view): the fresh slot must get a label
+  // no existing edge holds -- per-label tiebreak weights must stay
+  // distinct -- not its slot index (which would collide with label 3 here).
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}}, {3, 7, 9});
+  GraphDelta d = GraphDelta::insert(0, 2);
+  ASSERT_TRUE(g.apply(d));
+  EXPECT_EQ(d.edge, 3u);
+  EXPECT_EQ(d.label, 10u);  // max existing label + 1
+  EXPECT_EQ(g.label(d.edge), 10u);
+}
+
+TEST(GraphMutation, PathsOverRemovedEdgesAreInvalid) {
+  Graph g = path_graph(4);  // 0-1-2-3, edges 0,1,2
+  Path p{{0, 1, 2}, {0, 1}};
+  EXPECT_TRUE(g.is_valid_path(p));
+  ASSERT_TRUE(g.remove_edge(1));
+  EXPECT_FALSE(g.is_valid_path(p));
+  // Arcs of the surviving edges are untouched.
+  Path q{{0, 1}, {0}};
+  EXPECT_TRUE(g.is_valid_path(q));
+}
+
+TEST(GraphMutation, SubgraphOfMutatedGraphIsFreshStaticValue) {
+  Graph g = cycle(5);
+  g.remove_edge(4);
+  const std::vector<EdgeId> keep{0, 1, 2};
+  const Graph sub = g.edge_subgraph(keep);
+  EXPECT_EQ(sub.epoch(), 0u);
+  EXPECT_EQ(sub.num_present_edges(), 3u);
+  for (EdgeId e = 0; e < sub.num_edges(); ++e)
+    EXPECT_TRUE(sub.edge_present(e));
+}
+
 TEST(Io, RoundTrip) {
   Graph g = gnp_connected(25, 0.15, 3);
   std::stringstream ss;

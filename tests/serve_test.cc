@@ -70,7 +70,14 @@ TEST(SptCache, KeysDistinguishRootFaultsDirAndScheme) {
             nullptr);
   EXPECT_EQ(cache.lookup(SptKey(a.scheme_id(), {2, FaultSet{0}, Direction::kOut})),
             nullptr);
+  // Epochs key separately too: the same (scheme, root, faults, dir) at a
+  // later topology version is a different tree.
+  EXPECT_EQ(cache.lookup(SptKey(SchemeVersion{a.scheme_id(), 1}, base)),
+            nullptr);
   EXPECT_NE(cache.lookup(SptKey(a.scheme_id(), base)), nullptr);
+  // The epoch-0 convenience constructor and version() agree on a static
+  // graph.
+  EXPECT_EQ(SptKey(a.scheme_id(), base), SptKey(a.version(), base));
 }
 
 TEST(SptCache, EvictionKeepsTinyByteBudget) {
