@@ -30,6 +30,12 @@
 // per-phase hit-rate trajectory, and a correctness spot check of sampled
 // answers against a from-scratch IRpts rebuild of each phase's topology.
 //
+// A fourth scenario (bench=serve_burst rows) measures the batched-delta
+// pipeline: the same k removals applied as k apply_update calls versus ONE
+// apply_updates batch (one cache walk, one epoch bump, one incremental-
+// repair engine batch), reporting apply_ms, repaired-vs-recomputed counts
+// and recovery latency. CI asserts the burst beats the k single applies.
+//
 // Scenario axes:
 //   --threads 1,4     comma list of closed-loop worker counts
 //   --queries N       queries per (family, threads, mode) measurement
@@ -334,8 +340,8 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
         .field("cache_misses", cache_stats.misses)
         .field("cache_entries", static_cast<uint64_t>(cache_stats.entries))
         .field("cache_bytes", static_cast<uint64_t>(cache_stats.bytes))
-        .field("cache_peak_bytes",
-               static_cast<uint64_t>(cache_stats.peak_bytes))
+        .field("cache_sum_shard_peak_bytes",
+               static_cast<uint64_t>(cache_stats.sum_shard_peak_bytes))
         .field("protected_bytes",
                static_cast<uint64_t>(cache_stats.protected_bytes))
         .field("protected_entries",
@@ -446,7 +452,7 @@ void bench_fault_scan(Table& scan_table, JsonRows& json, const Options& opt,
           .field("base_hits", stats.base_hits)
           .field("base_misses", stats.base_misses)
           .field("evictions", stats.evictions)
-          .field("cache_peak_bytes", static_cast<uint64_t>(stats.peak_bytes))
+          .field("cache_sum_shard_peak_bytes", static_cast<uint64_t>(stats.sum_shard_peak_bytes))
           .field("protected_bytes",
                  static_cast<uint64_t>(stats.protected_bytes))
           .field("checked", static_cast<uint64_t>(checked))
@@ -641,12 +647,185 @@ void bench_churn(Table& churn_table, JsonRows& json, const Options& opt,
         .field("cache_entries", static_cast<uint64_t>(cache_stats.entries))
         .field("cache_carried_forward", cache_stats.carried_forward)
         .field("cache_invalidated", cache_stats.invalidated)
-        .field("cache_peak_bytes",
-               static_cast<uint64_t>(cache_stats.peak_bytes))
+        .field("cache_sum_shard_peak_bytes",
+               static_cast<uint64_t>(cache_stats.sum_shard_peak_bytes))
         .field("checked", static_cast<uint64_t>(checked))
         .field("correct", static_cast<uint64_t>(correct))
         .field("hw_threads",
                static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  }
+}
+
+// Burst-update scenario: the SAME k edge removals applied as k single-delta
+// apply_update calls versus ONE apply_updates batch, against identically
+// warmed servers. The single path pays k cache walks, k epoch bumps (CSR
+// rebuilds) and k repair batches where the burst pays one of each, and the
+// burst repairs non-survivors incrementally from their old trees. Reported
+// per (family, threads, mode) row: apply_ms for the removal burst, heal_ms
+// for the re-insert burst, carried / invalidated / repaired / recomputed
+// tree counts, post-update recovery latency, and sampled answers verified
+// against a from-scratch rebuild of the mutated topology. The CI bench-smoke
+// job asserts burst apply_ms < the k single-flap applies and that every
+// sampled answer matched the rebuild.
+void bench_burst(Table& burst_table, JsonRows& json, const Options& opt,
+                 const std::string& family, const Graph& g0) {
+  const size_t k = opt.flaps;
+  // Victim edges chosen once on the pristine topology so both modes apply
+  // identical deltas: half edges of a hot root's tree (provably
+  // invalidating), half uniform present edges, all distinct.
+  std::vector<GraphDelta> removals;
+  {
+    const IsolationRpts pick(g0, IsolationAtw(7));
+    Rng rng(hash_combine(opt.seed, 0xb045));
+    const Spt hot_tree = pick.spt(0);
+    std::vector<char> taken(g0.num_edges(), 0);
+    while (removals.size() < k) {
+      EdgeId e;
+      if (removals.size() % 2 == 0) {
+        Vertex x = static_cast<Vertex>(rng.next_below(g0.num_vertices()));
+        while (hot_tree.parent[x] == kNoVertex)
+          x = static_cast<Vertex>(rng.next_below(g0.num_vertices()));
+        e = hot_tree.parent_edge[x];
+      } else {
+        e = static_cast<EdgeId>(rng.next_below(g0.num_edges()));
+      }
+      if (taken[e] || !g0.edge_present(e)) continue;
+      taken[e] = 1;
+      removals.push_back(GraphDelta::remove(e));
+    }
+  }
+
+  for (int threads : opt.threads) {
+    const BatchSsspEngine engine(threads);
+    for (const bool burst : {false, true}) {
+      Graph g = g0;
+      const IsolationRpts pi(g, IsolationAtw(7));
+      ServerConfig cfg;
+      cfg.cache.shards = opt.shards;
+      cfg.cache.byte_budget = opt.budget_mb << 20;
+      cfg.max_batch = opt.max_batch;
+      cfg.engine = &engine;
+      OracleServer server(pi, cfg);
+
+      // Identical warm population for both modes: every base tree, plus a
+      // spread of fault trees on the hot roots -- the resident set the
+      // update walk has to adjudicate.
+      for (Vertex r = 0; r < g.num_vertices(); ++r)
+        server.tree({r, {}, Direction::kOut});
+      for (size_t i = 0; i < opt.hot; ++i) {
+        const Vertex h = static_cast<Vertex>(
+            (static_cast<uint64_t>(i) * g.num_vertices()) / opt.hot);
+        for (EdgeId e = 0; e < g.num_edges(); e += g.num_edges() / 8 + 1)
+          server.tree({h, FaultSet{e}, Direction::kOut});
+      }
+
+      size_t carried = 0, invalidated = 0, prewarmed = 0, repaired = 0;
+      auto account = [&](const UpdateResult& res) {
+        carried += res.carried;
+        invalidated += res.invalidated;
+        prewarmed += res.prewarmed;
+        repaired += res.repaired;
+      };
+
+      // The measured removal burst.
+      Stopwatch apply_sw;
+      if (burst) {
+        account(server.apply_updates(g, removals));
+      } else {
+        for (const GraphDelta& d : removals)
+          account(server.apply_update(g, d));
+      }
+      const double apply_ms = apply_sw.millis();
+
+      // Recovery: first post-update queries, then sampled answers verified
+      // against a from-scratch rebuild of the mutated topology (outside
+      // the timing window).
+      std::vector<double> recovery;
+      std::vector<std::pair<Query, int32_t>> post_samples;
+      std::vector<Vertex> hot_roots;
+      for (size_t i = 0; i < opt.hot; ++i)
+        hot_roots.push_back(static_cast<Vertex>(
+            (static_cast<uint64_t>(i) * g.num_vertices()) / opt.hot));
+      for (uint64_t seq = 0; seq < 256; ++seq) {
+        const Query q = make_query(g, hot_roots, opt.seed, seq);
+        Stopwatch sw;
+        const int32_t got = run_query(server, q);
+        recovery.push_back(sw.seconds() * 1e6);
+        if (seq % 8 == 0) post_samples.emplace_back(q, got);
+      }
+
+      // Heal with the inverse burst (tombstone resurrection), same shape
+      // as the removal phase, exercising the insert-repair path.
+      std::vector<GraphDelta> heals;
+      for (const GraphDelta& d : removals) {
+        const Edge& ed = g0.endpoints(d.edge);
+        heals.push_back(GraphDelta::insert(ed.u, ed.v));
+      }
+      Stopwatch heal_sw;
+      if (burst) {
+        account(server.apply_updates(g, heals));
+      } else {
+        for (const GraphDelta& d : heals)
+          account(server.apply_update(g, d));
+      }
+      const double heal_ms = heal_sw.millis();
+      for (uint64_t seq = 256; seq < 384; ++seq) {
+        const Query q = make_query(g, hot_roots, opt.seed, seq);
+        post_samples.emplace_back(q, run_query(server, q));
+      }
+      // Healed topology == pristine topology: one reference serves the
+      // post-heal samples; the post-removal ones get their own rebuild.
+      size_t checked = 0, correct = 0;
+      {
+        Graph mutated = g0;
+        for (const GraphDelta& d : removals) {
+          GraphDelta m = d;
+          mutated.apply(m);
+        }
+        const IsolationRpts post(mutated, IsolationAtw(7));
+        const IsolationRpts healed(g, IsolationAtw(7));
+        for (size_t i = 0; i < post_samples.size(); ++i) {
+          const auto& [q, got] = post_samples[i];
+          const IsolationRpts& ref = i < 256 / 8 ? post : healed;
+          ++checked;
+          if (got == reference_answer(ref, q)) ++correct;
+        }
+      }
+
+      std::sort(recovery.begin(), recovery.end());
+      const double rec_p50 = recovery[recovery.size() / 2];
+      const double rec_p99 =
+          recovery[std::min(recovery.size() - 1, recovery.size() * 99 / 100)];
+      const char* mode = burst ? "burst" : "single";
+      burst_table.add_row(family, threads, mode,
+                          static_cast<uint64_t>(k), apply_ms, heal_ms,
+                          carried, invalidated, repaired,
+                          prewarmed - repaired);
+      json.row()
+          .field("bench", "serve_burst")
+          .field("family", family)
+          .field("n", static_cast<uint64_t>(g.num_vertices()))
+          .field("m", static_cast<uint64_t>(g.num_edges()))
+          .field("threads", threads)
+          .field("mode", mode)
+          .field("seed", opt.seed)
+          .field("flaps", static_cast<uint64_t>(k))
+          .field("apply_ms", apply_ms)
+          .field("apply_ms_per_flap", apply_ms / static_cast<double>(k))
+          .field("heal_ms", heal_ms)
+          .field("carried_total", static_cast<uint64_t>(carried))
+          .field("invalidated_total", static_cast<uint64_t>(invalidated))
+          .field("prewarmed_total", static_cast<uint64_t>(prewarmed))
+          .field("repaired_total", static_cast<uint64_t>(repaired))
+          .field("recomputed_total",
+                 static_cast<uint64_t>(prewarmed - repaired))
+          .field("recovery_p50_us", rec_p50)
+          .field("recovery_p99_us", rec_p99)
+          .field("checked", static_cast<uint64_t>(checked))
+          .field("correct", static_cast<uint64_t>(correct))
+          .field("hw_threads",
+                 static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    }
   }
 }
 
@@ -662,6 +841,9 @@ int run(const Options& opt) {
                     "base_hit_rate", "evictions"});
   Table churn_table({"family", "threads", "qps", "carried", "invalidated",
                      "carried_frac", "apply_ms", "hit_rate"});
+  Table burst_table({"family", "threads", "mode", "flaps", "apply_ms",
+                     "heal_ms", "carried", "invalidated", "repaired",
+                     "recomputed"});
   JsonRows json;
 
   const Graph g400 = gnp_connected(400, 16.0 / 400, 1234);
@@ -673,6 +855,7 @@ int run(const Options& opt) {
   }
   bench_fault_scan(scan_table, json, opt, "gnp(400)", g400);
   bench_churn(churn_table, json, opt, "gnp(400)", g400);
+  bench_burst(burst_table, json, opt, "gnp(400)", g400);
 
   table.print();
   std::cout << "\nFault-scan admission scenario (small budget, sweeping "
@@ -684,6 +867,12 @@ int run(const Options& opt) {
             << ";\ncarried = trees rekeyed forward zero-copy, invalidated = "
                "affected trees dropped + pre-warmed):\n";
   churn_table.print();
+  std::cout << "\nBurst-update scenario (" << opt.flaps
+            << " removals + heal, seed " << opt.seed
+            << "; single = one apply_update per delta, burst = ONE "
+               "apply_updates batch\n-- one cache walk, one epoch bump, one "
+               "incremental-repair engine batch for the whole burst):\n";
+  burst_table.print();
   std::cout << "Expected shape: cache_on hit rate approaches 1 on the "
                "repeated-root workload, so qps is bounded by tree lookups\n"
                "+ O(d) path walks instead of full Dijkstra recomputes; "

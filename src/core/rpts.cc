@@ -91,6 +91,43 @@ bool IRpts::tree_survives(const GraphDelta& delta, const Spt& tree,
   return !tree.uses_edge(delta.edge);
 }
 
+bool IRpts::batch_survives(const DeltaBatch& batch, const Spt& tree,
+                           const FaultSet& faults) const {
+  // Conjunction over the batch's net deltas; exact, see the header. Order
+  // does not matter: each per-delta test reads only the old tree and
+  // per-label data, both invariant under the other deltas. Removals share
+  // ONE parent-edge scan instead of one tree walk per delta -- for every
+  // scheme, removal survival is the generic stability rule (the tree avoids
+  // the removed edge; see the base tree_survives), so testing k removals is
+  // one membership sweep. Inserts go through the virtual per-delta test
+  // (Rpts<Policy> refines them with exact tightness arithmetic).
+  FaultSet removed;
+  for (const GraphDelta& d : batch.net) {
+    if (d.edge != kNoEdge && faults.contains(d.edge)) continue;
+    if (d.kind == GraphDelta::Kind::kRemove)
+      removed.insert(d.edge);
+    else if (!tree_survives(d, tree, faults))
+      return false;
+  }
+  if (removed.empty()) return true;
+  for (const EdgeId pe : tree.parent_edge)
+    if (pe != kNoEdge && removed.contains(pe)) return false;
+  return true;
+}
+
+RepairOutcome IRpts::repair_tree(const Spt& old_tree, const DeltaBatch& batch,
+                                 const FaultSet& faults,
+                                 double /*max_affected_fraction*/) const {
+  // No exact tie arithmetic at this level: a from-scratch recompute is the
+  // only way to reproduce the scheme's tree bit-identically.
+  if (batch_survives(batch, old_tree, faults))
+    return {old_tree, /*repaired=*/true, /*touched=*/0};
+  RepairOutcome out;
+  out.tree = spt(old_tree.root, faults, old_tree.dir);
+  out.touched = graph().num_vertices();
+  return out;
+}
+
 std::vector<Vertex> IRpts::affected_roots(
     const GraphDelta& delta, std::span<const SptHandle> base_trees) const {
   std::vector<Vertex> out;

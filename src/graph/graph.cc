@@ -125,7 +125,7 @@ void Graph::build_csr() {
   offsets_[0] = 0;
 }
 
-bool Graph::apply(GraphDelta& delta) {
+bool Graph::apply_one(GraphDelta& delta) {
   if (delta.kind == GraphDelta::Kind::kRemove) {
     const EdgeId e = delta.edge;
     if (e >= num_edges()) throw std::invalid_argument("remove: edge id out of range");
@@ -138,8 +138,6 @@ bool Graph::apply(GraphDelta& delta) {
     if (present_.empty()) present_.assign(edges_.size(), 1);
     present_[e] = 0;
     ++absent_;
-    build_csr();
-    ++epoch_;
     return true;
   }
 
@@ -186,9 +184,73 @@ bool Graph::apply(GraphDelta& delta) {
     delta.edge = e;
     delta.label = fresh_label;
   }
+  return true;
+}
+
+bool Graph::apply(GraphDelta& delta) {
+  if (!apply_one(delta)) return false;
   build_csr();
   ++epoch_;
   return true;
+}
+
+DeltaBatch Graph::apply(std::span<const GraphDelta> deltas) {
+  DeltaBatch batch;
+  batch.old_epoch = epoch_;
+  batch.deltas.reserve(deltas.size());
+
+  // Presence of every touched slot *before* the batch, keyed by edge id in
+  // first-touch order. The first *effective* delta on a slot tells its
+  // prior presence exactly: a removal that changed something removed a
+  // present edge, an insert that changed something filled an absent slot
+  // (tombstone or fresh append alike).
+  std::vector<std::pair<EdgeId, bool>> before;
+  auto record_touch = [&](const GraphDelta& d) {
+    for (const auto& [id, was] : before)
+      if (id == d.edge) return;
+    before.emplace_back(d.edge, d.kind == GraphDelta::Kind::kRemove);
+  };
+
+  bool any_changed = false;
+  for (const GraphDelta& in : deltas) {
+    GraphDelta d = in;
+    // Validation happens inside apply_one; on throw the CSR has not been
+    // touched yet, but earlier deltas of the batch may have landed. Rebuild
+    // so the object stays coherent (epoch bumps iff something changed).
+    try {
+      const bool changed = apply_one(d);
+      if (changed) record_touch(d);
+      any_changed |= changed;
+    } catch (...) {
+      if (any_changed) {
+        build_csr();
+        ++epoch_;
+      }
+      throw;
+    }
+    batch.deltas.push_back(d);
+  }
+  batch.new_epoch = batch.old_epoch;
+  if (any_changed) {
+    build_csr();
+    batch.new_epoch = ++epoch_;
+  }
+
+  // Net-effect collapse: a slot whose presence is unchanged end-to-end
+  // (removed then re-added, or appended then re-removed) contributes no net
+  // delta -- downstream survival tests never see it.
+  for (const auto& [e, was_present] : before) {
+    const bool is_present = edge_present(e);
+    if (was_present == is_present) continue;
+    GraphDelta net;
+    net.kind = is_present ? GraphDelta::Kind::kInsert : GraphDelta::Kind::kRemove;
+    net.edge = e;
+    net.u = edges_[e].u;
+    net.v = edges_[e].v;
+    net.label = labels_[e];
+    batch.net.push_back(net);
+  }
+  return batch;
 }
 
 EdgeId Graph::add_edge(Vertex u, Vertex v) {

@@ -126,6 +126,27 @@ struct GraphDelta {
   }
 };
 
+// Summary of one *batch* of mutations applied atomically by
+// Graph::apply(std::span<const GraphDelta>): k deltas, ONE epoch bump, ONE
+// CSR rebuild. `deltas` echoes the inputs with every field filled in (the
+// per-delta record Graph::apply(GraphDelta&) would have produced, no-ops
+// included); `net` is the batch collapsed to its net effect per edge slot --
+// an edge removed and re-added (or added and re-removed) within the batch
+// cancels out and contributes nothing. Carry-forward machinery
+// (IRpts::batch_survives, SptCache::advance_epoch, Rpts::repair_tree)
+// consumes `net` only: a flap healed inside one batch is a provable no-op
+// for every cached tree.
+struct DeltaBatch {
+  std::vector<GraphDelta> deltas;  // inputs, filled in; no-ops included
+  std::vector<GraphDelta> net;     // net effect, one entry per changed slot
+  uint64_t old_epoch = 0;
+  uint64_t new_epoch = 0;
+
+  // True iff the epoch advanced (at least one delta changed the topology at
+  // some point -- even if the batch's net effect collapsed to nothing).
+  bool changed() const { return new_epoch != old_epoch; }
+};
+
 // Undirected unweighted multigraph-free graph with CSR adjacency.
 //
 // Dynamic updates: remove_edge tombstones the slot (the edge keeps its id
@@ -180,6 +201,15 @@ class Graph {
   // out-of-range endpoints or ids.
   bool apply(GraphDelta& delta);
 
+  // Batched form: applies the deltas in order as ONE atomic mutation -- a
+  // single CSR rebuild and a single epoch bump for the whole batch (no bump
+  // when no delta changed anything). Deltas interact exactly as k sequential
+  // apply() calls would (a removal followed by an insert of the same
+  // endpoints resurrects the tombstone), but intermediate topologies are
+  // never observable. The returned summary carries the filled-in per-delta
+  // records plus the batch's net effect per edge slot (see DeltaBatch).
+  DeltaBatch apply(std::span<const GraphDelta> deltas);
+
   // Convenience forms of apply(). add_edge returns the edge id (existing id
   // for a no-op duplicate); remove_edge returns whether anything changed.
   EdgeId add_edge(Vertex u, Vertex v);
@@ -219,6 +249,11 @@ class Graph {
 
  private:
   void build_csr();
+  // Shared mutation core: applies one delta to the edge/label/tombstone
+  // state WITHOUT rebuilding the CSR or bumping the epoch (the callers
+  // decide how many mutations share one rebuild + bump). Returns whether
+  // the topology changed.
+  bool apply_one(GraphDelta& delta);
 
   Vertex n_ = 0;
   std::vector<Edge> edges_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <iterator>
+#include <stdexcept>
 #include <utility>
 
 namespace restorable {
@@ -108,6 +109,13 @@ void CoalescingBatcher::flush_loop() {
         // a throw must fail THIS flight, not abandon the rest of the batch.
         try {
           tree = std::move(trees[i]);
+          // A null slot (a buggy or lossy spt_batch override) must fail
+          // THIS flight with a real exception, not crash the leader on the
+          // memory_bytes() dereference below -- a dead leader leaves
+          // flushing_ stuck true and strands every queued waiter forever.
+          if (!tree)
+            throw std::runtime_error(
+                "CoalescingBatcher: spt_batch returned a null tree");
           computed_bytes_.fetch_add(tree->memory_bytes(),
                                     std::memory_order_relaxed);
           // Publish the SAME handle to the cache (zero-copy admission); a

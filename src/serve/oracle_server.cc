@@ -79,51 +79,75 @@ int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
 }
 
 UpdateResult OracleServer::apply_update(Graph& graph, GraphDelta delta) {
+  return apply_updates(graph, std::span<const GraphDelta>(&delta, 1));
+}
+
+UpdateResult OracleServer::apply_updates(Graph& graph,
+                                         std::span<const GraphDelta> deltas) {
   if (&graph != &pi_->graph())
     throw std::invalid_argument(
-        "apply_update: graph is not the served scheme's graph");
+        "apply_updates: graph is not the served scheme's graph");
   UpdateResult res;
-  std::vector<SptKey> invalidated_base;
+  std::vector<SptCache::Invalidated> invalidated;
+  SptCache::AdvanceStats adv;
   {
     std::unique_lock<std::shared_mutex> guard(update_mu_);
-    res.old_epoch = graph.epoch();
-    res.changed = graph.apply(delta);
-    res.delta = delta;
-    res.new_epoch = graph.epoch();
+    res.batch = graph.apply(deltas);
+    if (!res.batch.deltas.empty()) res.delta = res.batch.deltas.front();
+    res.old_epoch = res.batch.old_epoch;
+    res.new_epoch = res.batch.new_epoch;
+    res.changed = res.batch.changed();
     if (!res.changed) return res;
     updates_.fetch_add(1, std::memory_order_relaxed);
     if (!cache_) return res;
 
-    const auto adv = cache_->advance_epoch(
+    // ONE cache walk for the whole burst, deciding carry-forward against
+    // the batch's net effect: a flap healed within the batch has no net
+    // delta and every tree survives it vacuously.
+    adv = cache_->advance_epoch(
         pi_->scheme_id(), res.old_epoch, res.new_epoch,
         [&](const SptKey& key, const Spt& tree) {
-          return pi_->tree_survives(delta, tree, key.fault_set());
+          return pi_->batch_survives(res.batch, tree, key.fault_set());
         },
-        config_.prewarm_on_update ? &invalidated_base : nullptr);
-    res.carried = adv.carried;
-    res.invalidated = adv.invalidated;
-    res.purged_stale = adv.purged_stale;
+        config_.prewarm_on_update ? &invalidated : nullptr);
   }
 
-  if (!invalidated_base.empty()) {
-    // Rebuild exactly the trees the delta touched, as ONE engine batch at
-    // the new epoch; cached_spt_batch publishes them straight back into the
-    // cache. This runs OUTSIDE the exclusive section -- queries on carried
-    // roots resume immediately instead of stalling behind the rebuild --
-    // but under a shared guard, so no later apply_update can mutate the
-    // CSR mid-batch. A query racing the pre-warm at worst duplicates one
+  if (!invalidated.empty()) {
+    // Re-admit exactly the trees the batch touched, as ONE engine batch at
+    // the new epoch: each non-survivor is repaired incrementally from its
+    // old tree (Ramalingam-Reps subtree reanchoring) where the affected
+    // region is small, recomputed from scratch otherwise -- bit-identical
+    // either way. This runs OUTSIDE the exclusive section -- queries on
+    // carried trees resume immediately instead of stalling behind the
+    // repairs -- but under a shared guard, so no later update can mutate
+    // the CSR mid-batch. A query racing the repair at worst duplicates one
     // compute; first-writer-wins keeps the cache consistent.
     std::shared_lock<std::shared_mutex> guard(update_mu_);
-    std::vector<SsspRequest> reqs;
-    reqs.reserve(invalidated_base.size());
-    for (const SptKey& k : invalidated_base)
-      reqs.push_back({k.root, {}, k.dir});
-    const auto trees = pi_->spt_batch(reqs, config_.engine, cache_.get());
-    for (const auto& t : trees)
-      if (t) direct_bytes_.fetch_add(t->memory_bytes(),
-                                     std::memory_order_relaxed);
-    res.prewarmed = trees.size();
+    const BatchSsspEngine& eng = BatchSsspEngine::or_shared(config_.engine);
+    std::vector<RepairOutcome> outcomes(invalidated.size());
+    eng.parallel_for(invalidated.size(), [&](size_t i) {
+      outcomes[i] =
+          pi_->repair_tree(*invalidated[i].old_tree, res.batch,
+                           invalidated[i].key.fault_set(),
+                           config_.repair_fraction);
+    });
+    for (size_t i = 0; i < invalidated.size(); ++i) {
+      auto tree = std::make_shared<const Spt>(std::move(outcomes[i].tree));
+      direct_bytes_.fetch_add(tree->memory_bytes(),
+                              std::memory_order_relaxed);
+      // Count only entries actually re-populated: a null return means the
+      // cache refused the entry (budget) -- queries will recompute it on
+      // demand, so claiming it pre-warmed would overstate readiness.
+      if (cache_->insert(invalidated[i].key, std::move(tree))) {
+        ++res.prewarmed;
+        if (outcomes[i].repaired) ++adv.repaired;
+      }
+    }
   }
+  res.carried = adv.carried;
+  res.invalidated = adv.invalidated;
+  res.purged_stale = adv.purged_stale;
+  res.repaired = adv.repaired;
   return res;
 }
 

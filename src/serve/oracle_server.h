@@ -36,6 +36,7 @@
 #include <memory>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 
 #include "core/rpts.h"
 #include "serve/coalescing_batcher.h"
@@ -48,23 +49,35 @@ struct ServerConfig {
   bool enable_cache = true;         // false: recompute every fetch
   bool enable_coalescing = true;    // false: no single-flight (baseline)
   size_t max_batch = 0;             // cap per-flush drain (0 = unbounded)
-  // After an update, recompute the invalidated base (fault-free) trees
-  // eagerly as one engine batch, so the first post-update queries on the
-  // hot roots hit instead of paying the rebuild inline.
+  // After an update, repair the invalidated trees eagerly as one engine
+  // batch (incremental Ramalingam-Reps repair where the affected region is
+  // small, from-scratch recompute otherwise), so the first post-update
+  // queries on the hot keys hit instead of paying the rebuild inline.
   bool prewarm_on_update = true;
+  // Ceiling on the affected region an incremental repair may grow to, as a
+  // fraction of the vertex count, before the repair falls back to a full
+  // recompute (see IRpts::repair_tree).
+  double repair_fraction = kDefaultRepairFraction;
   const BatchSsspEngine* engine = nullptr;  // nullptr = shared engine
 };
 
-// What one apply_update did, for telemetry and tests.
+// What one apply_update / apply_updates did, for telemetry and tests.
 struct UpdateResult {
-  GraphDelta delta;        // as applied: edge / endpoints / label filled
+  GraphDelta delta;        // first delta as applied (edge/endpoints/label
+                           // filled); see `batch` for the full record
+  DeltaBatch batch;        // all deltas + the batch's net effect
   bool changed = false;    // false = no-op mutation (nothing else happened)
   uint64_t old_epoch = 0;
   uint64_t new_epoch = 0;
   size_t carried = 0;      // cached trees rekeyed forward zero-copy
-  size_t invalidated = 0;  // cached trees the delta may have changed
+  size_t invalidated = 0;  // cached trees the batch may have changed
   size_t purged_stale = 0; // dead-version entries aged out
-  size_t prewarmed = 0;    // invalidated base roots recomputed eagerly
+  // Invalidated trees re-admitted eagerly (prewarm_on_update), counting
+  // only entries actually re-populated -- never null slots. `repaired` of
+  // them came from the incremental repair path; the remaining
+  // prewarmed - repaired fell back to from-scratch recomputes.
+  size_t prewarmed = 0;
+  size_t repaired = 0;
 };
 
 class OracleServer {
@@ -97,6 +110,16 @@ class OracleServer {
   // after it the new one, and handles held across it stay valid and
   // bit-identical. Thread-safe against any number of concurrent queriers.
   UpdateResult apply_update(Graph& graph, GraphDelta delta);
+
+  // Batched form -- the amortized path for a burst of k topology deltas:
+  // ONE atomic Graph::apply (one CSR rebuild, one epoch bump), ONE
+  // advance_epoch cache walk deciding carry-forward against the batch's
+  // *net* effect (an edge flapped and healed inside the batch invalidates
+  // nothing), and ONE engine batch repairing the non-survivors
+  // incrementally (IRpts::repair_tree) instead of recomputing them.
+  // apply_update(delta) is exactly apply_updates over a single-delta span.
+  UpdateResult apply_updates(Graph& graph,
+                             std::span<const GraphDelta> deltas);
 
   uint64_t queries_served() const {
     return queries_.load(std::memory_order_relaxed);

@@ -61,8 +61,8 @@ SptHandle SptCache::peek(const SptKey& key) {
   std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.map.find(key);
   if (it == s.map.end()) return nullptr;
-  LruList& list = list_of(s, it->second->prot);
-  list.splice(list.begin(), list, it->second);
+  // Deliberately NO splice-to-MRU: peek is a non-query probe (the batcher's
+  // double-check, tests) and must not perturb the eviction order.
   return it->second->tree;
 }
 
@@ -87,6 +87,16 @@ SptHandle SptCache::insert(const SptKey& key, SptHandle tree) {
   const bool prot = protected_budget_ > 0 && key.is_base();
   const size_t bytes = entry_bytes(key, *tree);
   std::lock_guard<std::mutex> lock(s.mu);
+  // Stale-epoch rejection: a construction path that computed this tree
+  // before a concurrent advance_epoch finished would publish a dead entry
+  // no lookup can ever reach (the serving layer is already at a newer
+  // epoch), stranding its bytes -- protected segment included -- until the
+  // next bump.
+  const auto latest = s.latest_epoch.find(key.scheme_id);
+  if (latest != s.latest_epoch.end() && key.epoch < latest->second) {
+    ++s.rejected_stale;
+    return nullptr;
+  }
   const auto it = s.map.find(key);
   if (it != s.map.end()) {
     // First writer wins; the racing tree is bit-identical by determinism.
@@ -156,10 +166,15 @@ size_t SptCache::invalidate(
 SptCache::AdvanceStats SptCache::advance_epoch(
     uint64_t scheme_id, uint64_t old_epoch, uint64_t new_epoch,
     const std::function<bool(const SptKey&, const Spt&)>& survives,
-    std::vector<SptKey>* invalidated_base) {
+    std::vector<Invalidated>* invalidated_out) {
   AdvanceStats out;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    // Arm insert's stale-epoch rejection before touching the entries: any
+    // insert that serializes after this walk on the shard lock sees the
+    // advanced epoch.
+    uint64_t& latest = shard->latest_epoch[scheme_id];
+    latest = std::max(latest, new_epoch);
     for (LruList* list : {&shard->prot_lru, &shard->prob_lru}) {
       for (auto it = list->begin(); it != list->end();) {
         Entry& e = *it;
@@ -190,10 +205,10 @@ SptCache::AdvanceStats SptCache::advance_epoch(
           ++it;
           continue;
         }
-        if (current && invalidated_base && e.key.is_base()) {
+        if (current && invalidated_out) {
           SptKey rekeyed = e.key;
           rekeyed.epoch = new_epoch;
-          invalidated_base->push_back(std::move(rekeyed));
+          invalidated_out->push_back({std::move(rekeyed), e.tree});
         }
         (e.prot ? shard->prot_bytes : shard->prob_bytes) -= e.bytes;
         shard->map.erase(e.key);
@@ -235,12 +250,13 @@ SptCache::Stats SptCache::stats() const {
     out.base_misses += shard->base_misses;
     out.inserts += shard->inserts;
     out.evictions += shard->evictions;
+    out.rejected_stale += shard->rejected_stale;
     out.carried_forward += shard->carried_forward;
     out.invalidated += shard->invalidated;
     out.purged_stale += shard->purged_stale;
     out.entries += shard->map.size();
     out.bytes += shard->prot_bytes + shard->prob_bytes;
-    out.peak_bytes += shard->peak_bytes;
+    out.sum_shard_peak_bytes += shard->peak_bytes;
     out.protected_entries += shard->prot_lru.size();
     out.protected_bytes += shard->prot_bytes;
   }

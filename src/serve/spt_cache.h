@@ -115,6 +115,11 @@ class SptCache {
     uint64_t carried_forward = 0;
     uint64_t invalidated = 0;
     uint64_t purged_stale = 0;
+    // Construction-path inserts rejected because their epoch was older than
+    // the latest this cache has advanced the scheme to (see insert): each
+    // one is a dead entry that would otherwise have strandeed bytes until
+    // the next epoch bump.
+    uint64_t rejected_stale = 0;
     // The base-tree (protected-class) slice of hits/misses, whatever the
     // protected_fraction -- this is the signal the admission policy is
     // judged by (base trees must keep hitting under fault-tree scans).
@@ -122,8 +127,12 @@ class SptCache {
     uint64_t base_misses = 0;
     size_t entries = 0;           // currently resident
     size_t bytes = 0;             // currently accounted
-    size_t peak_bytes = 0;        // high-water mark of `bytes` (sum of
-                                  // per-shard high-water marks)
+    // Sum of the per-shard high-water marks of `bytes`. NOT a global peak:
+    // each shard's peak is taken at its own instant, so the sum can exceed
+    // any byte count the cache ever held at one moment -- it is an upper
+    // bound on the true peak (and exact for a single-shard cache). The old
+    // name `peak_bytes` overstated what it measured.
+    size_t sum_shard_peak_bytes = 0;
     size_t protected_entries = 0; // resident in the protected segment
     size_t protected_bytes = 0;   // accounted to the protected segment
 
@@ -147,10 +156,10 @@ class SptCache {
   // miss. Never computes.
   SptHandle lookup(const SptKey& key);
 
-  // lookup without touching the hit/miss counters (still an LRU use). For
-  // internal re-checks (the batcher's locked double-check) that would
-  // otherwise double-count one logical probe and skew the reported hit
-  // rate.
+  // Read-only lookup: touches neither the hit/miss counters NOR the LRU
+  // order. For internal re-checks (the batcher's locked double-check) and
+  // tests: a non-query probe must not refresh an entry to MRU, or the
+  // probing path would perturb which entry the next insert evicts.
   SptHandle peek(const SptKey& key);
 
   // Stores `tree` under `key` (first writer wins: if the key is already
@@ -158,6 +167,14 @@ class SptCache {
   // determinism). Returns the resident tree, evicting LRU entries of the
   // appropriate segment as needed to respect the shard's byte slice, or
   // nullptr if the entry itself could not be retained.
+  //
+  // Stale-epoch rejection: once advance_epoch has moved `key.scheme_id` to
+  // epoch E, inserts keyed at epochs < E return nullptr without storing
+  // anything (counted in Stats::rejected_stale). A construction-path batch
+  // that raced an epoch bump (cached_spt_batch runs outside the server's
+  // update lock) would otherwise publish a tree at an epoch the walk has
+  // already purged -- a dead entry, protected segment included, stranded
+  // until the *next* bump.
   SptHandle insert(const SptKey& key, Spt tree);
 
   // Handle-based insert for callers that already share the tree (the normal
@@ -178,6 +195,20 @@ class SptCache {
     size_t carried = 0;       // rekeyed old_epoch -> new_epoch, zero-copy
     size_t invalidated = 0;   // old_epoch entries the delta may have changed
     size_t purged_stale = 0;  // entries from epochs older than old_epoch
+    // Invalidated entries subsequently re-admitted via incremental repair
+    // rather than a from-scratch recompute. advance_epoch itself returns
+    // this 0; the update driver (OracleServer::apply_updates) fills it in
+    // after running the repair batch over the `invalidated_out` entries.
+    size_t repaired = 0;
+  };
+
+  // One current-epoch entry advance_epoch invalidated: the key already
+  // rekeyed to the new epoch (exactly the slot an update path re-populates)
+  // plus the old tree, which is what an incremental repair
+  // (IRpts::repair_tree) starts from.
+  struct Invalidated {
+    SptKey key;
+    SptHandle old_tree;
   };
 
   // The epoch-bump primitive of the dynamic-update pipeline. For every
@@ -186,14 +217,16 @@ class SptCache {
   // handle, so carry-forward costs zero copies and zero recomputes --
   // while the rest of the old epoch is invalidated and anything from even
   // older (dead) epochs is purged, protected segment included, so a chain
-  // of version bumps cannot strand unreachable trees. Keys of invalidated
-  // fault-free entries are appended to `invalidated_base` (if non-null)
-  // already rekeyed to `new_epoch`: exactly the requests an update path
-  // wants to pre-warm. Entries already at `new_epoch` are left untouched.
+  // of version bumps cannot strand unreachable trees. Every invalidated
+  // current-epoch entry is appended to `invalidated_out` (if non-null) with
+  // its key already rekeyed to `new_epoch` and its old tree attached: the
+  // exact inputs the update path's repair batch consumes. Entries already
+  // at `new_epoch` are left untouched. Also records `new_epoch` as the
+  // scheme's latest epoch, arming insert()'s stale-epoch rejection.
   AdvanceStats advance_epoch(
       uint64_t scheme_id, uint64_t old_epoch, uint64_t new_epoch,
       const std::function<bool(const SptKey&, const Spt&)>& survives,
-      std::vector<SptKey>* invalidated_base = nullptr);
+      std::vector<Invalidated>* invalidated_out = nullptr);
 
   void clear();
 
@@ -216,6 +249,10 @@ class SptCache {
     LruList prot_lru;  // protected segment (base trees); front = MRU
     LruList prob_lru;  // probationary segment (fault trees); front = MRU
     std::unordered_map<SptKey, LruList::iterator, SptKeyHash> map;
+    // Latest epoch advance_epoch has moved each scheme to, replicated per
+    // shard so insert's stale check stays under the one shard lock it
+    // already holds (advance_epoch visits every shard anyway).
+    std::unordered_map<uint64_t, uint64_t> latest_epoch;
     size_t prot_bytes = 0;
     size_t prob_bytes = 0;
     size_t peak_bytes = 0;
@@ -225,6 +262,7 @@ class SptCache {
     uint64_t base_misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
+    uint64_t rejected_stale = 0;
     uint64_t carried_forward = 0;
     uint64_t invalidated = 0;
     uint64_t purged_stale = 0;

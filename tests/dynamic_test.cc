@@ -244,18 +244,23 @@ TEST(SptCacheDynamic, AdvanceEpochRekeysSurvivorsZeroCopy) {
   const uint64_t old_epoch = g.epoch();
   ASSERT_TRUE(g.apply(d));
 
-  std::vector<SptKey> invalidated_base;
+  std::vector<SptCache::Invalidated> invalidated;
   const auto adv = cache.advance_epoch(
       pi.scheme_id(), old_epoch, g.epoch(),
       [&](const SptKey& key, const Spt& tree) {
         return pi.tree_survives(d, tree, key.fault_set());
       },
-      &invalidated_base);
+      &invalidated);
 
   EXPECT_GT(adv.carried, 0u);
   EXPECT_GT(adv.invalidated, 0u);
   EXPECT_EQ(adv.purged_stale, 1u);  // the epoch-77 stray
+  EXPECT_EQ(adv.repaired, 0u);      // filled by the repair driver, not here
+  EXPECT_EQ(invalidated.size(), adv.invalidated);
 
+  size_t invalidated_base = 0;
+  for (const auto& inv : invalidated)
+    if (inv.key.is_base()) ++invalidated_base;
   size_t resident = 0;
   for (Vertex r = 0; r < g.num_vertices(); ++r) {
     // Old-epoch keys are gone wholesale...
@@ -271,12 +276,15 @@ TEST(SptCacheDynamic, AdvanceEpochRekeysSurvivorsZeroCopy) {
     EXPECT_EQ(hit.get(), base[r].get());
     expect_same_tree(*hit, pi.spt(r));
   }
-  EXPECT_EQ(resident, g.num_vertices() - invalidated_base.size());
-  // Every invalidated base key was reported, already rekeyed for pre-warm.
-  for (const SptKey& k : invalidated_base) {
-    EXPECT_EQ(k.epoch, g.epoch());
-    EXPECT_TRUE(k.is_base());
-    EXPECT_EQ(cache.peek(k), nullptr);
+  EXPECT_EQ(resident, g.num_vertices() - invalidated_base);
+  // Every invalidated entry was reported with its key already rekeyed for
+  // the repair batch, and its old tree attached as the repair seed.
+  for (const auto& inv : invalidated) {
+    EXPECT_EQ(inv.key.epoch, g.epoch());
+    EXPECT_EQ(cache.peek(inv.key), nullptr);
+    ASSERT_NE(inv.old_tree, nullptr);
+    if (inv.key.is_base())
+      EXPECT_EQ(inv.old_tree.get(), base[inv.key.root].get());
   }
   // Stats roll up the dynamic accounting.
   const auto stats = cache.stats();

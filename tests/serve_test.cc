@@ -225,7 +225,7 @@ TEST(SptCache, SegmentedAdmissionProtectsBaseTreesFromFaultScan) {
       EXPECT_EQ(surviving, 0u);
       EXPECT_EQ(stats.protected_entries, 0u);
     }
-    EXPECT_GT(stats.peak_bytes, 0u);
+    EXPECT_GT(stats.sum_shard_peak_bytes, 0u);
   }
 }
 
@@ -551,6 +551,256 @@ TEST(OracleServer, ConcurrentMixedQueriesAreConsistent) {
   for (auto& t : workers) t.join();
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_GT(server.cache()->stats().hit_rate(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Serving-path correctness regressions (the PR-5 bugfix satellites).
+
+// Regression: a construction-path insert keyed at an epoch advance_epoch has
+// already purged must be rejected, not stored as a dead entry that strands
+// bytes (protected segment included) until the next bump.
+TEST(SptCache, RejectsStaleEpochInsertsAfterAdvance) {
+  Graph g = gnp_connected(40, 0.1, 61);
+  const IsolationRpts pi(g, IsolationAtw(62));
+  SptCache cache(SptCache::Config{2, size_t{64} << 20});
+
+  const SsspRequest req{0, {}, Direction::kOut};
+  const SchemeVersion v0 = pi.version();
+  ASSERT_NE(cache.insert(SptKey(v0, req), pi.spt(0)), nullptr);
+
+  // A slow construction batch computes a second old-epoch tree (a base tree
+  // -- the protected class -- and a fault tree) BEFORE the mutation lands...
+  const Spt late_base = pi.spt(7);
+  const Spt late_fault = pi.spt(7, FaultSet{3});
+
+  GraphDelta d = GraphDelta::remove(0);
+  ASSERT_TRUE(g.apply(d));
+  cache.advance_epoch(pi.scheme_id(), v0.epoch, g.epoch(),
+                      [&](const SptKey& key, const Spt& tree) {
+                        return pi.tree_survives(d, tree, key.fault_set());
+                      });
+
+  // ...and publishes it AFTER the walk: the insert must be refused.
+  EXPECT_EQ(cache.insert(SptKey(v0, {7, {}, Direction::kOut}), late_base),
+            nullptr);
+  EXPECT_EQ(cache.insert(SptKey(v0, {7, FaultSet{3}, Direction::kOut}),
+                         late_fault),
+            nullptr);
+  EXPECT_EQ(cache.peek(SptKey(v0, {7, {}, Direction::kOut})), nullptr);
+  EXPECT_EQ(cache.stats().rejected_stale, 2u);
+  // Current-epoch inserts are unaffected.
+  EXPECT_NE(cache.insert(SptKey(pi.version(), {7, {}, Direction::kOut}),
+                         pi.spt(7)),
+            nullptr);
+
+  // Race shape: inserter hammers old- and new-epoch keys while the epoch
+  // advances underneath it; afterwards NO resident entry may be older than
+  // the scheme's latest epoch. The inserter touches only the cache -- tree
+  // payloads are precomputed and the mutator publishes the current epoch
+  // through an atomic -- so the race under test is insert vs advance_epoch,
+  // not an unsynchronized graph read against build_csr.
+  std::vector<Spt> payload;
+  for (Vertex r = 0; r < g.num_vertices(); ++r) payload.push_back(pi.spt(r));
+  std::atomic<uint64_t> current_epoch{g.epoch()};
+  std::atomic<bool> stop{false};
+  std::thread inserter([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Vertex r = static_cast<Vertex>(i++ % g.num_vertices());
+      const SchemeVersion now{pi.scheme_id(),
+                              current_epoch.load(std::memory_order_relaxed)};
+      cache.insert(SptKey(v0, {r, {}, Direction::kOut}), payload[r]);
+      cache.insert(SptKey(now, {r, {}, Direction::kOut}), payload[r]);
+    }
+  });
+  for (int flap = 0; flap < 8; ++flap) {
+    const uint64_t old_epoch = g.epoch();
+    // Edge d.edge is currently removed (see above); flaps alternate heal /
+    // re-remove so every apply is effective.
+    GraphDelta f = flap % 2 ? GraphDelta::remove(d.edge)
+                            : GraphDelta::insert(d.u, d.v);
+    ASSERT_TRUE(g.apply(f));
+    cache.advance_epoch(pi.scheme_id(), old_epoch, g.epoch(),
+                        [&](const SptKey& key, const Spt& tree) {
+                          return pi.tree_survives(f, tree, key.fault_set());
+                        });
+    current_epoch.store(g.epoch(), std::memory_order_relaxed);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  inserter.join();
+  for (Vertex r = 0; r < g.num_vertices(); ++r) {
+    for (uint64_t e = 0; e < g.epoch(); ++e)
+      EXPECT_EQ(cache.peek(SptKey(SchemeVersion{pi.scheme_id(), e},
+                                  {r, {}, Direction::kOut})),
+                nullptr)
+          << "stale entry stranded at epoch " << e << " root " << r;
+  }
+}
+
+// Regression: a null slot from spt_batch used to kill the flush leader on a
+// null dereference, stranding every waiter; it must instead fail exactly
+// that flight with a real exception and leave the batcher serviceable.
+TEST(CoalescingBatcher, NullTreeFailsOnlyThatFlight) {
+  // A scheme whose batch path loses one specific root's slot.
+  class NullSlotRpts final : public IRpts {
+   public:
+    explicit NullSlotRpts(const Graph& g) : g_(&g) {}
+    const Graph& graph() const override { return *g_; }
+    std::string name() const override { return "null-slot"; }
+    Spt spt(Vertex root, const FaultSet& faults = {},
+            Direction dir = Direction::kOut) const override {
+      return ArbitraryRpts(*g_).spt(root, faults, dir);
+    }
+    std::vector<SptHandle> spt_batch(std::span<const SsspRequest> requests,
+                                     const BatchSsspEngine* engine = nullptr,
+                                     SptCache* cache = nullptr) const override {
+      auto out = IRpts::spt_batch(requests, engine, cache);
+      for (size_t i = 0; i < requests.size(); ++i)
+        if (requests[i].root == 13) out[i] = nullptr;  // the lossy slot
+      return out;
+    }
+
+   private:
+    const Graph* g_;
+  };
+
+  const Graph g = gnp_connected(30, 0.15, 71);
+  const NullSlotRpts pi(g);
+  SptCache cache;
+  const BatchSsspEngine engine(2);
+  CoalescingBatcher batcher(pi, &cache, &engine);
+
+  // The poisoned key throws a real exception instead of crashing...
+  EXPECT_THROW(batcher.get({13, {}, Direction::kOut}), std::runtime_error);
+  // ...and only that flight: healthy keys keep being served afterwards, so
+  // the leader survived and flushing_ was not left stuck.
+  const auto good = batcher.get({5, {}, Direction::kOut});
+  ASSERT_NE(good, nullptr);
+  expect_same_tree(*good, pi.spt(5));
+  // A batch mixing the poisoned key with healthy ones fails only the
+  // poisoned flight's waiters.
+  std::vector<SsspRequest> mixed{{4, {}, Direction::kOut},
+                                 {13, {}, Direction::kOut}};
+  EXPECT_THROW(batcher.get_batch(mixed), std::runtime_error);
+  EXPECT_NE(batcher.get({4, {}, Direction::kOut}), nullptr);
+}
+
+// Regression: peek (the batcher's locked double-check probe) used to splice
+// the entry to MRU, letting a non-query path decide the next eviction
+// victim.
+TEST(SptCache, PeekDoesNotPerturbEvictionOrder) {
+  const Graph g = gnp_connected(60, 0.08, 81);
+  const IsolationRpts pi(g, IsolationAtw(82));
+  const Spt probe = pi.spt(0);
+  // Flat LRU (one class), one shard, room for exactly two trees.
+  SptCache cache(SptCache::Config{1, 2 * (probe.memory_bytes() + 512), 0.0});
+
+  const SptKey a(pi.scheme_id(), {1, {}, Direction::kOut});
+  const SptKey b(pi.scheme_id(), {2, {}, Direction::kOut});
+  const SptKey c(pi.scheme_id(), {3, {}, Direction::kOut});
+  ASSERT_NE(cache.insert(a, pi.spt(1)), nullptr);
+  ASSERT_NE(cache.insert(b, pi.spt(2)), nullptr);  // LRU order: a, then b
+
+  // Probe `a` the way the batcher's double-check does: repeatedly, off the
+  // query path. The LRU order must not move.
+  for (int i = 0; i < 8; ++i) ASSERT_NE(cache.peek(a), nullptr);
+
+  ASSERT_NE(cache.insert(c, pi.spt(3)), nullptr);
+  EXPECT_EQ(cache.peek(a), nullptr) << "peek refreshed the LRU victim";
+  EXPECT_NE(cache.peek(b), nullptr);
+  EXPECT_NE(cache.peek(c), nullptr);
+
+  // Control: a real lookup DOES refresh -- b is now MRU, so the next insert
+  // evicts c.
+  ASSERT_NE(cache.lookup(c), nullptr);
+  ASSERT_NE(cache.lookup(b), nullptr);
+  const SptKey e(pi.scheme_id(), {4, {}, Direction::kOut});
+  ASSERT_NE(cache.insert(e, pi.spt(4)), nullptr);
+  EXPECT_EQ(cache.peek(c), nullptr);
+  EXPECT_NE(cache.peek(b), nullptr);
+}
+
+// Regression: prewarmed must count only entries actually re-admitted (never
+// null slots), and the renamed sum_shard_peak_bytes must behave as the
+// documented upper bound (exact for a single shard).
+TEST(OracleServer, PrewarmCountsAndShardPeakAccounting) {
+  Graph g = gnp_connected(50, 0.1, 91);
+  const IsolationRpts pi(g, IsolationAtw(92));
+  const BatchSsspEngine engine(2);
+  ServerConfig cfg;
+  cfg.engine = &engine;
+  cfg.cache.shards = 1;
+  OracleServer server(pi, cfg);
+
+  for (Vertex r = 0; r < g.num_vertices(); ++r)
+    server.tree({r, {}, Direction::kOut});
+  const auto t0 = server.tree({0, {}, Direction::kOut});
+  Vertex x = 1;
+  while (t0->parent[x] == kNoVertex) ++x;
+
+  const auto res = server.apply_update(g, GraphDelta::remove(t0->parent_edge[x]));
+  ASSERT_TRUE(res.changed);
+  EXPECT_GT(res.invalidated, 0u);
+  // Every reported prewarm is a real resident entry at the new epoch.
+  EXPECT_EQ(res.prewarmed, res.invalidated);
+  EXPECT_LE(res.repaired, res.prewarmed);
+  size_t resident = 0;
+  for (Vertex r = 0; r < g.num_vertices(); ++r)
+    if (server.cache()->peek(SptKey(pi.version(), {r, {}, Direction::kOut})))
+      ++resident;
+  EXPECT_EQ(resident, g.num_vertices());
+
+  // Single shard: the per-shard peak sum IS the true high-water mark, so it
+  // dominates the current bytes and never decreases.
+  const auto s1 = server.cache()->stats();
+  EXPECT_GE(s1.sum_shard_peak_bytes, s1.bytes);
+  server.cache()->clear();
+  const auto s2 = server.cache()->stats();
+  EXPECT_EQ(s2.bytes, 0u);
+  EXPECT_EQ(s2.sum_shard_peak_bytes, s1.sum_shard_peak_bytes);
+}
+
+// Cramped-budget cross-check: whatever subset of trees is resident when the
+// flap lands, `prewarmed` must equal the number of entries actually
+// re-admitted at the new epoch -- counted independently by walking the
+// cache -- never the repair-request count.
+TEST(OracleServer, PrewarmMatchesActualResidencyUnderTinyBudget) {
+  Graph g = gnp_connected(50, 0.1, 95);
+  const IsolationRpts pi(g, IsolationAtw(96));
+  const BatchSsspEngine engine(1);
+  const Spt probe = pi.spt(0);
+  ServerConfig cfg;
+  cfg.engine = &engine;
+  cfg.cache.shards = 1;
+  cfg.cache.byte_budget = 3 * (probe.memory_bytes() + 1024);
+  OracleServer server(pi, cfg);
+
+  // Churn many roots through the tiny cache; a handful stay resident.
+  for (Vertex r = 0; r < g.num_vertices(); ++r)
+    server.tree({r, {}, Direction::kOut});
+  // Flap an edge on a still-resident tree so invalidated > 0.
+  SptHandle victim_tree;
+  for (Vertex r = g.num_vertices(); r-- > 0;) {
+    if ((victim_tree = server.cache()->peek(
+             SptKey(pi.version(), {r, {}, Direction::kOut}))))
+      break;
+  }
+  ASSERT_NE(victim_tree, nullptr);
+  Vertex x = 0;
+  while (victim_tree->parent[x] == kNoVertex) ++x;
+
+  const auto res =
+      server.apply_update(g, GraphDelta::remove(victim_tree->parent_edge[x]));
+  ASSERT_TRUE(res.changed);
+  EXPECT_GT(res.invalidated, 0u);
+  size_t resident_new_epoch = 0;
+  for (Vertex r = 0; r < g.num_vertices(); ++r)
+    if (server.cache()->peek(SptKey(pi.version(), {r, {}, Direction::kOut})))
+      ++resident_new_epoch;
+  // resident = carried survivors + actually re-admitted prewarms, nothing
+  // else touched the cache since the update.
+  EXPECT_EQ(resident_new_epoch, res.carried + res.prewarmed);
+  EXPECT_LE(res.prewarmed, res.invalidated);
 }
 
 }  // namespace
