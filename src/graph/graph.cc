@@ -297,6 +297,10 @@ void Graph::assign_edge_subgraph(const Graph& base,
   build_csr();
 }
 
+GraphSnapshot Graph::snapshot() const {
+  return std::make_shared<const Graph>(*this);
+}
+
 bool Graph::is_valid_path(const Path& p, const FaultSet& faults) const {
   if (p.empty()) return false;
   if (p.edges.size() + 1 != p.vertices.size()) return false;

@@ -15,6 +15,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -156,6 +157,16 @@ struct DeltaBatch {
 // weights (core/perturbation.h) meaningful on the mutated graph. Every
 // successful mutation bumps epoch(), the version the serving layer keys
 // cached trees by.
+class Graph;
+
+// An immutable frozen copy of a Graph at one epoch, shared between every
+// reader pinned to that epoch. The pointee never mutates -- concurrent reads
+// need no synchronization -- and the snapshot keeps the CSR alive for as
+// long as any reader (or pinned generation, see serve/generation.h) holds
+// the handle, independent of what happens to the live graph it was taken
+// from.
+using GraphSnapshot = std::shared_ptr<const Graph>;
+
 class Graph {
  public:
   Graph() = default;
@@ -246,6 +257,14 @@ class Graph {
 
   // True if the path is a valid walk in this graph avoiding `faults`.
   bool is_valid_path(const Path& p, const FaultSet& faults = {}) const;
+
+  // Frozen copy of this graph at its current epoch (epoch() carries over).
+  // This is the read-side handle of the RCU serving path: the mutator takes
+  // a snapshot after Graph::apply and hands it to the published generation,
+  // so lock-free readers compute on CSR storage no later mutation touches.
+  // One CSR-sized copy per epoch bump -- the price of never stalling a
+  // reader.
+  GraphSnapshot snapshot() const;
 
  private:
   void build_csr();

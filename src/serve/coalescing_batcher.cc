@@ -9,7 +9,8 @@
 namespace restorable {
 
 CoalescingBatcher::Enrollment CoalescingBatcher::enroll(
-    const SptKey& key, const SsspRequest& req) {
+    const SptKey& key, const SsspRequest& req,
+    const GenerationManager::Pin* pin) {
   std::lock_guard<std::mutex> lock(mu_);
   requests_.fetch_add(1, std::memory_order_relaxed);
   Enrollment e;
@@ -31,7 +32,11 @@ CoalescingBatcher::Enrollment CoalescingBatcher::enroll(
   e.fl = std::make_shared<InFlight>();
   const auto ins = inflight_.emplace(key, e.fl);
   try {
-    pending_.emplace_back(key, req);
+    // The flight clones the caller's pin (when given), keeping the keyed
+    // generation alive until the flush resolves it -- later coalescers need
+    // no pin of their own, the flight's one covers the result they share.
+    pending_.push_back(
+        Pending{key, req, pin ? *pin : GenerationManager::Pin{}});
   } catch (...) {
     // Keep inflight_ and pending_ consistent: an entry in inflight_ with no
     // pending twin would make every later caller coalesce onto a flight
@@ -56,7 +61,7 @@ SptHandle CoalescingBatcher::await(InFlight& fl) {
 
 void CoalescingBatcher::flush_loop() {
   for (;;) {
-    std::vector<std::pair<SptKey, SsspRequest>> batch;
+    std::vector<Pending> batch;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (pending_.empty()) {
@@ -85,25 +90,45 @@ void CoalescingBatcher::flush_loop() {
       ++batch_hist_[bucket];
     }
 
-    // One engine submission for the whole batch; no batcher lock held, so
-    // new misses keep accumulating in pending_ meanwhile. Everything that
-    // can throw (e.g. bad_alloc) stays inside a try: a throw must fail the
-    // affected flights, not abandon the batch, so flushing_ can never be
-    // left stuck true and no waiter blocks forever.
-    std::vector<SptHandle> trees;
-    std::exception_ptr error;
-    try {
+    // One engine submission per generation present in the drain (almost
+    // always exactly one; briefly two around a publish, since keys embed
+    // the epoch and so never mix generations within one flight); no batcher
+    // lock held, so new misses keep accumulating in pending_ meanwhile.
+    // Each group computes on its own pinned frozen snapshot -- or on the
+    // live scheme for unpinned legacy flights -- so a flush races no epoch
+    // bump. Everything that can throw (e.g. bad_alloc) stays inside a try:
+    // a throw must fail the affected group's flights, not abandon the
+    // batch, so flushing_ can never be left stuck true and no waiter blocks
+    // forever.
+    std::vector<SptHandle> trees(batch.size());
+    std::vector<std::exception_ptr> errors(batch.size());
+    std::vector<const Generation*> groups;
+    for (const Pending& p : batch) {
+      const Generation* gen = p.pin ? p.pin.get() : nullptr;
+      if (std::find(groups.begin(), groups.end(), gen) == groups.end())
+        groups.push_back(gen);
+    }
+    for (const Generation* gen : groups) {
+      std::vector<size_t> members;
       std::vector<SsspRequest> reqs;
-      reqs.reserve(batch.size());
-      for (const auto& [key, req] : batch) reqs.push_back(req);
-      trees = pi_->spt_batch(reqs, engine_, nullptr);
-    } catch (...) {
-      error = std::current_exception();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if ((batch[i].pin ? batch[i].pin.get() : nullptr) != gen) continue;
+        members.push_back(i);
+        reqs.push_back(batch[i].req);
+      }
+      try {
+        const IRpts& scheme = gen ? *gen->scheme : *pi_;
+        auto group_trees = scheme.spt_batch(reqs, engine_, nullptr);
+        for (size_t k = 0; k < members.size(); ++k)
+          trees[members[k]] = std::move(group_trees[k]);
+      } catch (...) {
+        for (size_t i : members) errors[i] = std::current_exception();
+      }
     }
 
     for (size_t i = 0; i < batch.size(); ++i) {
       SptHandle tree;
-      std::exception_ptr item_error = error;
+      std::exception_ptr item_error = errors[i];
       if (!item_error) {
         // Publication can allocate (cache nodes) and so can throw too; such
         // a throw must fail THIS flight, not abandon the rest of the batch.
@@ -122,7 +147,7 @@ void CoalescingBatcher::flush_loop() {
           // budget-rejected insert returns null, in which case waiters
           // still get the computed tree.
           if (cache_) {
-            if (auto resident = cache_->insert(batch[i].first, tree))
+            if (auto resident = cache_->insert(batch[i].key, tree))
               tree = std::move(resident);
           }
         } catch (...) {
@@ -134,7 +159,7 @@ void CoalescingBatcher::flush_loop() {
       std::shared_ptr<InFlight> fl;
       {
         std::lock_guard<std::mutex> lock(mu_);
-        auto it = inflight_.find(batch[i].first);
+        auto it = inflight_.find(batch[i].key);
         fl = it->second;
         inflight_.erase(it);
       }
@@ -158,7 +183,23 @@ SptHandle CoalescingBatcher::get(const SsspRequest& req) {
       return tree;
     }
   }
-  Enrollment e = enroll(key, req);
+  Enrollment e = enroll(key, req, nullptr);
+  if (e.hit) return e.hit;
+  if (e.leader) flush_loop();
+  return await(*e.fl);
+}
+
+SptHandle CoalescingBatcher::get(const SsspRequest& req,
+                                 const GenerationManager::Pin& pin) {
+  const SptKey key(pin->version(), req);
+  if (cache_) {
+    // Hit fast path: shard lock only, no batcher mutex.
+    if (auto tree = cache_->lookup(key)) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      return tree;
+    }
+  }
+  Enrollment e = enroll(key, req, &pin);
   if (e.hit) return e.hit;
   if (e.leader) flush_loop();
   return await(*e.fl);
@@ -177,7 +218,7 @@ std::vector<SptHandle> CoalescingBatcher::get_batch(
         continue;
       }
     }
-    Enrollment e = enroll(key, requests[i]);
+    Enrollment e = enroll(key, requests[i], nullptr);
     if (e.hit) {
       out[i] = std::move(e.hit);
       continue;

@@ -33,6 +33,7 @@
 
 #include "core/rpts.h"
 #include "core/spt.h"
+#include "serve/generation.h"
 #include "serve/spt_cache.h"
 
 namespace restorable {
@@ -50,7 +51,9 @@ class CoalescingBatcher {
     uint64_t computed = 0;        // trees actually run on the engine
     uint64_t computed_bytes = 0;  // memory_bytes() of those trees: the
                                   // bytes-materialized cost of all misses
-    uint64_t flushes = 0;         // engine batches issued
+    uint64_t flushes = 0;         // pending-queue drains (one engine batch
+                                  // per generation present in the drain;
+                                  // almost always one)
     uint64_t max_batch = 0;       // largest single flush
     uint64_t max_queue_depth = 0; // pending-queue high-water mark
     uint64_t batch_hist[kHistBuckets] = {};  // flush sizes, log2 buckets
@@ -75,6 +78,16 @@ class CoalescingBatcher {
   // bad_alloc), the exception propagates to every caller waiting on that
   // batch and the batcher stays serviceable for later requests.
   SptHandle get(const SsspRequest& req);
+
+  // Epoch-pinned variant: the key is derived from the pinned generation's
+  // version and the flight CARRIES a clone of the pin, so the compute runs
+  // against that generation's frozen snapshot even if a publish lands
+  // between enroll and flush -- a flush races no epoch bump, it just keeps
+  // the generation it started on alive until its last flight resolves.
+  // Because the epoch is part of the key, flights from different
+  // generations never coalesce with each other; one flush drain groups them
+  // by generation and issues one engine batch per group.
+  SptHandle get(const SsspRequest& req, const GenerationManager::Pin& pin);
 
   // Batch variant: registers every miss before flushing once, so the whole
   // batch rides one engine submission (plus whatever concurrent callers
@@ -101,7 +114,18 @@ class CoalescingBatcher {
     bool leader = false;
   };
 
-  Enrollment enroll(const SptKey& key, const SsspRequest& req);
+  // One not-yet-flushed miss. `pin` (empty on the legacy/live path) keeps
+  // the generation whose version keyed this flight alive until the flush
+  // resolves it; the flush computes on pin->scheme when set, on the live
+  // scheme otherwise.
+  struct Pending {
+    SptKey key;
+    SsspRequest req;
+    GenerationManager::Pin pin;
+  };
+
+  Enrollment enroll(const SptKey& key, const SsspRequest& req,
+                    const GenerationManager::Pin* pin);
   void flush_loop();
   static SptHandle await(InFlight& fl);
 
@@ -115,7 +139,7 @@ class CoalescingBatcher {
   // Not-yet-flushed misses; a deque so the bounded drain pops prefixes in
   // O(taken), not O(remaining) -- the remainder must not be shifted under
   // mu_ while enrolling callers wait.
-  std::deque<std::pair<SptKey, SsspRequest>> pending_;
+  std::deque<Pending> pending_;
   bool flushing_ = false;
   // Flush-shape telemetry, mutated only under mu_ (flush boundaries and
   // enroll already hold it).

@@ -7,6 +7,17 @@ namespace restorable {
 
 OracleServer::OracleServer(const IRpts& pi, ServerConfig config)
     : pi_(&pi), config_(config) {
+  if (config_.concurrency == QueryConcurrency::kEpochPinned) {
+    // Bootstrap generation 0 from the current topology. A scheme that
+    // cannot rebind to a snapshot (snapshot_view returns null) leaves gens_
+    // null and the server on the shared-lock path -- correct, just not
+    // lock-free.
+    auto gen = std::make_unique<Generation>();
+    gen->graph = pi_->graph().snapshot();
+    gen->scheme = pi_->snapshot_view(*gen->graph);
+    if (gen->scheme)
+      gens_ = std::make_unique<GenerationManager>(std::move(gen));
+  }
   if (config_.enable_cache)
     cache_ = std::make_unique<SptCache>(config_.cache);
   if (config_.enable_coalescing)
@@ -28,7 +39,28 @@ SptHandle OracleServer::fetch_tree(const SsspRequest& req) {
   return t;
 }
 
+SptHandle OracleServer::fetch_tree_pinned(const SsspRequest& req,
+                                          const GenerationManager::Pin& pin) {
+  if (batcher_) return batcher_->get(req, pin);
+  const SptKey key(pin->version(), req);
+  if (cache_) {
+    if (auto t = cache_->lookup(key)) return t;
+  }
+  auto t = std::make_shared<const Spt>(
+      pin->scheme->spt(req.root, req.faults, req.dir));
+  direct_bytes_.fetch_add(t->memory_bytes(), std::memory_order_relaxed);
+  if (cache_) {
+    // A straggler pinned to a just-retired epoch may reach here after the
+    // mutator advanced the cache; the stale-epoch rejection inside insert
+    // (serve/spt_cache.h) is the publish-side guard that keeps its tree
+    // out of the store without costing it the answer.
+    if (auto resident = cache_->insert(key, t)) return resident;
+  }
+  return t;
+}
+
 SptHandle OracleServer::tree(const SsspRequest& req) {
+  if (gens_) return fetch_tree_pinned(req, gens_->pin());
   std::shared_lock<std::shared_mutex> guard(update_mu_);
   return fetch_tree(req);
 }
@@ -41,22 +73,36 @@ uint64_t OracleServer::bytes_materialized() const {
 
 int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults) {
   queries_.fetch_add(1, std::memory_order_relaxed);
+  if (gens_)
+    return fetch_tree_pinned({s, faults, Direction::kOut}, gens_->pin())
+        ->hops[t];
   std::shared_lock<std::shared_mutex> guard(update_mu_);
   return fetch_tree({s, faults, Direction::kOut})->hops[t];
 }
 
 Path OracleServer::path(Vertex s, Vertex t, const FaultSet& faults) {
   queries_.fetch_add(1, std::memory_order_relaxed);
+  if (gens_)
+    return fetch_tree_pinned({s, faults, Direction::kOut}, gens_->pin())
+        ->path_to(t);
   std::shared_lock<std::shared_mutex> guard(update_mu_);
   return fetch_tree({s, faults, Direction::kOut})->path_to(t);
 }
 
 int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
   queries_.fetch_add(1, std::memory_order_relaxed);
-  // One guard across both fetches: the base tree and the fault tree of a
-  // single query always belong to the same epoch.
-  std::shared_lock<std::shared_mutex> guard(update_mu_);
-  const auto base = fetch_tree({s, {}, Direction::kOut});
+  // One pin (or one guard) across both fetches: the base tree and the fault
+  // tree of a single query always belong to the same epoch.
+  GenerationManager::Pin pin;
+  std::shared_lock<std::shared_mutex> guard(update_mu_, std::defer_lock);
+  if (gens_)
+    pin = gens_->pin();
+  else
+    guard.lock();
+  auto fetch = [&](const SsspRequest& req) {
+    return pin ? fetch_tree_pinned(req, pin) : fetch_tree(req);
+  };
+  const auto base = fetch({s, {}, Direction::kOut});
   if (!base->reachable(t)) {
     // t unreachable even fault-free; removing e cannot help.
     return kUnreachable;
@@ -75,7 +121,7 @@ int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
     stability_hits_.fetch_add(1, std::memory_order_relaxed);
     return base->hops[t];
   }
-  return fetch_tree({s, FaultSet{e}, Direction::kOut})->hops[t];
+  return fetch({s, FaultSet{e}, Direction::kOut})->hops[t];
 }
 
 UpdateResult OracleServer::apply_update(Graph& graph, GraphDelta delta) {
@@ -87,6 +133,7 @@ UpdateResult OracleServer::apply_updates(Graph& graph,
   if (&graph != &pi_->graph())
     throw std::invalid_argument(
         "apply_updates: graph is not the served scheme's graph");
+  if (gens_) return apply_updates_pinned(graph, deltas);
   UpdateResult res;
   std::vector<SptCache::Invalidated> invalidated;
   SptCache::AdvanceStats adv;
@@ -138,6 +185,79 @@ UpdateResult OracleServer::apply_updates(Graph& graph,
       // Count only entries actually re-populated: a null return means the
       // cache refused the entry (budget) -- queries will recompute it on
       // demand, so claiming it pre-warmed would overstate readiness.
+      if (cache_->insert(invalidated[i].key, std::move(tree))) {
+        ++res.prewarmed;
+        if (outcomes[i].repaired) ++adv.repaired;
+      }
+    }
+  }
+  res.carried = adv.carried;
+  res.invalidated = adv.invalidated;
+  res.purged_stale = adv.purged_stale;
+  res.repaired = adv.repaired;
+  return res;
+}
+
+UpdateResult OracleServer::apply_updates_pinned(
+    Graph& graph, std::span<const GraphDelta> deltas) {
+  // Build-publish-retire. Everything here runs under the mutator mutex and
+  // NEVER blocks a query: readers compute on pinned generations, and the
+  // live graph -- which this function mutates and the repair batch reads --
+  // is touched by nobody else. publish() below is the only ordering point
+  // readers observe.
+  UpdateResult res;
+  std::lock_guard<std::mutex> mutator(mutator_mu_);
+  res.batch = graph.apply(deltas);
+  if (!res.batch.deltas.empty()) res.delta = res.batch.deltas.front();
+  res.old_epoch = res.batch.old_epoch;
+  res.new_epoch = res.batch.new_epoch;
+  res.changed = res.batch.changed();
+  if (!res.changed) return res;
+  updates_.fetch_add(1, std::memory_order_relaxed);
+
+  // Build the next generation off to the side while readers keep serving
+  // the published one.
+  auto next = std::make_unique<Generation>();
+  next->graph = graph.snapshot();
+  next->scheme = pi_->snapshot_view(*next->graph);
+
+  SptCache::AdvanceStats adv;
+  std::vector<SptCache::Invalidated> invalidated;
+  if (cache_) {
+    // Shadow-advance the cache BEFORE publishing: survivors are rekeyed to
+    // the new epoch (readers pinned to the old generation miss and
+    // recompute -- correct, just cold), and the per-shard latest-epoch
+    // watermark is armed so a straggler publishing an old-epoch tree after
+    // this point is rejected (rejected_stale) instead of poisoning the
+    // store -- the publish-side guard of the RCU path.
+    adv = cache_->advance_epoch(
+        pi_->scheme_id(), res.old_epoch, res.new_epoch,
+        [&](const SptKey& key, const Spt& tree) {
+          return pi_->batch_survives(res.batch, tree, key.fault_set());
+        },
+        config_.prewarm_on_update ? &invalidated : nullptr);
+  }
+
+  // The swap: queries that pin after this point see the new topology.
+  gens_->publish(std::move(next));
+
+  if (!invalidated.empty()) {
+    // Repair the non-survivors at the new epoch, exactly as the shared-lock
+    // path does, but with no guard at all: the mutator mutex already
+    // excludes the only other writer of the live CSR, and readers never
+    // dereference it.
+    const BatchSsspEngine& eng = BatchSsspEngine::or_shared(config_.engine);
+    std::vector<RepairOutcome> outcomes(invalidated.size());
+    eng.parallel_for(invalidated.size(), [&](size_t i) {
+      outcomes[i] =
+          pi_->repair_tree(*invalidated[i].old_tree, res.batch,
+                           invalidated[i].key.fault_set(),
+                           config_.repair_fraction);
+    });
+    for (size_t i = 0; i < invalidated.size(); ++i) {
+      auto tree = std::make_shared<const Spt>(std::move(outcomes[i].tree));
+      direct_bytes_.fetch_add(tree->memory_bytes(),
+                              std::memory_order_relaxed);
       if (cache_->insert(invalidated[i].key, std::move(tree))) {
         ++res.prewarmed;
         if (outcomes[i].repaired) ++adv.repaired;

@@ -19,35 +19,62 @@
 // preservers, labels, oracles via IRpts::spt_batch), making the serving
 // path and offline builds share one tree store.
 //
-// Live topology churn: apply_update(graph, delta) mutates the scheme's
-// graph under an exclusive lock (queries hold it shared), bumps the
-// composite (scheme_id, epoch) version, and walks the cache ONCE: trees the
-// delta provably cannot change (IRpts::tree_survives) are rekeyed to the
-// new epoch zero-copy, affected trees are invalidated (and their base roots
-// optionally pre-warmed as one engine batch), and dead-version strays are
-// aged out of the protected segment. The oracle keeps serving correct
-// answers across edge inserts/removals without a full rebuild or cache
-// flush; handles held by in-flight readers stay valid and bit-identical
-// throughout (see SptHandle).
+// Live topology churn: apply_updates(graph, deltas) mutates the scheme's
+// graph, bumps the composite (scheme_id, epoch) version, and walks the
+// cache ONCE: trees the batch provably cannot change (IRpts::batch_survives)
+// are rekeyed to the new epoch zero-copy, affected trees are invalidated
+// (and optionally repaired/pre-warmed as one engine batch), and dead-version
+// strays are aged out. The oracle keeps serving correct answers across edge
+// inserts/removals without a full rebuild or cache flush; handles held by
+// in-flight readers stay valid and bit-identical throughout (see SptHandle).
+//
+// Concurrency: by default queries are LOCK-FREE against updates. Each query
+// pins the current generation -- a frozen CSR snapshot plus a scheme view
+// rebound to it (serve/generation.h) -- with one atomic fetch_add, while
+// apply_updates builds the next generation off to the side and installs it
+// with one pointer swap; the displaced generation is retired once its last
+// pin drains. The pre-RCU shared_mutex path is kept both as a measurable
+// baseline (ServerConfig::concurrency) and as the automatic fallback for
+// schemes that do not implement IRpts::snapshot_view. Protocol spec:
+// docs/CONCURRENCY.md.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
 
 #include "core/rpts.h"
 #include "serve/coalescing_batcher.h"
+#include "serve/generation.h"
 #include "serve/spt_cache.h"
 
 namespace restorable {
+
+// Query-path concurrency regime (ServerConfig::concurrency).
+enum class QueryConcurrency {
+  // RCU-style epoch-pinned reads (the default): queries pin an immutable
+  // generation with one fetch_add and never block; apply_updates publishes
+  // the next generation with one pointer swap and is the only party that
+  // ever waits (for the generation from two publishes ago to drain).
+  // Requires IRpts::snapshot_view; schemes without it silently fall back to
+  // kSharedLock.
+  kEpochPinned,
+  // The pre-RCU guard: queries take a shared_mutex shared, apply_updates
+  // exclusive -- every update is a global read stall. Kept as the
+  // measurable baseline (bench/serve_bench.cc `churn_rcu` scenario) and as
+  // the fallback regime.
+  kSharedLock,
+};
 
 struct ServerConfig {
   SptCache::Config cache;           // shards + budget + protected fraction
   bool enable_cache = true;         // false: recompute every fetch
   bool enable_coalescing = true;    // false: no single-flight (baseline)
+  QueryConcurrency concurrency = QueryConcurrency::kEpochPinned;
   size_t max_batch = 0;             // cap per-flush drain (0 = unbounded)
   // After an update, repair the invalidated trees eagerly as one engine
   // batch (incremental Ramalingam-Reps repair where the affected region is
@@ -105,10 +132,14 @@ class OracleServer {
   // view; the caller owns mutability) -- and advances the serving stack to
   // the new epoch: unaffected cached trees carry forward zero-copy,
   // affected ones are invalidated and (per config) pre-warmed through the
-  // batch engine. Queries are excluded only while this runs (shared/
-  // exclusive lock); answers before it reflect the old topology, answers
-  // after it the new one, and handles held across it stay valid and
-  // bit-identical. Thread-safe against any number of concurrent queriers.
+  // batch engine. Under the default epoch-pinned regime concurrent queries
+  // are NEVER blocked: they keep computing on the pinned old generation
+  // until the new one is published (build-publish-retire; see
+  // docs/CONCURRENCY.md). Under kSharedLock they stall behind the exclusive
+  // section. Either way, answers begun after this returns reflect the new
+  // topology, and handles held across it stay valid and bit-identical.
+  // Thread-safe against any number of concurrent queriers; concurrent
+  // updaters are serialized against each other.
   UpdateResult apply_update(Graph& graph, GraphDelta delta);
 
   // Batched form -- the amortized path for a burst of k topology deltas:
@@ -142,17 +173,42 @@ class OracleServer {
   SptCache* cache() { return cache_ ? cache_.get() : nullptr; }
   const CoalescingBatcher* batcher() const { return batcher_.get(); }
 
+  // True when queries run the lock-free epoch-pinned path (the configured
+  // regime AND the scheme supports snapshot_view); false = shared-lock.
+  bool epoch_pinned() const { return gens_ != nullptr; }
+  // Null unless epoch_pinned(). Exposed non-const so callers needing several
+  // coherent fetches (and tests) can hold a Pin of their own; a held pin
+  // delays generation retirement, never correctness.
+  GenerationManager* generations() { return gens_.get(); }
+  const GenerationManager* generations() const { return gens_.get(); }
+
  private:
-  // Tree fetch without the epoch guard; callers hold update_mu_ (shared).
+  // Tree fetch through the serving stack at the LIVE scheme's version;
+  // callers hold update_mu_ (shared). The shared-lock regime only.
   SptHandle fetch_tree(const SsspRequest& req);
+  // Epoch-pinned variant: every read -- version, CSR, Dijkstra -- goes
+  // through the pinned generation; the live graph is never touched.
+  SptHandle fetch_tree_pinned(const SsspRequest& req,
+                              const GenerationManager::Pin& pin);
+  UpdateResult apply_updates_pinned(Graph& graph,
+                                    std::span<const GraphDelta> deltas);
 
   const IRpts* pi_;
   ServerConfig config_;
+  // Epoch-pinned regime state. Declared before the cache and batcher so it
+  // is destroyed LAST: pending flights in the batcher hold generation pins,
+  // which must be released before the manager asserts quiescence.
+  std::unique_ptr<GenerationManager> gens_;  // null = shared-lock regime
+  // Serializes mutators (apply_updates) in the epoch-pinned regime: the
+  // build-publish-retire sequence and the repair batch read the LIVE graph,
+  // which is safe exactly because no reader does and no second mutator runs.
+  std::mutex mutator_mu_;
   std::unique_ptr<SptCache> cache_;             // only if enable_cache
   std::unique_ptr<CoalescingBatcher> batcher_;  // only if enable_coalescing
-  // Epoch guard: queries hold it shared (one uncontended atomic in steady
-  // state), apply_update exclusive -- so a mutation never races an engine
-  // batch reading the CSR, and every query observes one coherent epoch.
+  // Shared-lock regime guard: queries hold it shared, apply_update
+  // exclusive -- so a mutation never races an engine batch reading the CSR,
+  // and every query observes one coherent epoch. Unused (never contended)
+  // when epoch_pinned().
   std::shared_mutex update_mu_;
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> updates_{0};

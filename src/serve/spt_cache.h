@@ -174,7 +174,13 @@ class SptCache {
   // that raced an epoch bump (cached_spt_batch runs outside the server's
   // update lock) would otherwise publish a tree at an epoch the walk has
   // already purged -- a dead entry, protected segment included, stranded
-  // until the *next* bump.
+  // until the *next* bump. Under the epoch-pinned serving regime
+  // (serve/generation.h) this is the publish-side guard of the whole RCU
+  // path: the mutator shadow-advances the cache BEFORE swapping in the new
+  // generation, so a reader still pinned to the displaced generation can
+  // finish its compute and hand out a correct old-epoch answer, but its
+  // straggler publish bounces here instead of resurrecting a purged epoch
+  // in the store.
   SptHandle insert(const SptKey& key, Spt tree);
 
   // Handle-based insert for callers that already share the tree (the normal
