@@ -58,18 +58,29 @@
 //   --seed S          workload + flap seed, recorded in the JSON artifact
 //                     (default 1): same seed, same queries, same flaps
 //   --json PATH       emit one JSON row per measurement
+//   --metrics-out P   dump every serving stack's MetricsRegistry snapshot
+//                     (one JSON row per metric, tagged with bench / family /
+//                     threads / mode) after its measurement window closes
+//   --trace-out P     attach a sampled JSONL trace emitter (1 in 256
+//                     queries) to every serving-mode server; spans decompose
+//                     each sampled query into queue-wait / coalesce-wait /
+//                     compute (docs/OBSERVABILITY.md has the span schema)
 //   --small           reduced families + query count (CI bench-smoke job)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/oracle_server.h"
 #include "util/cli.h"
 #include "util/json.h"
@@ -90,8 +101,39 @@ struct Options {
   size_t flaps = 12;
   uint64_t seed = 1;
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
   bool small = false;
 };
+
+// Observability sinks threaded through every scenario: the metrics rows
+// accumulate one registry snapshot per measured serving stack, the tracer
+// (when --trace-out is given) is shared by every serving-mode server.
+struct ObsSinks {
+  JsonRows* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+// One registry snapshot -> JSON rows, tagged so the flat per-metric rows can
+// be grouped back into their (bench, family, threads, mode) measurement.
+void dump_metrics(const ObsSinks& sinks, OracleServer& server,
+                  const char* bench, const std::string& family, int threads,
+                  const char* mode) {
+  if (!sinks.metrics) return;
+  server.metrics().snapshot().to_json(*sinks.metrics, [&](JsonRows& rows) {
+    rows.field("bench", bench)
+        .field("family", family)
+        .field("threads", threads)
+        .field("mode", mode);
+  });
+}
+
+// Whether the wait-free instruments are live in this build; recorded on
+// every serve row so BENCH_SERVE.json can carry both builds' points
+// side by side (the metrics-overhead acceptance gate compares them).
+const char* metrics_build() {
+  return obs::kEnabled ? "on" : "compiled_out";
+}
 
 Options parse_options(int argc, char** argv) {
   Options opt;
@@ -120,6 +162,10 @@ Options parse_options(int argc, char** argv) {
       opt.seed = static_cast<uint64_t>(std::atoll(v));
     } else if (const char* v = value("--json")) {
       opt.json_path = v;
+    } else if (const char* v = value("--metrics-out")) {
+      opt.metrics_path = v;
+    } else if (const char* v = value("--trace-out")) {
+      opt.trace_path = v;
     } else if (std::string(argv[i]) == "--small") {
       opt.small = true;
     } else {
@@ -228,7 +274,7 @@ Measurement drive(OracleServer& server, const IRpts& pi, const Graph& g,
             g, hot_roots, seed, static_cast<uint64_t>(w) * per_thread + i);
         Stopwatch sw;
         const int32_t got = run_query(server, q);
-        lat.push_back(sw.seconds() * 1e6);
+        lat.push_back(sw.micros());
         if (i % 64 == 0) samples[w].emplace_back(q, got);
       }
     });
@@ -256,7 +302,8 @@ Measurement drive(OracleServer& server, const IRpts& pi, const Graph& g,
 }
 
 void bench_family(Table& table, JsonRows& json, const Options& opt,
-                  const std::string& family, const Graph& g) {
+                  const ObsSinks& sinks, const std::string& family,
+                  const Graph& g) {
   const IsolationRpts pi(g, IsolationAtw(7));
   std::vector<Vertex> hot_roots;
   for (size_t i = 0; i < opt.hot; ++i)
@@ -281,12 +328,19 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
     on_cfg.cache.byte_budget = opt.budget_mb << 20;
     on_cfg.max_batch = opt.max_batch;
     on_cfg.engine = &engine;
+    on_cfg.tracer = sinks.tracer;
     OracleServer on(pi, on_cfg);
     const Measurement mon =
         drive(on, pi, g, hot_roots, threads, opt.queries, opt.seed);
+    dump_metrics(sinks, off, "serve", family, threads, "cache_off");
+    dump_metrics(sinks, on, "serve", family, threads, "cache_on");
 
     const auto cache_stats = on.cache()->stats();
     const auto batch_stats = on.batcher()->stats();
+    // Outcome classes + latency decomposition, composed from ONE registry
+    // snapshot (OracleServer::stats()); per-class splits and histograms
+    // live in the --metrics-out document.
+    const ServerStats sstats = on.stats();
     const double speedup = mon.qps / moff.qps;
     // Bytes of tree freshly materialized per query: the zero-copy handle
     // path makes this collapse on repeated-root workloads (hits alias the
@@ -321,6 +375,7 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
         .field("queries", static_cast<uint64_t>(opt.queries))
         .field("seed", opt.seed)
         .field("mode", "cache_off")
+        .field("metrics", metrics_build())
         .field("qps", moff.qps)
         .field("p50_us", moff.p50_us)
         .field("p99_us", moff.p99_us)
@@ -343,6 +398,7 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
         .field("queries", static_cast<uint64_t>(opt.queries))
         .field("seed", opt.seed)
         .field("mode", "cache_on")
+        .field("metrics", metrics_build())
         .field("qps", mon.qps)
         .field("p50_us", mon.p50_us)
         .field("p99_us", mon.p99_us)
@@ -369,6 +425,17 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
         .field("max_batch_cap", static_cast<uint64_t>(opt.max_batch))
         .field("max_queue_depth", batch_stats.max_queue_depth)
         .field("batch_hist", batch_hist)
+        .field("base_hit", sstats.base_hit)
+        .field("fault_hit", sstats.fault_hit)
+        .field("miss_coalesced", sstats.miss_coalesced)
+        .field("miss_leader", sstats.miss_leader)
+        .field("queue_wait_ms", static_cast<double>(sstats.queue_wait_ns) / 1e6)
+        .field("coalesce_wait_ms",
+               static_cast<double>(sstats.coalesce_wait_ns) / 1e6)
+        .field("compute_ms", static_cast<double>(sstats.compute_ns) / 1e6)
+        .field("repair_ms", static_cast<double>(sstats.repair_ns) / 1e6)
+        .field("repaired", sstats.repaired)
+        .field("recomputed", sstats.recomputed)
         .field("stability_fast_paths", on.stability_fast_paths())
         .field("checked", static_cast<uint64_t>(mon.checked))
         .field("correct", static_cast<uint64_t>(mon.correct))
@@ -384,7 +451,8 @@ void bench_family(Table& table, JsonRows& json, const Options& opt,
 // churn the base trees out; segmented admission confines the scan to the
 // probationary segment. One JSON row per (threads, admission) pair.
 void bench_fault_scan(Table& scan_table, JsonRows& json, const Options& opt,
-                      const std::string& family, const Graph& g) {
+                      const ObsSinks& sinks, const std::string& family,
+                      const Graph& g) {
   const IsolationRpts pi(g, IsolationAtw(7));
   std::vector<Vertex> hot_roots;
   for (size_t i = 0; i < opt.hot; ++i)
@@ -404,6 +472,7 @@ void bench_fault_scan(Table& scan_table, JsonRows& json, const Options& opt,
       cfg.cache.protected_fraction = fraction;
       cfg.max_batch = opt.max_batch;
       cfg.engine = &engine;
+      cfg.tracer = sinks.tracer;
       OracleServer server(pi, cfg);
 
       const size_t per_thread = opt.queries / threads;
@@ -447,6 +516,7 @@ void bench_fault_scan(Table& scan_table, JsonRows& json, const Options& opt,
       const double qps = static_cast<double>(per_thread) * threads /
                          (wall_ms / 1e3);
       const char* mode = fraction > 0 ? "scan_segmented" : "scan_flat";
+      dump_metrics(sinks, server, "serve_scan", family, threads, mode);
       scan_table.add_row(family, threads, mode, qps, stats.hit_rate(),
                          stats.base_hit_rate(), stats.evictions);
       json.row()
@@ -487,7 +557,8 @@ void bench_fault_scan(Table& scan_table, JsonRows& json, const Options& opt,
 // latency, the per-phase hit-rate trajectory, and sampled answers verified
 // against a from-scratch rebuild of each phase's exact topology.
 void bench_churn(Table& churn_table, JsonRows& json, const Options& opt,
-                 const std::string& family, const Graph& g0) {
+                 const ObsSinks& sinks, const std::string& family,
+                 const Graph& g0) {
   for (int threads : opt.threads) {
     Graph g = g0;  // the mutable working copy this scheme serves
     const IsolationRpts pi(g, IsolationAtw(7));
@@ -497,6 +568,7 @@ void bench_churn(Table& churn_table, JsonRows& json, const Options& opt,
     cfg.cache.byte_budget = opt.budget_mb << 20;
     cfg.max_batch = opt.max_batch;
     cfg.engine = &engine;
+    cfg.tracer = sinks.tracer;
     OracleServer server(pi, cfg);
 
     std::vector<Vertex> hot_roots;
@@ -541,8 +613,7 @@ void bench_churn(Table& churn_table, JsonRows& json, const Options& opt,
             const int32_t got = run_query(server, q);
             // The first queries of a post-flap phase pay the recovery cost
             // (whatever pre-warming left cold); the rest are steady state.
-            ((phase > 0 && i < 8) ? rec : steady)[w].push_back(sw.seconds() *
-                                                               1e6);
+            ((phase > 0 && i < 8) ? rec : steady)[w].push_back(sw.micros());
             if (i % 32 == 0) samples[w].push_back({phase, q, got});
           }
         });
@@ -630,6 +701,8 @@ void bench_churn(Table& churn_table, JsonRows& json, const Options& opt,
                   static_cast<double>(carried + invalidated)
             : 0.0;
     const auto cache_stats = server.cache()->stats();
+    const ServerStats sstats = server.stats();
+    dump_metrics(sinks, server, "serve_churn", family, threads, "churn");
 
     churn_table.add_row(family, threads, qps, carried, invalidated,
                         carried_fraction, apply_ms / opt.flaps,
@@ -650,6 +723,9 @@ void bench_churn(Table& churn_table, JsonRows& json, const Options& opt,
         .field("recovery_p50_us", percentile(recovery_lat, 1, 2))
         .field("recovery_p99_us", percentile(recovery_lat, 99, 100))
         .field("apply_ms_avg", apply_ms / opt.flaps)
+        .field("repair_ms", static_cast<double>(sstats.repair_ns) / 1e6)
+        .field("repaired", sstats.repaired)
+        .field("recomputed", sstats.recomputed)
         .field("carried_total", static_cast<uint64_t>(carried))
         .field("invalidated_total", static_cast<uint64_t>(invalidated))
         .field("purged_stale_total", static_cast<uint64_t>(purged))
@@ -682,7 +758,8 @@ void bench_churn(Table& churn_table, JsonRows& json, const Options& opt,
 // job asserts burst apply_ms < the k single-flap applies and that every
 // sampled answer matched the rebuild.
 void bench_burst(Table& burst_table, JsonRows& json, const Options& opt,
-                 const std::string& family, const Graph& g0) {
+                 const ObsSinks& sinks, const std::string& family,
+                 const Graph& g0) {
   const size_t k = opt.flaps;
   // Victim edges chosen once on the pristine topology so both modes apply
   // identical deltas: half edges of a hot root's tree (provably
@@ -719,6 +796,7 @@ void bench_burst(Table& burst_table, JsonRows& json, const Options& opt,
       cfg.cache.byte_budget = opt.budget_mb << 20;
       cfg.max_batch = opt.max_batch;
       cfg.engine = &engine;
+      cfg.tracer = sinks.tracer;
       OracleServer server(pi, cfg);
 
       // Identical warm population for both modes: every base tree, plus a
@@ -764,7 +842,7 @@ void bench_burst(Table& burst_table, JsonRows& json, const Options& opt,
         const Query q = make_query(g, hot_roots, opt.seed, seq);
         Stopwatch sw;
         const int32_t got = run_query(server, q);
-        recovery.push_back(sw.seconds() * 1e6);
+        recovery.push_back(sw.micros());
         if (seq % 8 == 0) post_samples.emplace_back(q, got);
       }
 
@@ -811,6 +889,7 @@ void bench_burst(Table& burst_table, JsonRows& json, const Options& opt,
       const double rec_p99 =
           recovery[std::min(recovery.size() - 1, recovery.size() * 99 / 100)];
       const char* mode = burst ? "burst" : "single";
+      dump_metrics(sinks, server, "serve_burst", family, threads, mode);
       burst_table.add_row(family, threads, mode,
                           static_cast<uint64_t>(k), apply_ms, heal_ms,
                           carried, invalidated, repaired,
@@ -860,7 +939,8 @@ void bench_burst(Table& burst_table, JsonRows& json, const Options& opt,
 // stall. Timing asserts stay OUT of CI -- 1-core runners make the ratio
 // noisy in both directions -- CI checks row shape and correctness only.
 void bench_churn_rcu(Table& rcu_table, JsonRows& json, const Options& opt,
-                     const std::string& family, const Graph& g0) {
+                     const ObsSinks& sinks, const std::string& family,
+                     const Graph& g0) {
   for (int threads : opt.threads) {
     const BatchSsspEngine engine(threads);
     for (const bool rcu : {true, false}) {
@@ -873,6 +953,7 @@ void bench_churn_rcu(Table& rcu_table, JsonRows& json, const Options& opt,
       cfg.engine = &engine;
       cfg.concurrency = rcu ? QueryConcurrency::kEpochPinned
                             : QueryConcurrency::kSharedLock;
+      cfg.tracer = sinks.tracer;
       OracleServer server(pi, cfg);
 
       std::vector<Vertex> hot_roots;
@@ -919,7 +1000,7 @@ void bench_churn_rcu(Table& rcu_table, JsonRows& json, const Options& opt,
               const Query q = make_query(g0, hot_roots, opt.seed, seq);
               Stopwatch sw;
               const int32_t got = run_query(server, q);
-              lat[w].push_back(sw.seconds() * 1e6);
+              lat[w].push_back(sw.micros());
               if (keep_samples && i % 64 == 0) sm[w].emplace_back(q, got);
             }
           });
@@ -985,6 +1066,7 @@ void bench_churn_rcu(Table& rcu_table, JsonRows& json, const Options& opt,
       if (server.epoch_pinned()) gs = server.generations()->stats();
       const double ratio = still.p99_us > 0 ? churn.p99_us / still.p99_us : 0;
       const char* mode = rcu ? "rcu" : "locked";
+      dump_metrics(sinks, server, "serve_churn_rcu", family, threads, mode);
       rcu_table.add_row(family, threads, mode, churn.qps, still.p99_us,
                         churn.p99_us, ratio, updates,
                         correct == checked ? "yes" : "NO");
@@ -1040,17 +1122,37 @@ int run(const Options& opt) {
                    "p99_churn_us", "p99_ratio", "updates", "answers_ok"});
   JsonRows json;
 
-  const Graph g400 = gnp_connected(400, 16.0 / 400, 1234);
-  bench_family(table, json, opt, "gnp(400)", g400);
-  if (!opt.small) {
-    bench_family(table, json, opt, "gnp(2000)",
-                 gnp_connected(2000, 8.0 / 2000, 1236));
-    bench_family(table, json, opt, "cliquechain(20,20)", clique_chain(20, 20));
+  // Observability sinks. The tracer (1-in-256 sampling) is shared by every
+  // serving-mode server; the metrics rows get one registry snapshot per
+  // measured stack, dumped after its window closes (snapshotting is never
+  // on the measured path).
+  JsonRows metrics_json;
+  std::ofstream trace_out;
+  std::optional<obs::Tracer> tracer;
+  if (!opt.trace_path.empty()) {
+    trace_out.open(opt.trace_path);
+    if (!trace_out) {
+      std::cerr << "cannot open --trace-out path: " << opt.trace_path << "\n";
+      return 1;
+    }
+    tracer.emplace(&trace_out);
   }
-  bench_fault_scan(scan_table, json, opt, "gnp(400)", g400);
-  bench_churn(churn_table, json, opt, "gnp(400)", g400);
-  bench_burst(burst_table, json, opt, "gnp(400)", g400);
-  bench_churn_rcu(rcu_table, json, opt, "gnp(400)", g400);
+  ObsSinks sinks;
+  if (!opt.metrics_path.empty()) sinks.metrics = &metrics_json;
+  if (tracer) sinks.tracer = &*tracer;
+
+  const Graph g400 = gnp_connected(400, 16.0 / 400, 1234);
+  bench_family(table, json, opt, sinks, "gnp(400)", g400);
+  if (!opt.small) {
+    bench_family(table, json, opt, sinks, "gnp(2000)",
+                 gnp_connected(2000, 8.0 / 2000, 1236));
+    bench_family(table, json, opt, sinks, "cliquechain(20,20)",
+                 clique_chain(20, 20));
+  }
+  bench_fault_scan(scan_table, json, opt, sinks, "gnp(400)", g400);
+  bench_churn(churn_table, json, opt, sinks, "gnp(400)", g400);
+  bench_burst(burst_table, json, opt, sinks, "gnp(400)", g400);
+  bench_churn_rcu(rcu_table, json, opt, sinks, "gnp(400)", g400);
 
   table.print();
   std::cout << "\nFault-scan admission scenario (small budget, sweeping "
@@ -1084,6 +1186,14 @@ int run(const Options& opt) {
   if (!opt.json_path.empty() &&
       !json.write_file(opt.json_path, std::cout, std::cerr))
     return 1;
+  if (!opt.metrics_path.empty() &&
+      !metrics_json.write_file(opt.metrics_path, std::cout, std::cerr))
+    return 1;
+  if (tracer) {
+    std::cout << "traces: sampled " << tracer->emitted() << " of "
+              << tracer->started() << " queries -> " << opt.trace_path
+              << " (metrics " << metrics_build() << ")\n";
+  }
   return 0;
 }
 

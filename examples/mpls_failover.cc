@@ -89,5 +89,12 @@ int main() {
             << ", epoch " << repair.new_epoch << "): route 0->39 = "
             << server.path(0, 39).to_string() << " (" << server.distance(0, 39)
             << " hops)\n";
+
+  // Every component of the serving stack -- server, cache, batcher,
+  // generations, engine -- reports into one wait-free metrics registry;
+  // a single snapshot is the whole story of this demo's traffic
+  // (docs/OBSERVABILITY.md explains each metric).
+  std::cout << "\nserving-stack metrics (one registry snapshot):\n";
+  server.metrics().snapshot().to_table().print();
   return 0;
 }

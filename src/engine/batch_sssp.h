@@ -11,7 +11,9 @@
 // request) and is written to its own slot.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -26,10 +28,25 @@ namespace restorable {
 
 class BatchSsspEngine {
  public:
+  // Work counters for the metrics registry: how many batches this engine
+  // has executed and how many SSSP runs they contained. Relaxed atomics
+  // bumped once per run_batch call -- nothing per-request, nothing on the
+  // per-node inner loop. Note shared() is process-wide: servers defaulting
+  // to it report the shared engine's process totals.
+  struct Stats {
+    uint64_t batches = 0;
+    uint64_t requests = 0;
+  };
+
   // threads == 0 sizes the pool to the hardware.
   explicit BatchSsspEngine(int threads = 0) : pool_(threads) {}
 
   int threads() const { return pool_.thread_count(); }
+
+  Stats stats() const {
+    return {batches_.load(std::memory_order_relaxed),
+            requests_.load(std::memory_order_relaxed)};
+  }
 
   // Generic fan-out over the engine's pool (deterministic per-index work,
   // dynamic scheduling). Exposed for consumers whose unit of parallelism is
@@ -45,6 +62,8 @@ class BatchSsspEngine {
   std::vector<DijkstraResult<Policy>> run_batch(
       const Graph& g, const Policy& policy,
       std::span<const SsspRequest> requests) const {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    requests_.fetch_add(requests.size(), std::memory_order_relaxed);
     std::vector<DijkstraResult<Policy>> out(requests.size());
     pool_.parallel_for(requests.size(), [&](size_t i) {
       tiebroken_sssp_into(g, policy, requests[i].root, requests[i].faults,
@@ -75,6 +94,8 @@ class BatchSsspEngine {
 
  private:
   ThreadPool pool_;
+  mutable std::atomic<uint64_t> batches_{0};
+  mutable std::atomic<uint64_t> requests_{0};
 };
 
 }  // namespace restorable

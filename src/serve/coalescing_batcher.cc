@@ -35,8 +35,9 @@ CoalescingBatcher::Enrollment CoalescingBatcher::enroll(
     // The flight clones the caller's pin (when given), keeping the keyed
     // generation alive until the flush resolves it -- later coalescers need
     // no pin of their own, the flight's one covers the result they share.
-    pending_.push_back(
-        Pending{key, req, pin ? *pin : GenerationManager::Pin{}});
+    pending_.push_back(Pending{key, req,
+                               pin ? *pin : GenerationManager::Pin{},
+                               obs::now_ns()});
   } catch (...) {
     // Keep inflight_ and pending_ consistent: an entry in inflight_ with no
     // pending twin would make every later caller coalesce onto a flight
@@ -52,9 +53,17 @@ CoalescingBatcher::Enrollment CoalescingBatcher::enroll(
   return e;
 }
 
-SptHandle CoalescingBatcher::await(InFlight& fl) {
+SptHandle CoalescingBatcher::await(InFlight& fl, FetchObs* obs) {
+  const uint64_t t0 = obs ? obs::now_ns() : 0;
   std::unique_lock<std::mutex> lock(fl.mu);
   fl.cv.wait(lock, [&] { return fl.done; });
+  if (obs) {
+    // queue_wait/compute were written by the leader under fl.mu before
+    // done = true; wait_ns is this caller's own blocked time.
+    obs->queue_wait_ns = fl.queue_wait_ns;
+    obs->compute_ns = fl.compute_ns;
+    obs->wait_ns = obs::now_ns() - t0;
+  }
   if (fl.error) std::rethrow_exception(fl.error);
   return fl.tree;
 }
@@ -84,11 +93,9 @@ void CoalescingBatcher::flush_loop() {
       computed_.fetch_add(batch.size(), std::memory_order_relaxed);
       if (batch.size() > largest_batch_.load(std::memory_order_relaxed))
         largest_batch_.store(batch.size(), std::memory_order_relaxed);
-      size_t bucket = 0;
-      while ((batch.size() >> (bucket + 1)) > 0 && bucket + 1 < kHistBuckets)
-        ++bucket;
-      ++batch_hist_[bucket];
     }
+    batch_hist_.record(batch.size());
+    const uint64_t drain_ns = obs::now_ns();
 
     // One engine submission per generation present in the drain (almost
     // always exactly one; briefly two around a publish, since keys embed
@@ -102,6 +109,7 @@ void CoalescingBatcher::flush_loop() {
     // forever.
     std::vector<SptHandle> trees(batch.size());
     std::vector<std::exception_ptr> errors(batch.size());
+    std::vector<uint64_t> compute_ns(batch.size(), 0);
     std::vector<const Generation*> groups;
     for (const Pending& p : batch) {
       const Generation* gen = p.pin ? p.pin.get() : nullptr;
@@ -118,9 +126,13 @@ void CoalescingBatcher::flush_loop() {
       }
       try {
         const IRpts& scheme = gen ? *gen->scheme : *pi_;
+        const uint64_t c0 = obs::now_ns();
         auto group_trees = scheme.spt_batch(reqs, engine_, nullptr);
-        for (size_t k = 0; k < members.size(); ++k)
+        const uint64_t c_dur = obs::now_ns() - c0;
+        for (size_t k = 0; k < members.size(); ++k) {
           trees[members[k]] = std::move(group_trees[k]);
+          compute_ns[members[k]] = c_dur;
+        }
       } catch (...) {
         for (size_t i : members) errors[i] = std::current_exception();
       }
@@ -167,6 +179,9 @@ void CoalescingBatcher::flush_loop() {
         std::lock_guard<std::mutex> lock(fl->mu);
         fl->tree = std::move(tree);
         fl->error = item_error;
+        fl->queue_wait_ns =
+            drain_ns > batch[i].enqueue_ns ? drain_ns - batch[i].enqueue_ns : 0;
+        fl->compute_ns = compute_ns[i];
         fl->done = true;
       }
       fl->cv.notify_all();
@@ -174,35 +189,40 @@ void CoalescingBatcher::flush_loop() {
   }
 }
 
-SptHandle CoalescingBatcher::get(const SsspRequest& req) {
+SptHandle CoalescingBatcher::get(const SsspRequest& req, FetchObs* obs) {
   const SptKey key(pi_->version(), req);
   if (cache_) {
     // Hit fast path: shard lock only, no batcher mutex.
     if (auto tree = cache_->lookup(key)) {
       requests_.fetch_add(1, std::memory_order_relaxed);
-      return tree;
+      return tree;  // obs->outcome stays kHit
     }
   }
   Enrollment e = enroll(key, req, nullptr);
-  if (e.hit) return e.hit;
+  if (e.hit) return e.hit;  // locked double-check hit: still kHit
+  if (obs)
+    obs->outcome = e.leader ? FetchObs::kLeader : FetchObs::kCoalesced;
   if (e.leader) flush_loop();
-  return await(*e.fl);
+  return await(*e.fl, obs);
 }
 
 SptHandle CoalescingBatcher::get(const SsspRequest& req,
-                                 const GenerationManager::Pin& pin) {
+                                 const GenerationManager::Pin& pin,
+                                 FetchObs* obs) {
   const SptKey key(pin->version(), req);
   if (cache_) {
     // Hit fast path: shard lock only, no batcher mutex.
     if (auto tree = cache_->lookup(key)) {
       requests_.fetch_add(1, std::memory_order_relaxed);
-      return tree;
+      return tree;  // obs->outcome stays kHit
     }
   }
   Enrollment e = enroll(key, req, &pin);
-  if (e.hit) return e.hit;
+  if (e.hit) return e.hit;  // locked double-check hit: still kHit
+  if (obs)
+    obs->outcome = e.leader ? FetchObs::kLeader : FetchObs::kCoalesced;
   if (e.leader) flush_loop();
-  return await(*e.fl);
+  return await(*e.fl, obs);
 }
 
 std::vector<SptHandle> CoalescingBatcher::get_batch(
@@ -228,7 +248,7 @@ std::vector<SptHandle> CoalescingBatcher::get_batch(
   }
   // All misses are enqueued before the flush starts, so they form one batch.
   if (leader) flush_loop();
-  for (auto& [i, fl] : waits) out[i] = await(*fl);
+  for (auto& [i, fl] : waits) out[i] = await(*fl, nullptr);
   return out;
 }
 
@@ -243,8 +263,11 @@ CoalescingBatcher::Stats CoalescingBatcher::stats() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.max_queue_depth = max_queue_depth_;
-    for (size_t i = 0; i < kHistBuckets; ++i) s.batch_hist[i] = batch_hist_[i];
   }
+  const obs::Histogram::Snapshot h = batch_hist_.snapshot();
+  for (size_t i = 0; i < kHistBuckets && i < h.buckets.size(); ++i)
+    s.batch_hist[i] = h.buckets[i];
+  s.batch_hist_sum = h.sum;
   return s;
 }
 

@@ -33,10 +33,34 @@
 
 #include "core/rpts.h"
 #include "core/spt.h"
+#include "obs/metrics.h"
 #include "serve/generation.h"
 #include "serve/spt_cache.h"
 
 namespace restorable {
+
+// Per-fetch outcome + latency decomposition, reported back to the caller
+// through an out-param so OracleServer can attribute time to outcome
+// classes (and synthesize trace spans) without the batcher knowing about
+// either. All durations are 0 under RESTORABLE_NO_METRICS (obs::now_ns()
+// compiles out); the outcome label is always filled.
+struct FetchObs {
+  enum Outcome : uint8_t {
+    kHit = 0,    // resolved from the cache (fast path or locked double-check)
+    kCoalesced,  // waited on a flight another caller drove
+    kLeader,     // this caller drove the flush that computed its tree
+  };
+  Outcome outcome = kHit;
+  // enroll -> the flush drain that picked this key up (time queued).
+  uint64_t queue_wait_ns = 0;
+  // Wall time of the engine group that computed this tree. For kCoalesced
+  // this is attribution, not cost paid by this caller (the leader paid it);
+  // the caller's own blocked time is wait_ns.
+  uint64_t compute_ns = 0;
+  // Time this caller spent blocked in await() (0 for hits; ~0 for the
+  // leader, whose flight resolves during its own flush_loop()).
+  uint64_t wait_ns = 0;
+};
 
 class CoalescingBatcher {
  public:
@@ -56,7 +80,11 @@ class CoalescingBatcher {
                                   // almost always one)
     uint64_t max_batch = 0;       // largest single flush
     uint64_t max_queue_depth = 0; // pending-queue high-water mark
-    uint64_t batch_hist[kHistBuckets] = {};  // flush sizes, log2 buckets
+    // Flush sizes in obs::Histogram's log2 buckets (bucket 0 = size 0-1,
+    // bucket k = [2^k, 2^(k+1))); a thin view over the shared obs::Histogram
+    // that now backs it. Zeroed under RESTORABLE_NO_METRICS.
+    uint64_t batch_hist[kHistBuckets] = {};
+    uint64_t batch_hist_sum = 0;  // sum of recorded flush sizes (== computed)
   };
 
   // `cache` may be null: the batcher then still deduplicates concurrent
@@ -76,8 +104,9 @@ class CoalescingBatcher {
   // engine batch this caller leads. Thread-safe; blocks only while the tree
   // is genuinely being computed. If the compute batch throws (e.g.
   // bad_alloc), the exception propagates to every caller waiting on that
-  // batch and the batcher stays serviceable for later requests.
-  SptHandle get(const SsspRequest& req);
+  // batch and the batcher stays serviceable for later requests. `obs`, when
+  // non-null, receives the fetch's outcome + latency decomposition.
+  SptHandle get(const SsspRequest& req, FetchObs* obs = nullptr);
 
   // Epoch-pinned variant: the key is derived from the pinned generation's
   // version and the flight CARRIES a clone of the pin, so the compute runs
@@ -87,7 +116,8 @@ class CoalescingBatcher {
   // Because the epoch is part of the key, flights from different
   // generations never coalesce with each other; one flush drain groups them
   // by generation and issues one engine batch per group.
-  SptHandle get(const SsspRequest& req, const GenerationManager::Pin& pin);
+  SptHandle get(const SsspRequest& req, const GenerationManager::Pin& pin,
+                FetchObs* obs = nullptr);
 
   // Batch variant: registers every miss before flushing once, so the whole
   // batch rides one engine submission (plus whatever concurrent callers
@@ -103,6 +133,10 @@ class CoalescingBatcher {
     bool done = false;
     SptHandle tree;
     std::exception_ptr error;  // set instead of tree when the batch threw
+    // Decomposition for everyone who shares this flight; written by the
+    // leader under `mu` before done = true, read by waiters under `mu`.
+    uint64_t queue_wait_ns = 0;
+    uint64_t compute_ns = 0;
   };
 
   // Outcome of registering one miss: `hit` resolved on the locked cache
@@ -122,12 +156,13 @@ class CoalescingBatcher {
     SptKey key;
     SsspRequest req;
     GenerationManager::Pin pin;
+    uint64_t enqueue_ns = 0;  // when enroll queued it (queue-wait start)
   };
 
   Enrollment enroll(const SptKey& key, const SsspRequest& req,
                     const GenerationManager::Pin* pin);
   void flush_loop();
-  static SptHandle await(InFlight& fl);
+  static SptHandle await(InFlight& fl, FetchObs* obs);
 
   const IRpts* pi_;
   SptCache* cache_;
@@ -141,10 +176,11 @@ class CoalescingBatcher {
   // mu_ while enrolling callers wait.
   std::deque<Pending> pending_;
   bool flushing_ = false;
-  // Flush-shape telemetry, mutated only under mu_ (flush boundaries and
-  // enroll already hold it).
+  // Flush-shape telemetry. The high-water mark is mutated only under mu_
+  // (enroll already holds it); the batch-size histogram is the shared
+  // wait-free obs::Histogram (recorded outside the lock).
   uint64_t max_queue_depth_ = 0;
-  uint64_t batch_hist_[kHistBuckets] = {};
+  obs::Histogram batch_hist_{kHistBuckets};
 
   // Counters are atomics so the cache-hit fast path never touches mu_ (the
   // sharded cache is the only lock a steady-state hit takes).

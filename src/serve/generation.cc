@@ -3,6 +3,8 @@
 #include <cassert>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace restorable {
 
 uint64_t GenerationManager::pack(Slot* slot, uint64_t count) {
@@ -88,12 +90,20 @@ void GenerationManager::retire_draining() {
   // with the release fetch_sub in unpin, ordering every straggler's reads
   // before the free.
   bool waited = false;
+  uint64_t wait_start = 0;
   while (slot->residual.load(std::memory_order_acquire) !=
          -slot->transferred) {
-    waited = true;
+    if (!waited) {
+      waited = true;
+      wait_start = obs::now_ns();
+    }
     std::this_thread::yield();
   }
-  if (waited) publish_waits_.fetch_add(1, std::memory_order_relaxed);
+  if (waited) {
+    publish_waits_.fetch_add(1, std::memory_order_relaxed);
+    publish_wait_ns_.fetch_add(obs::now_ns() - wait_start,
+                               std::memory_order_relaxed);
+  }
   delete slot;
   draining_ = nullptr;
   retired_.fetch_add(1, std::memory_order_relaxed);
@@ -125,9 +135,21 @@ GenerationManager::Stats GenerationManager::stats() const {
   s.published = published_.load(std::memory_order_relaxed);
   s.retired = retired_.load(std::memory_order_relaxed);
   s.publish_waits = publish_waits_.load(std::memory_order_relaxed);
+  s.publish_wait_ns = publish_wait_ns_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(publish_mu_);
     s.live = draining_ ? 2 : 1;
+    // Current-word pins plus whatever is still outstanding on the draining
+    // slot (transferred pins minus residual releases). Both reads are
+    // instantaneous samples; under publish_mu_ the draining slot cannot be
+    // freed from under us.
+    s.pins_now = count_of(word_.load(std::memory_order_relaxed));
+    if (draining_) {
+      const int64_t outstanding =
+          draining_->transferred +
+          draining_->residual.load(std::memory_order_relaxed);
+      if (outstanding > 0) s.pins_now += static_cast<uint64_t>(outstanding);
+    }
   }
   return s;
 }

@@ -120,6 +120,15 @@ class GenerationManager {
     uint64_t retired = 0;        // generations drained and freed
     uint64_t publish_waits = 0;  // publishes that blocked on a drain
     uint64_t live = 0;           // 1 (steady state) or 2 (one draining)
+    // Pin occupancy at the stats() instant: pins counted in the current
+    // word plus pins still outstanding on the draining generation. A
+    // point-in-time gauge (readers keep pinning concurrently), exported as
+    // such through the metrics registry.
+    uint64_t pins_now = 0;
+    // Total wall time publishes have spent blocked in the drain wait
+    // (epoch-advance latency attributable to slow readers). 0 under
+    // RESTORABLE_NO_METRICS.
+    uint64_t publish_wait_ns = 0;
   };
 
   // Takes ownership of the initial generation; it is published immediately.
@@ -179,6 +188,7 @@ class GenerationManager {
   std::atomic<uint64_t> published_{0};
   std::atomic<uint64_t> retired_{0};
   std::atomic<uint64_t> publish_waits_{0};
+  std::atomic<uint64_t> publish_wait_ns_{0};
 };
 
 inline const Generation* GenerationManager::Pin::get() const {

@@ -3,7 +3,23 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "util/timing.h"
+
 namespace restorable {
+
+const char* fetch_outcome_name(FetchOutcome o) {
+  switch (o) {
+    case FetchOutcome::kBaseHit:
+      return "base_hit";
+    case FetchOutcome::kFaultHit:
+      return "fault_hit";
+    case FetchOutcome::kMissCoalesced:
+      return "miss_coalesced";
+    case FetchOutcome::kMissLeader:
+      return "miss_leader";
+  }
+  return "?";
+}
 
 OracleServer::OracleServer(const IRpts& pi, ServerConfig config)
     : pi_(&pi), config_(config) {
@@ -23,15 +39,117 @@ OracleServer::OracleServer(const IRpts& pi, ServerConfig config)
   if (config_.enable_coalescing)
     batcher_ = std::make_unique<CoalescingBatcher>(
         pi, cache_.get(), config_.engine, config_.max_batch);
+  metrics_ = config_.metrics;
+  if (!metrics_) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  tracer_ = config_.tracer;
+  register_providers();
 }
 
-SptHandle OracleServer::fetch_tree(const SsspRequest& req) {
-  if (batcher_) return batcher_->get(req);
+void OracleServer::register_providers() {
+  registrations_.push_back(
+      metrics_->add("server", [this](obs::ComponentBuilder& b) {
+        b.counter("queries", queries_.load(std::memory_order_relaxed));
+        b.counter("updates", updates_.load(std::memory_order_relaxed));
+        b.counter("stability_fast_paths",
+                  stability_hits_.load(std::memory_order_relaxed));
+        b.counter("bytes_direct",
+                  direct_bytes_.load(std::memory_order_relaxed));
+        for (size_t i = 0; i < kNumFetchOutcomes; ++i) {
+          const std::string cls =
+              fetch_outcome_name(static_cast<FetchOutcome>(i));
+          const ClassMetrics& m = class_metrics_[i];
+          b.counter(cls + ".fetches", m.fetches);
+          b.counter(cls + ".queue_wait_ns", m.queue_wait_ns);
+          b.counter(cls + ".coalesce_wait_ns", m.coalesce_wait_ns);
+          b.counter(cls + ".compute_ns", m.compute_ns);
+          b.histogram(cls + ".latency_ns", m.latency_ns);
+        }
+        b.histogram("query.latency_ns", query_latency_ns_);
+        b.counter("update.apply_ns", apply_ns_);
+        b.counter("update.repair_ns", repair_ns_);
+        b.counter("update.repaired", repaired_);
+        b.counter("update.recomputed", recomputed_);
+      }));
+  if (cache_) {
+    registrations_.push_back(
+        metrics_->add("cache", [this](obs::ComponentBuilder& b) {
+          const SptCache::Stats s = cache_->stats();
+          b.counter("hits", s.hits);
+          b.counter("misses", s.misses);
+          b.counter("inserts", s.inserts);
+          b.counter("evictions", s.evictions);
+          b.counter("carried_forward", s.carried_forward);
+          b.counter("invalidated", s.invalidated);
+          b.counter("purged_stale", s.purged_stale);
+          b.counter("rejected_stale", s.rejected_stale);
+          b.counter("base_hits", s.base_hits);
+          b.counter("base_misses", s.base_misses);
+          b.gauge("entries", static_cast<int64_t>(s.entries));
+          b.gauge("bytes", static_cast<int64_t>(s.bytes));
+          b.gauge("sum_shard_peak_bytes",
+                  static_cast<int64_t>(s.sum_shard_peak_bytes));
+          b.gauge("protected_entries",
+                  static_cast<int64_t>(s.protected_entries));
+          b.gauge("protected_bytes",
+                  static_cast<int64_t>(s.protected_bytes));
+        }));
+  }
+  if (batcher_) {
+    registrations_.push_back(
+        metrics_->add("batcher", [this](obs::ComponentBuilder& b) {
+          const CoalescingBatcher::Stats s = batcher_->stats();
+          b.counter("requests", s.requests);
+          b.counter("coalesced", s.coalesced);
+          b.counter("computed", s.computed);
+          b.counter("computed_bytes", s.computed_bytes);
+          b.counter("flushes", s.flushes);
+          b.gauge("max_batch", static_cast<int64_t>(s.max_batch));
+          b.gauge("max_queue_depth",
+                  static_cast<int64_t>(s.max_queue_depth));
+          b.histogram("batch_size",
+                      std::span<const uint64_t>(
+                          s.batch_hist, CoalescingBatcher::kHistBuckets),
+                      s.batch_hist_sum);
+        }));
+  }
+  if (gens_) {
+    registrations_.push_back(
+        metrics_->add("generations", [this](obs::ComponentBuilder& b) {
+          const GenerationManager::Stats s = gens_->stats();
+          b.counter("published", s.published);
+          b.counter("retired", s.retired);
+          b.counter("publish_waits", s.publish_waits);
+          b.counter("publish_wait_ns", s.publish_wait_ns);
+          b.gauge("live", static_cast<int64_t>(s.live));
+          b.gauge("pins_now", static_cast<int64_t>(s.pins_now));
+        }));
+  }
+  registrations_.push_back(
+      metrics_->add("engine", [this](obs::ComponentBuilder& b) {
+        // NOTE: with no configured engine this reads the process-wide
+        // shared() engine -- totals cover every consumer in the process.
+        const BatchSsspEngine::Stats s =
+            BatchSsspEngine::or_shared(config_.engine).stats();
+        b.counter("batches", s.batches);
+        b.counter("requests", s.requests);
+      }));
+}
+
+SptHandle OracleServer::fetch_tree(const SsspRequest& req, FetchObs* obs) {
+  if (batcher_) return batcher_->get(req, obs);
   const SptKey key(pi_->version(), req);
   if (cache_) {
-    if (auto t = cache_->lookup(key)) return t;
+    if (auto t = cache_->lookup(key)) return t;  // obs->outcome stays kHit
   }
+  // Direct compute: this caller does the work itself, the closest analogue
+  // of a batcher leader.
+  if (obs) obs->outcome = FetchObs::kLeader;
+  const uint64_t c0 = obs::now_ns();
   auto t = std::make_shared<const Spt>(pi_->spt(req.root, req.faults, req.dir));
+  if (obs) obs->compute_ns = obs::now_ns() - c0;
   direct_bytes_.fetch_add(t->memory_bytes(), std::memory_order_relaxed);
   if (cache_) {
     if (auto resident = cache_->insert(key, t)) return resident;
@@ -40,14 +158,18 @@ SptHandle OracleServer::fetch_tree(const SsspRequest& req) {
 }
 
 SptHandle OracleServer::fetch_tree_pinned(const SsspRequest& req,
-                                          const GenerationManager::Pin& pin) {
-  if (batcher_) return batcher_->get(req, pin);
+                                          const GenerationManager::Pin& pin,
+                                          FetchObs* obs) {
+  if (batcher_) return batcher_->get(req, pin, obs);
   const SptKey key(pin->version(), req);
   if (cache_) {
-    if (auto t = cache_->lookup(key)) return t;
+    if (auto t = cache_->lookup(key)) return t;  // obs->outcome stays kHit
   }
+  if (obs) obs->outcome = FetchObs::kLeader;
+  const uint64_t c0 = obs::now_ns();
   auto t = std::make_shared<const Spt>(
       pin->scheme->spt(req.root, req.faults, req.dir));
+  if (obs) obs->compute_ns = obs::now_ns() - c0;
   direct_bytes_.fetch_add(t->memory_bytes(), std::memory_order_relaxed);
   if (cache_) {
     // A straggler pinned to a just-retired epoch may reach here after the
@@ -59,10 +181,108 @@ SptHandle OracleServer::fetch_tree_pinned(const SsspRequest& req,
   return t;
 }
 
+namespace {
+// RAII scope timer into an obs::Counter (compiles out with obs::now_ns()).
+class CounterTimer {
+ public:
+  explicit CounterTimer(obs::Counter* c) : c_(c), t0_(obs::now_ns()) {}
+  CounterTimer(const CounterTimer&) = delete;
+  CounterTimer& operator=(const CounterTimer&) = delete;
+  ~CounterTimer() { c_->add(obs::now_ns() - t0_); }
+
+ private:
+  obs::Counter* c_;
+  uint64_t t0_;
+};
+}  // namespace
+
+OracleServer::QueryCtx OracleServer::begin_query(const char* kind) {
+  QueryCtx ctx;
+  if constexpr (!obs::kEnabled) return ctx;
+  ctx.t0 = obs::now_ns();
+  if (tracer_) {
+    ctx.trace = tracer_->maybe_start();
+    if (ctx.trace) {
+      ctx.root_span = ctx.trace->begin("query");
+      ctx.trace->attr(ctx.root_span, "kind", std::string(kind));
+    }
+  }
+  return ctx;
+}
+
+void OracleServer::end_query(QueryCtx& ctx) {
+  if constexpr (!obs::kEnabled) return;
+  query_latency_ns_.record(obs::now_ns() - ctx.t0);
+  if (ctx.trace) {
+    ctx.trace->end(ctx.root_span);
+    tracer_->finish(std::move(ctx.trace));
+  }
+}
+
+SptHandle OracleServer::fetch_classified(const SsspRequest& req,
+                                         const GenerationManager::Pin* pin,
+                                         QueryCtx& ctx) {
+  FetchObs fo;
+  const uint64_t f0 = obs::now_ns();
+  SptHandle tree = pin ? fetch_tree_pinned(req, *pin, &fo)
+                       : fetch_tree(req, &fo);
+  if constexpr (!obs::kEnabled) return tree;
+  const uint64_t dur = obs::now_ns() - f0;
+
+  const FetchOutcome outcome =
+      fo.outcome == FetchObs::kHit
+          ? (req.faults.empty() ? FetchOutcome::kBaseHit
+                                : FetchOutcome::kFaultHit)
+          : (fo.outcome == FetchObs::kLeader ? FetchOutcome::kMissLeader
+                                             : FetchOutcome::kMissCoalesced);
+  ClassMetrics& m = class_metrics_[static_cast<size_t>(outcome)];
+  m.fetches.add();
+  m.latency_ns.record(dur);
+  // Decomposition (zero for hits). compute_ns on kMissCoalesced is
+  // attribution -- the flight's leader paid it; the coalesced caller's own
+  // cost is the wait beyond queued compute, floored at 0 below.
+  if (fo.queue_wait_ns) m.queue_wait_ns.add(fo.queue_wait_ns);
+  if (fo.compute_ns) m.compute_ns.add(fo.compute_ns);
+  const uint64_t coalesce_wait =
+      outcome == FetchOutcome::kMissCoalesced && fo.wait_ns > fo.compute_ns
+          ? fo.wait_ns - fo.compute_ns
+          : 0;
+  if (coalesce_wait) m.coalesce_wait_ns.add(coalesce_wait);
+
+  if (ctx.trace) {
+    const int32_t f = ctx.trace->add("fetch", ctx.root_span, f0, dur);
+    ctx.trace->attr(f, "outcome", std::string(fetch_outcome_name(outcome)));
+    ctx.trace->attr(f, "root", static_cast<uint64_t>(req.root));
+    ctx.trace->attr(f, "faults", static_cast<uint64_t>(req.faults.size()));
+    if (outcome == FetchOutcome::kMissLeader ||
+        outcome == FetchOutcome::kMissCoalesced) {
+      // Child spans synthesized from the decomposition durations: start
+      // offsets are approximations (queue wait begins at enroll ~ f0; the
+      // compute follows it), documented as such in docs/OBSERVABILITY.md.
+      if (fo.queue_wait_ns)
+        ctx.trace->add("queue_wait", f, f0, fo.queue_wait_ns);
+      if (fo.compute_ns)
+        ctx.trace->add("compute", f, f0 + fo.queue_wait_ns, fo.compute_ns);
+      if (coalesce_wait)
+        ctx.trace->add("coalesce_wait", f, f0 + fo.queue_wait_ns,
+                       coalesce_wait);
+    }
+  }
+  return tree;
+}
+
 SptHandle OracleServer::tree(const SsspRequest& req) {
-  if (gens_) return fetch_tree_pinned(req, gens_->pin());
-  std::shared_lock<std::shared_mutex> guard(update_mu_);
-  return fetch_tree(req);
+  QueryCtx ctx = begin_query("tree");
+  SptHandle t;
+  if (gens_) {
+    const GenerationManager::Pin pin = gens_->pin();
+    t = fetch_classified(req, &pin, ctx);
+  } else {
+    std::shared_lock<std::shared_mutex> guard(update_mu_);
+    t = fetch_classified(req, nullptr, ctx);
+  }
+  end_query(ctx);
+  return t;
 }
 
 uint64_t OracleServer::bytes_materialized() const {
@@ -71,26 +291,75 @@ uint64_t OracleServer::bytes_materialized() const {
   return total;
 }
 
+ServerStats OracleServer::stats() const {
+  // ONE snapshot pass: every component's values are sampled within the same
+  // window, so composites (bytes_materialized, the class sums) can never be
+  // torn across two calls made at different times.
+  const obs::MetricsSnapshot snap = metrics_->snapshot();
+  ServerStats s;
+  s.queries = static_cast<uint64_t>(snap.value_or("server", "queries"));
+  s.updates = static_cast<uint64_t>(snap.value_or("server", "updates"));
+  s.stability_fast_paths =
+      static_cast<uint64_t>(snap.value_or("server", "stability_fast_paths"));
+  s.bytes_materialized =
+      static_cast<uint64_t>(snap.value_or("server", "bytes_direct")) +
+      static_cast<uint64_t>(snap.value_or("batcher", "computed_bytes"));
+  uint64_t* counts[kNumFetchOutcomes] = {&s.base_hit, &s.fault_hit,
+                                         &s.miss_coalesced, &s.miss_leader};
+  for (size_t i = 0; i < kNumFetchOutcomes; ++i) {
+    const std::string cls = fetch_outcome_name(static_cast<FetchOutcome>(i));
+    *counts[i] =
+        static_cast<uint64_t>(snap.value_or("server", cls + ".fetches"));
+    s.queue_wait_ns += static_cast<uint64_t>(
+        snap.value_or("server", cls + ".queue_wait_ns"));
+    s.coalesce_wait_ns += static_cast<uint64_t>(
+        snap.value_or("server", cls + ".coalesce_wait_ns"));
+    s.compute_ns +=
+        static_cast<uint64_t>(snap.value_or("server", cls + ".compute_ns"));
+  }
+  s.repair_ns =
+      static_cast<uint64_t>(snap.value_or("server", "update.repair_ns"));
+  s.repaired =
+      static_cast<uint64_t>(snap.value_or("server", "update.repaired"));
+  s.recomputed =
+      static_cast<uint64_t>(snap.value_or("server", "update.recomputed"));
+  return s;
+}
+
 int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults) {
   queries_.fetch_add(1, std::memory_order_relaxed);
-  if (gens_)
-    return fetch_tree_pinned({s, faults, Direction::kOut}, gens_->pin())
-        ->hops[t];
-  std::shared_lock<std::shared_mutex> guard(update_mu_);
-  return fetch_tree({s, faults, Direction::kOut})->hops[t];
+  QueryCtx ctx = begin_query("distance");
+  int32_t ans;
+  if (gens_) {
+    const GenerationManager::Pin pin = gens_->pin();
+    ans = fetch_classified({s, faults, Direction::kOut}, &pin, ctx)->hops[t];
+  } else {
+    std::shared_lock<std::shared_mutex> guard(update_mu_);
+    ans = fetch_classified({s, faults, Direction::kOut}, nullptr, ctx)->hops[t];
+  }
+  end_query(ctx);
+  return ans;
 }
 
 Path OracleServer::path(Vertex s, Vertex t, const FaultSet& faults) {
   queries_.fetch_add(1, std::memory_order_relaxed);
-  if (gens_)
-    return fetch_tree_pinned({s, faults, Direction::kOut}, gens_->pin())
-        ->path_to(t);
-  std::shared_lock<std::shared_mutex> guard(update_mu_);
-  return fetch_tree({s, faults, Direction::kOut})->path_to(t);
+  QueryCtx ctx = begin_query("path");
+  Path p;
+  if (gens_) {
+    const GenerationManager::Pin pin = gens_->pin();
+    p = fetch_classified({s, faults, Direction::kOut}, &pin, ctx)->path_to(t);
+  } else {
+    std::shared_lock<std::shared_mutex> guard(update_mu_);
+    p = fetch_classified({s, faults, Direction::kOut}, nullptr, ctx)
+            ->path_to(t);
+  }
+  end_query(ctx);
+  return p;
 }
 
 int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
   queries_.fetch_add(1, std::memory_order_relaxed);
+  QueryCtx ctx = begin_query("replacement_distance");
   // One pin (or one guard) across both fetches: the base tree and the fault
   // tree of a single query always belong to the same epoch.
   GenerationManager::Pin pin;
@@ -100,12 +369,16 @@ int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
   else
     guard.lock();
   auto fetch = [&](const SsspRequest& req) {
-    return pin ? fetch_tree_pinned(req, pin) : fetch_tree(req);
+    return fetch_classified(req, pin ? &pin : nullptr, ctx);
+  };
+  auto finish = [&](int32_t ans) {
+    end_query(ctx);
+    return ans;
   };
   const auto base = fetch({s, {}, Direction::kOut});
   if (!base->reachable(t)) {
     // t unreachable even fault-free; removing e cannot help.
-    return kUnreachable;
+    return finish(kUnreachable);
   }
   // Stability (Definition 13): a fault off the selected path leaves the
   // selection -- hence the distance -- unchanged. Walking the O(d) parent
@@ -119,9 +392,9 @@ int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
   }
   if (!on_path) {
     stability_hits_.fetch_add(1, std::memory_order_relaxed);
-    return base->hops[t];
+    return finish(base->hops[t]);
   }
-  return fetch({s, FaultSet{e}, Direction::kOut})->hops[t];
+  return finish(fetch({s, FaultSet{e}, Direction::kOut})->hops[t]);
 }
 
 UpdateResult OracleServer::apply_update(Graph& graph, GraphDelta delta) {
@@ -134,6 +407,7 @@ UpdateResult OracleServer::apply_updates(Graph& graph,
     throw std::invalid_argument(
         "apply_updates: graph is not the served scheme's graph");
   if (gens_) return apply_updates_pinned(graph, deltas);
+  CounterTimer apply_timer(&apply_ns_);
   UpdateResult res;
   std::vector<SptCache::Invalidated> invalidated;
   SptCache::AdvanceStats adv;
@@ -170,6 +444,7 @@ UpdateResult OracleServer::apply_updates(Graph& graph,
     // the CSR mid-batch. A query racing the repair at worst duplicates one
     // compute; first-writer-wins keeps the cache consistent.
     std::shared_lock<std::shared_mutex> guard(update_mu_);
+    CounterTimer repair_timer(&repair_ns_);
     const BatchSsspEngine& eng = BatchSsspEngine::or_shared(config_.engine);
     std::vector<RepairOutcome> outcomes(invalidated.size());
     eng.parallel_for(invalidated.size(), [&](size_t i) {
@@ -187,7 +462,12 @@ UpdateResult OracleServer::apply_updates(Graph& graph,
       // demand, so claiming it pre-warmed would overstate readiness.
       if (cache_->insert(invalidated[i].key, std::move(tree))) {
         ++res.prewarmed;
-        if (outcomes[i].repaired) ++adv.repaired;
+        if (outcomes[i].repaired) {
+          ++adv.repaired;
+          repaired_.add();
+        } else {
+          recomputed_.add();
+        }
       }
     }
   }
@@ -207,6 +487,7 @@ UpdateResult OracleServer::apply_updates_pinned(
   // readers observe.
   UpdateResult res;
   std::lock_guard<std::mutex> mutator(mutator_mu_);
+  CounterTimer apply_timer(&apply_ns_);
   res.batch = graph.apply(deltas);
   if (!res.batch.deltas.empty()) res.delta = res.batch.deltas.front();
   res.old_epoch = res.batch.old_epoch;
@@ -246,6 +527,7 @@ UpdateResult OracleServer::apply_updates_pinned(
     // path does, but with no guard at all: the mutator mutex already
     // excludes the only other writer of the live CSR, and readers never
     // dereference it.
+    CounterTimer repair_timer(&repair_ns_);
     const BatchSsspEngine& eng = BatchSsspEngine::or_shared(config_.engine);
     std::vector<RepairOutcome> outcomes(invalidated.size());
     eng.parallel_for(invalidated.size(), [&](size_t i) {
@@ -260,7 +542,12 @@ UpdateResult OracleServer::apply_updates_pinned(
                               std::memory_order_relaxed);
       if (cache_->insert(invalidated[i].key, std::move(tree))) {
         ++res.prewarmed;
-        if (outcomes[i].repaired) ++adv.repaired;
+        if (outcomes[i].repaired) {
+          ++adv.repaired;
+          repaired_.add();
+        } else {
+          recomputed_.add();
+        }
       }
     }
   }

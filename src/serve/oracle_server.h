@@ -46,13 +46,30 @@
 #include <optional>
 #include <shared_mutex>
 #include <span>
+#include <vector>
 
 #include "core/rpts.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/coalescing_batcher.h"
 #include "serve/generation.h"
 #include "serve/spt_cache.h"
 
 namespace restorable {
+
+// Outcome class of one tree fetch on the query path -- the label every
+// per-query latency sample is attributed under (docs/OBSERVABILITY.md has
+// the full taxonomy; the update-path classes `repaired` / `recomputed` live
+// in UpdateResult and the `server` component's update.* metrics).
+enum class FetchOutcome : uint8_t {
+  kBaseHit = 0,     // fault-free tree served from the cache
+  kFaultHit,        // fault tree served from the cache
+  kMissCoalesced,   // miss that waited on a flight another caller drove
+  kMissLeader,      // miss that drove the compute (batcher leader, or the
+                    // direct compute when coalescing is disabled)
+};
+inline constexpr size_t kNumFetchOutcomes = 4;
+const char* fetch_outcome_name(FetchOutcome o);
 
 // Query-path concurrency regime (ServerConfig::concurrency).
 enum class QueryConcurrency {
@@ -86,6 +103,15 @@ struct ServerConfig {
   // recompute (see IRpts::repair_tree).
   double repair_fraction = kDefaultRepairFraction;
   const BatchSsspEngine* engine = nullptr;  // nullptr = shared engine
+  // External metrics registry to register this server's components into
+  // (must outlive the server). nullptr = the server owns a private one,
+  // reachable via metrics(). Component names are fixed (server / cache /
+  // batcher / generations / engine), so give each server its own registry
+  // unless you only ever read the merged document.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Sampled per-query trace collector (must outlive the server). nullptr =
+  // tracing off; unsampled queries then pay nothing at all.
+  obs::Tracer* tracer = nullptr;
 };
 
 // What one apply_update / apply_updates did, for telemetry and tests.
@@ -105,6 +131,32 @@ struct UpdateResult {
   // prewarmed - repaired fell back to from-scratch recomputes.
   size_t prewarmed = 0;
   size_t repaired = 0;
+};
+
+// Composite server counters, taken through ONE MetricsRegistry::snapshot()
+// pass (see OracleServer::stats() for the consistency contract).
+struct ServerStats {
+  uint64_t queries = 0;
+  uint64_t updates = 0;
+  uint64_t stability_fast_paths = 0;
+  // direct_bytes + the batcher's computed_bytes, composed from the SAME
+  // snapshot document -- the torn two-clock read the old accessor pair
+  // allowed cannot happen here.
+  uint64_t bytes_materialized = 0;
+  // Query-path outcome classes (counts of tree fetches per class).
+  uint64_t base_hit = 0;
+  uint64_t fault_hit = 0;
+  uint64_t miss_coalesced = 0;
+  uint64_t miss_leader = 0;
+  // Latency decomposition totals across all classes, ns (per-class splits
+  // and histograms live in the registry snapshot under `server`).
+  uint64_t queue_wait_ns = 0;
+  uint64_t coalesce_wait_ns = 0;
+  uint64_t compute_ns = 0;
+  // Update-path decomposition.
+  uint64_t repair_ns = 0;
+  uint64_t repaired = 0;    // prewarmed trees fixed by incremental repair
+  uint64_t recomputed = 0;  // prewarmed trees that fell back to full runs
 };
 
 class OracleServer {
@@ -166,8 +218,26 @@ class OracleServer {
   // whether through the batcher or direct computes). Cache hits and
   // coalesced waits materialize nothing -- handles alias resident trees --
   // so bytes_materialized / queries_served is the bytes-per-query cost the
-  // zero-copy serving stack is judged by.
+  // zero-copy serving stack is judged by. NOTE: composed from two relaxed
+  // counters read at two instants; for a coherent reading use stats(),
+  // which composes the same two values inside one snapshot pass.
   uint64_t bytes_materialized() const;
+
+  // The registry every component of this server reports into: `server`
+  // (query counters, outcome classes, latency decomposition, update-path
+  // repair split), `cache`, `batcher`, `generations`, `engine` -- each a
+  // provider over that component's own relaxed atomics, so ONE snapshot()
+  // yields one document covering the whole stack. Never sampled on the
+  // query path; snapshot() cost is borne entirely by the caller.
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+  // Composite counters via ONE metrics().snapshot() pass. Consistency
+  // model (documented in src/obs/metrics.h): every individual value is an
+  // untorn atomic read; cross-counter sums are sampled within one snapshot
+  // window, so they can be off by the operations in flight during the
+  // snapshot but never by more -- unlike composing queries_served(),
+  // batcher()->stats() etc. at different times.
+  ServerStats stats() const;
 
   // Null when the respective layer is disabled by config.
   SptCache* cache() { return cache_ ? cache_.get() : nullptr; }
@@ -183,13 +253,42 @@ class OracleServer {
   const GenerationManager* generations() const { return gens_.get(); }
 
  private:
+  // Per-query observability context: the entry timestamp, the (usually
+  // null) sampled trace, and its root span. Costs two clock reads + one
+  // histogram record per query when metrics are enabled; nothing under
+  // RESTORABLE_NO_METRICS.
+  struct QueryCtx {
+    uint64_t t0 = 0;
+    std::unique_ptr<obs::QueryTrace> trace;
+    int32_t root_span = -1;
+  };
+  // Per-outcome-class instruments (all wait-free; see obs/metrics.h).
+  struct ClassMetrics {
+    obs::Counter fetches;
+    obs::Counter queue_wait_ns;
+    obs::Counter coalesce_wait_ns;
+    obs::Counter compute_ns;
+    obs::Histogram latency_ns;  // whole-fetch latency, log2 ns buckets
+  };
+
+  QueryCtx begin_query(const char* kind);
+  void end_query(QueryCtx& ctx);
+  // Classified fetch: routes to fetch_tree / fetch_tree_pinned (pin null =
+  // shared-lock path, caller holds update_mu_ shared), attributes the
+  // fetch's latency decomposition to its outcome class, and appends trace
+  // spans when the query is sampled.
+  SptHandle fetch_classified(const SsspRequest& req,
+                             const GenerationManager::Pin* pin, QueryCtx& ctx);
+  void register_providers();
+
   // Tree fetch through the serving stack at the LIVE scheme's version;
   // callers hold update_mu_ (shared). The shared-lock regime only.
-  SptHandle fetch_tree(const SsspRequest& req);
+  SptHandle fetch_tree(const SsspRequest& req, FetchObs* obs);
   // Epoch-pinned variant: every read -- version, CSR, Dijkstra -- goes
   // through the pinned generation; the live graph is never touched.
   SptHandle fetch_tree_pinned(const SsspRequest& req,
-                              const GenerationManager::Pin& pin);
+                              const GenerationManager::Pin& pin,
+                              FetchObs* obs);
   UpdateResult apply_updates_pinned(Graph& graph,
                                     std::span<const GraphDelta> deltas);
 
@@ -214,6 +313,22 @@ class OracleServer {
   std::atomic<uint64_t> updates_{0};
   std::atomic<uint64_t> stability_hits_{0};
   std::atomic<uint64_t> direct_bytes_{0};  // materialized without a batcher
+
+  // --- Observability (src/obs/). All instruments are wait-free; the
+  // registry is only touched at construction and in snapshot().
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // if config has none
+  obs::MetricsRegistry* metrics_;  // never null after construction
+  obs::Tracer* tracer_;            // null = tracing off
+  ClassMetrics class_metrics_[kNumFetchOutcomes];
+  obs::Histogram query_latency_ns_;  // whole-query latency, all kinds
+  obs::Counter repair_ns_;           // update-path repair/prewarm wall time
+  obs::Counter apply_ns_;            // whole apply_updates wall time
+  obs::Counter repaired_;            // prewarmed via incremental repair
+  obs::Counter recomputed_;          // prewarmed via full recompute
+  // Declared LAST so they are destroyed FIRST: providers read the members
+  // above, so they must be unregistered before anything they read dies
+  // (and before an external registry could sample a half-dead server).
+  std::vector<obs::Registration> registrations_;
 };
 
 }  // namespace restorable
