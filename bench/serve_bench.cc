@@ -55,6 +55,9 @@
 //   --hot H           size of the hot root set (default 8)
 //   --max-batch B     cap per-flush batcher drain (default 0 = unbounded)
 //   --flaps F         edge flaps in the churn scenario (default 12)
+//   --epsilon E,..    comma list of stretch slacks for the approximate-tier
+//                     scenario (default 0.25); each value adds exact-vs-
+//                     approx serve_eps row pairs
 //   --seed S          workload + flap seed, recorded in the JSON artifact
 //                     (default 1): same seed, same queries, same flaps
 //   --json PATH       emit one JSON row per measurement
@@ -69,6 +72,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -99,6 +103,7 @@ struct Options {
   size_t hot = 8;
   size_t max_batch = 0;
   size_t flaps = 12;
+  std::vector<double> epsilons{0.25};
   uint64_t seed = 1;
   std::string json_path;
   std::string metrics_path;
@@ -158,6 +163,13 @@ Options parse_options(int argc, char** argv) {
       opt.max_batch = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value("--flaps")) {
       opt.flaps = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--epsilon")) {
+      opt.epsilons.clear();
+      for (const char* p = v; *p;) {
+        opt.epsilons.push_back(std::atof(p));
+        while (*p && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
     } else if (const char* v = value("--seed")) {
       opt.seed = static_cast<uint64_t>(std::atoll(v));
     } else if (const char* v = value("--json")) {
@@ -187,6 +199,12 @@ Options parse_options(int argc, char** argv) {
   if (opt.flaps == 0) {
     std::cerr << "--flaps must be positive\n";
     std::exit(2);
+  }
+  for (double e : opt.epsilons) {
+    if (e <= 0.0 || quantize_epsilon(e) == 0) {
+      std::cerr << "--epsilon values must quantize to a positive slack\n";
+      std::exit(2);
+    }
   }
   return opt;
 }
@@ -1103,6 +1121,284 @@ void bench_churn_rcu(Table& rcu_table, JsonRows& json, const Options& opt,
   }
 }
 
+// Approximate-tier scenario (bench=serve_eps rows): the SAME churn-heavy
+// workload -- distance-dominated query phases interleaved with a
+// precomputed shortcut insert/remove flap schedule -- served once
+// by an exact-tier server (default_epsilon = 0) and once by an
+// approximate-tier server (default_epsilon = eps), per --epsilon value.
+// Every base tree is warmed up front so each flap forces the update walk to
+// adjudicate the full resident set: the exact tier invalidates and
+// recomputes where the (1+eps)-slack survival test carries trees forward,
+// so the judged signal is sustained qps (query wall + apply wall together)
+// and the churn carried fraction. Sampled answers are verified OUTSIDE the
+// timing window against a from-scratch exact rebuild of each phase's
+// topology: an approximate answer is valid iff it equals the exact distance
+// or lies in [d_exact, (1+eps_eff)^d_exact * d_exact] with matching
+// reachability (the tier's user-facing contract; eps_eff is the quantized
+// slack actually served). The CI bench-smoke job asserts (a) every sampled
+// answer within the stretch bound, (b) approx-tier sustained qps >= the
+// exact tier's on the identical schedule, (c) approx carried fraction >=
+// the exact tier's.
+void bench_epsilon(Table& eps_table, JsonRows& json, const Options& opt,
+                   const ObsSinks& sinks, const std::string& family,
+                   const Graph& g0) {
+  std::vector<Vertex> hot_roots;
+  for (size_t i = 0; i < opt.hot; ++i)
+    hot_roots.push_back(static_cast<Vertex>(
+        (static_cast<uint64_t>(i) * g0.num_vertices()) / opt.hot));
+  // Reused fault keys (cacheable, unlike the scan scenario's sweep).
+  EdgeId fault_pool[4];
+  for (size_t i = 0; i < 4; ++i)
+    fault_pool[i] = static_cast<EdgeId>((i + 1) * g0.num_edges() / 5);
+
+  // Flap schedule picked ONCE on the pristine topology so every tier applies
+  // identical deltas: shortcut churn. Each pair (u, v) -- u a hot root, v at
+  // hop distance 3-4 -- is inserted on one flap and removed again on the
+  // next. This is the shape where the slack survival test structurally
+  // separates the tiers: the insert kills every EXACT tree whose label gap
+  // across (u, v) exceeds 1 (the edge creates a shorter path) while the
+  // (1+eps) test tolerates gaps up to the slack, and the remove then kills
+  // the exact tier's freshly recomputed trees AGAIN (they adopted the
+  // shortcut; carried approximate trees never did).
+  std::vector<std::pair<Vertex, Vertex>> shortcuts;
+  {
+    const IsolationRpts pick(g0, IsolationAtw(7));
+    Rng rng(hash_combine(opt.seed, 0xe95));
+    const size_t need = (opt.flaps + 1) / 2;
+    size_t tries = 0;
+    while (shortcuts.size() < need) {
+      const Vertex u = hot_roots[rng.next_below(hot_roots.size())];
+      const Vertex v =
+          static_cast<Vertex>(rng.next_below(g0.num_vertices()));
+      ++tries;
+      if (u == v || g0.find_edge(u, v) != kNoEdge) continue;
+      const int32_t duv = pick.distance(u, v);
+      const int32_t lo = tries > 5000 ? 2 : 3;
+      if (duv < lo || duv > 4) continue;
+      shortcuts.emplace_back(u, v);
+    }
+  }
+
+  struct TierResult {
+    double qps = 0;        // sustained: queries / (query wall + apply wall)
+    double qps_query = 0;  // query-window-only throughput
+    double p50_us = 0, p99_us = 0;
+    double apply_ms = 0;
+    double bytes_per_query = 0;
+    double hit_rate = 0;
+    uint64_t carried = 0, invalidated = 0;
+    double carried_fraction = 0;
+    size_t checked = 0, within_bound = 0;
+    uint64_t observed_max_excess_ppm = 0;
+    ServerStats sstats;
+  };
+
+  for (int threads : opt.threads) {
+    const BatchSsspEngine engine(threads);
+    for (double eps : opt.epsilons) {
+      const uint32_t eps_q = quantize_epsilon(eps);
+      const double eps_eff = dequantize_epsilon(eps_q);
+
+      auto run_tier = [&](double tier_eps) {
+        TierResult r;
+        Graph g = g0;
+        const IsolationRpts pi(g, IsolationAtw(7));
+        ServerConfig cfg;
+        cfg.cache.shards = opt.shards;
+        cfg.cache.byte_budget = opt.budget_mb << 20;
+        cfg.max_batch = opt.max_batch;
+        cfg.engine = &engine;
+        cfg.default_epsilon = tier_eps;
+        cfg.tracer = sinks.tracer;
+        OracleServer server(pi, cfg);
+
+        // Warm the full resident set (every base tree + the reused fault
+        // keys on the hot roots) before the clock starts: each flap then
+        // pays the honest adjudication cost over all of it.
+        for (Vertex root = 0; root < g.num_vertices(); ++root)
+          server.distance(root, root == 0 ? 1u : 0u);
+        for (Vertex h : hot_roots)
+          for (EdgeId e : fault_pool) server.distance(h, 0, FaultSet{e});
+        const uint64_t warm_queries = server.queries_served();
+        const uint64_t warm_bytes = server.bytes_materialized();
+
+        const size_t phases = opt.flaps + 1;
+        const size_t per_thread = std::max<size_t>(
+            8, opt.queries / phases / static_cast<size_t>(threads));
+        struct Sample {
+          size_t phase;
+          Vertex s, t;
+          EdgeId e;  // kNoEdge = plain distance query
+          int32_t got;
+        };
+        std::vector<Graph> snapshots;
+        std::vector<std::vector<Sample>> samples(threads);
+        std::vector<double> latencies;
+        double query_wall_ms = 0;
+        EdgeId pending_shortcut = kNoEdge;  // live shortcut awaiting removal
+
+        for (size_t phase = 0; phase < phases; ++phase) {
+          snapshots.push_back(g);
+          std::vector<std::vector<double>> lat(threads);
+          Stopwatch wall;
+          std::vector<std::thread> workers;
+          workers.reserve(threads);
+          for (int w = 0; w < threads; ++w) {
+            workers.emplace_back([&, w, phase] {
+              for (size_t i = 0; i < per_thread; ++i) {
+                const uint64_t seq =
+                    (static_cast<uint64_t>(phase) * threads + w) * per_thread +
+                    i;
+                const uint64_t h =
+                    hash_combine(hash_combine(0xe950, opt.seed), seq);
+                const Vertex s = hot_roots[h % hot_roots.size()];
+                const Vertex t = static_cast<Vertex>(
+                    hash_combine(h, 1) % g.num_vertices());
+                const bool faulted = hash_combine(h, 2) % 5 == 0;
+                const EdgeId e =
+                    faulted ? fault_pool[hash_combine(h, 3) % 4] : kNoEdge;
+                Stopwatch sw;
+                const int32_t got = faulted
+                                        ? server.distance(s, t, FaultSet{e})
+                                        : server.distance(s, t);
+                lat[w].push_back(sw.micros());
+                if (i % 32 == 0) samples[w].push_back({phase, s, t, e, got});
+              }
+            });
+          }
+          for (auto& t : workers) t.join();
+          query_wall_ms += wall.millis();
+          for (auto& l : lat)
+            latencies.insert(latencies.end(), l.begin(), l.end());
+
+          if (phase + 1 == phases) break;
+          // Flap: even flaps insert the next shortcut, odd flaps remove it.
+          GraphDelta d;
+          if (phase % 2 == 0) {
+            const auto& [u, v] = shortcuts[phase / 2];
+            d = GraphDelta::insert(u, v);
+          } else {
+            d = GraphDelta::remove(pending_shortcut);
+          }
+          Stopwatch usw;
+          const UpdateResult res = server.apply_update(g, d);
+          r.apply_ms += usw.millis();
+          r.carried += res.carried;
+          r.invalidated += res.invalidated;
+          if (phase % 2 == 0) pending_shortcut = res.delta.edge;
+        }
+
+        // Stretch verification, outside the timing window, against an exact
+        // from-scratch rebuild of each phase's topology.
+        for (size_t phase = 0; phase < phases; ++phase) {
+          const IsolationRpts ref(snapshots[phase], IsolationAtw(7));
+          for (const auto& per_worker : samples)
+            for (const Sample& s : per_worker) {
+              if (s.phase != phase) continue;
+              const int32_t exact =
+                  s.e == kNoEdge ? ref.distance(s.s, s.t)
+                                 : ref.distance(s.s, s.t, FaultSet{s.e});
+              ++r.checked;
+              if (s.got == exact) {
+                ++r.within_bound;
+              } else if (exact != kUnreachable && s.got != kUnreachable &&
+                         s.got >= exact &&
+                         static_cast<double>(s.got) <=
+                             std::pow(1.0 + eps_eff, exact) *
+                                     static_cast<double>(exact) +
+                                 1e-9) {
+                ++r.within_bound;
+                const uint64_t ppm = static_cast<uint64_t>(
+                    (static_cast<double>(s.got - exact) * 1e6) /
+                    static_cast<double>(exact));
+                r.observed_max_excess_ppm =
+                    std::max(r.observed_max_excess_ppm, ppm);
+              }
+            }
+        }
+
+        std::sort(latencies.begin(), latencies.end());
+        if (!latencies.empty()) {
+          r.p50_us = latencies[latencies.size() / 2];
+          r.p99_us = latencies[std::min(latencies.size() - 1,
+                                        latencies.size() * 99 / 100)];
+        }
+        const double total_queries = static_cast<double>(latencies.size());
+        r.qps_query = total_queries / (query_wall_ms / 1e3);
+        r.qps = total_queries / ((query_wall_ms + r.apply_ms) / 1e3);
+        r.carried_fraction =
+            r.carried + r.invalidated
+                ? static_cast<double>(r.carried) /
+                      static_cast<double>(r.carried + r.invalidated)
+                : 0.0;
+        r.bytes_per_query =
+            static_cast<double>(server.bytes_materialized() - warm_bytes) /
+            std::max(1.0, static_cast<double>(server.queries_served() -
+                                              warm_queries));
+        r.hit_rate = server.cache()->stats().hit_rate();
+        r.sstats = server.stats();
+        dump_metrics(sinks, server, "serve_eps", family, threads,
+                     tier_eps > 0 ? "approx" : "exact");
+        return r;
+      };
+
+      const TierResult exact = run_tier(0.0);
+      const TierResult approx = run_tier(eps);
+
+      for (const bool is_approx : {false, true}) {
+        const TierResult& r = is_approx ? approx : exact;
+        const char* mode = is_approx ? "approx" : "exact";
+        eps_table.add_row(family, threads, eps, mode, r.qps,
+                          r.carried_fraction, r.hit_rate,
+                          static_cast<double>(r.observed_max_excess_ppm) / 1e6,
+                          r.within_bound == r.checked ? "yes" : "NO");
+        json.row()
+            .field("bench", "serve_eps")
+            .field("family", family)
+            .field("n", static_cast<uint64_t>(g0.num_vertices()))
+            .field("m", static_cast<uint64_t>(g0.num_edges()))
+            .field("threads", threads)
+            .field("mode", mode)
+            .field("metrics", metrics_build())
+            .field("seed", opt.seed)
+            .field("flaps", static_cast<uint64_t>(opt.flaps))
+            .field("epsilon", eps)
+            .field("eps_q", static_cast<uint64_t>(is_approx ? eps_q : 0))
+            .field("eps_effective", is_approx ? eps_eff : 0.0)
+            .field("qps", r.qps)
+            .field("qps_query", r.qps_query)
+            .field("p50_us", r.p50_us)
+            .field("p99_us", r.p99_us)
+            .field("apply_ms", r.apply_ms)
+            .field("hit_rate", r.hit_rate)
+            .field("bytes_per_query", r.bytes_per_query)
+            .field("carried_total", r.carried)
+            .field("invalidated_total", r.invalidated)
+            .field("carried_fraction", r.carried_fraction)
+            .field("approx_hit", r.sstats.approx_hit)
+            .field("escalated", r.sstats.escalated)
+            .field("escalations_total", r.sstats.escalations_total)
+            .field("escalations_path", r.sstats.escalations_path)
+            .field("escalations_explicit", r.sstats.escalations_explicit)
+            .field("escalations_stretch_recheck",
+                   r.sstats.escalations_stretch_recheck)
+            .field("stretch_samples", r.sstats.stretch_samples)
+            .field("server_max_stretch_excess_ppm",
+                   r.sstats.max_stretch_excess_ppm)
+            .field("checked", static_cast<uint64_t>(r.checked))
+            // "correct" for this scenario means within the tier's contract:
+            // exact rows must match the rebuild bit-for-bit, approx rows
+            // must land in [d_exact, (1+eps_eff)^d_exact * d_exact].
+            .field("correct", static_cast<uint64_t>(r.within_bound))
+            .field("within_bound", static_cast<uint64_t>(r.within_bound))
+            .field("observed_max_excess_ppm", r.observed_max_excess_ppm)
+            .field("hw_threads",
+                   static_cast<uint64_t>(std::thread::hardware_concurrency()));
+      }
+    }
+  }
+}
+
 int run(const Options& opt) {
   std::cout << "Serving bench: closed-loop mixed (s, t, F) queries against "
                "OracleServer.\nhot root set = "
@@ -1120,6 +1416,8 @@ int run(const Options& opt) {
                      "recomputed"});
   Table rcu_table({"family", "threads", "mode", "qps_churn", "p99_quiet_us",
                    "p99_churn_us", "p99_ratio", "updates", "answers_ok"});
+  Table eps_table({"family", "threads", "epsilon", "tier", "qps_sustained",
+                   "carried_frac", "hit_rate", "max_excess", "in_bound"});
   JsonRows json;
 
   // Observability sinks. The tracer (1-in-256 sampling) is shared by every
@@ -1153,6 +1451,7 @@ int run(const Options& opt) {
   bench_churn(churn_table, json, opt, sinks, "gnp(400)", g400);
   bench_burst(burst_table, json, opt, sinks, "gnp(400)", g400);
   bench_churn_rcu(rcu_table, json, opt, sinks, "gnp(400)", g400);
+  bench_epsilon(eps_table, json, opt, sinks, "gnp(400)", g400);
 
   table.print();
   std::cout << "\nFault-scan admission scenario (small budget, sweeping "
@@ -1177,6 +1476,12 @@ int run(const Options& opt) {
                "answers_ok = every sampled churn answer matched a rebuild "
                "of one of the two live topologies:\n";
   rcu_table.print();
+  std::cout << "\nApproximate-tier scenario: the same churn-heavy schedule "
+               "served exact (epsilon 0) vs approximate (--epsilon);\n"
+               "qps_sustained bills query AND update walls, max_excess = "
+               "worst sampled (approx - exact) / exact,\nin_bound = every "
+               "sampled answer within the (1+eps)^d * d stretch contract:\n";
+  eps_table.print();
   std::cout << "Expected shape: cache_on hit rate approaches 1 on the "
                "repeated-root workload, so qps is bounded by tree lookups\n"
                "+ O(d) path walks instead of full Dijkstra recomputes; "

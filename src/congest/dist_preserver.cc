@@ -9,13 +9,14 @@
 namespace restorable::congest {
 
 DistPreserverResult build_distributed_1ft_ss_preserver(
-    const Graph& g, std::span<const Vertex> sources, uint64_t seed) {
+    const Graph& g, std::span<const Vertex> sources, uint64_t seed,
+    const ThreadPool* pool) {
   // Weight exchange (the paper's single round where every vertex samples its
   // incident weights and shares them) is subsumed by the shared hash seed;
   // we charge one round for it in the accounting.
   const IsolationAtw atw(hash_combine(seed, 0x77));
   ParallelSptResult run =
-      run_parallel_spts(g, atw, sources, hash_combine(seed, 0x5c));
+      run_parallel_spts(g, atw, sources, hash_combine(seed, 0x5c), pool);
 
   DistPreserverResult res;
   res.sigma = sources.size();
@@ -30,8 +31,8 @@ DistPreserverResult build_distributed_1ft_ss_preserver(
   return res;
 }
 
-DistPreserverResult build_distributed_1ft_plus4_spanner(const Graph& g,
-                                                        uint64_t seed) {
+DistPreserverResult build_distributed_1ft_plus4_spanner(
+    const Graph& g, uint64_t seed, const ThreadPool* pool) {
   const Vertex n = g.num_vertices();
   const double nn = std::max<double>(n, 2);
   const size_t sigma = std::min<size_t>(
@@ -63,7 +64,7 @@ DistPreserverResult build_distributed_1ft_plus4_spanner(const Graph& g,
 
   // Long-range structure: distributed 1-FT C x C preserver.
   DistPreserverResult pres =
-      build_distributed_1ft_ss_preserver(g, centers, seed);
+      build_distributed_1ft_ss_preserver(g, centers, seed, pool);
   for (EdgeId e : pres.edges) in[e] = 1;
 
   DistPreserverResult res;

@@ -30,13 +30,15 @@ struct DistPreserverResult {
 
 // Lemma 36: distributed 1-FT S x S preserver. `seed` fixes both the shared
 // tiebreaking weight function (one round of weight exchange in the paper;
-// hash-derived here) and the random-delay schedule.
+// hash-derived here) and the random-delay schedule. `pool` parallelizes the
+// round simulation; results are thread-count-independent (congest/network.h).
 DistPreserverResult build_distributed_1ft_ss_preserver(
-    const Graph& g, std::span<const Vertex> sources, uint64_t seed);
+    const Graph& g, std::span<const Vertex> sources, uint64_t seed,
+    const ThreadPool* pool = nullptr);
 
 // Corollary 9(1): distributed 1-FT +4 additive spanner with
 // sigma = ceil(sqrt(n log n)) sampled centers.
-DistPreserverResult build_distributed_1ft_plus4_spanner(const Graph& g,
-                                                        uint64_t seed);
+DistPreserverResult build_distributed_1ft_plus4_spanner(
+    const Graph& g, uint64_t seed, const ThreadPool* pool = nullptr);
 
 }  // namespace restorable::congest

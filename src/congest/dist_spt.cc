@@ -1,6 +1,7 @@
 #include "congest/dist_spt.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 
 #include "util/random.h"
@@ -52,13 +53,13 @@ Spt to_spt(const Graph& g, Vertex root, const std::vector<Label>& label) {
 }  // namespace
 
 DistSptResult run_distributed_spt(const Graph& g, const IsolationAtw& atw,
-                                  Vertex root) {
+                                  Vertex root, const ThreadPool* pool) {
   // Message: hops (log n bits) + tie numerator (the isolation weights use
   // O(f log n) bits; with the default 45-bit range we declare 64). Total
   // stays a constant number of O(log n) words, as Lemma 34 requires.
   const int msg_bits =
       static_cast<int>(bits_for(g.num_vertices() + 1)) + 64;
-  SyncNetwork net(g, /*bandwidth_bits=*/128);
+  SyncNetwork net(g, /*bandwidth_bits=*/128, pool);
 
   std::vector<Label> label(g.num_vertices());
   label[root] = Label{0, 0, kNoVertex, kNoEdge};
@@ -113,12 +114,13 @@ DistSptResult run_distributed_spt(const Graph& g, const IsolationAtw& atw,
 
 ParallelSptResult run_parallel_spts(const Graph& g, const IsolationAtw& atw,
                                     std::span<const Vertex> sources,
-                                    uint64_t schedule_seed) {
+                                    uint64_t schedule_seed,
+                                    const ThreadPool* pool) {
   const Vertex n = g.num_vertices();
   const size_t sigma = sources.size();
   const int msg_bits = static_cast<int>(bits_for(n + 1)) +
                        static_cast<int>(bits_for(sigma + 1)) + 64;
-  SyncNetwork net(g, /*bandwidth_bits=*/160);
+  SyncNetwork net(g, /*bandwidth_bits=*/160, pool);
 
   // Random start delays in [0, sigma): Theorem 35's schedule. (Shared seed
   // = the paper's shared O(log^2 n)-bit schedule seed.)
@@ -164,7 +166,10 @@ ParallelSptResult run_parallel_spts(const Graph& g, const IsolationAtw& atw,
   bool work_left = true;
   while (work_left) {
     ++round_no;
-    bool queues_nonempty = false;
+    // Written by concurrent step bodies when the network runs on a pool;
+    // monotone (false -> true only), so a relaxed atomic keeps the reduction
+    // race-free without perturbing determinism.
+    std::atomic<bool> queues_nonempty{false};
     const bool sent = net.round([&](Vertex v) {
       // 1. Process arrivals (distance-vector relaxation).
       for (const Delivery& d : net.inbox(v)) {
@@ -199,14 +204,16 @@ ParallelSptResult run_parallel_spts(const Graph& g, const IsolationAtw& atw,
         m.tie = label[v][inst].tie;
         m.bits = msg_bits;
         net.send(v, a.edge, m);
-        if (!q.fifo.empty()) queues_nonempty = true;
+        if (!q.fifo.empty())
+          queues_nonempty.store(true, std::memory_order_relaxed);
       }
     });
     // Also account for roots that have not started yet.
     bool pending_start = false;
     for (size_t k = 0; k < sigma; ++k)
       if (round_no <= delay[k]) pending_start = true;
-    work_left = sent || queues_nonempty || pending_start;
+    work_left =
+        sent || queues_nonempty.load(std::memory_order_relaxed) || pending_start;
   }
 
   ParallelSptResult res;

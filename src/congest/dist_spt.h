@@ -12,6 +12,11 @@
 //    delivery delays a vertex can learn of a better parent late, so nodes
 //    run distance-vector style (re-announce on improvement); at quiescence
 //    every instance holds its exact tiebroken SPT.
+//
+// Both entry points take an optional ThreadPool: the per-vertex round steps
+// fan out over it while the network's sender-ordered merge keeps every
+// observable -- trees, stats, NetworkStats::transcript_hash -- bit-identical
+// to the single-threaded run (see congest/network.h).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +25,7 @@
 #include "congest/network.h"
 #include "core/perturbation.h"
 #include "core/spt.h"
+#include "engine/thread_pool.h"
 #include "graph/graph.h"
 
 namespace restorable::congest {
@@ -30,7 +36,8 @@ struct DistSptResult {
 };
 
 DistSptResult run_distributed_spt(const Graph& g, const IsolationAtw& atw,
-                                  Vertex root);
+                                  Vertex root,
+                                  const ThreadPool* pool = nullptr);
 
 struct ParallelSptResult {
   std::vector<Spt> spts;  // one per source, same order
@@ -42,6 +49,7 @@ struct ParallelSptResult {
 // [0, sigma) derived from `schedule_seed`.
 ParallelSptResult run_parallel_spts(const Graph& g, const IsolationAtw& atw,
                                     std::span<const Vertex> sources,
-                                    uint64_t schedule_seed);
+                                    uint64_t schedule_seed,
+                                    const ThreadPool* pool = nullptr);
 
 }  // namespace restorable::congest

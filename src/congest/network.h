@@ -12,6 +12,17 @@
 // weights never travel on the wire: they are hash-derived from a shared
 // seed, matching the paper's "each vertex samples the weights of its
 // incident edges" setup up to one initial round.
+//
+// Parallel execution: pass a ThreadPool and round() fans the per-vertex
+// steps over it. Determinism is preserved by construction, not by luck:
+// every send is staged into the SENDER's private outbox (each vertex's step
+// touches only its own state and its own outgoing arc slots), and a
+// single-threaded merge then delivers outboxes in ascending sender id --
+// exactly the order the sequential loop produced. Stats, congestion, and
+// the transcript hash are all accounted during the merge, so
+// NetworkStats::transcript_hash is identical at 1, 2, or 64 threads
+// (asserted by tests/congest_test.cc). Step bodies must only mutate
+// per-vertex state; cross-vertex flags belong in atomics.
 #pragma once
 
 #include <cassert>
@@ -21,6 +32,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "engine/thread_pool.h"
 #include "graph/graph.h"
 
 namespace restorable::congest {
@@ -42,28 +54,42 @@ struct NetworkStats {
   int rounds = 0;
   size_t messages = 0;
   size_t max_edge_messages = 0;  // congestion: max total messages over one edge
+  // FNV-1a over every delivery (sender, edge, payload) in delivery order,
+  // with a round separator -- one word that pins the ENTIRE execution
+  // transcript. Two runs with equal hashes exchanged the same messages in
+  // the same order; thread count must not change it.
+  uint64_t transcript_hash = 0xcbf29ce484222325ULL;
 };
 
 class SyncNetwork {
  public:
-  explicit SyncNetwork(const Graph& g, int bandwidth_bits = 64)
+  // `pool` (optional, borrowed) parallelizes the step phase of round();
+  // nullptr runs single-threaded. Either way the observable execution --
+  // inboxes, stats, transcript_hash -- is identical.
+  explicit SyncNetwork(const Graph& g, int bandwidth_bits = 64,
+                       const ThreadPool* pool = nullptr)
       : g_(&g),
         bandwidth_(bandwidth_bits),
+        pool_(pool),
         inbox_(g.num_vertices()),
         staged_(g.num_vertices()),
+        outbox_(g.num_vertices()),
         sent_this_round_(2 * g.num_edges(), 0),
         edge_messages_(g.num_edges(), 0) {}
 
   const Graph& graph() const { return *g_; }
   int bandwidth_bits() const { return bandwidth_; }
   const NetworkStats& stats() const { return stats_; }
+  uint64_t transcript_hash() const { return stats_.transcript_hash; }
 
   // Messages delivered to v in the round that just completed.
   std::span<const Delivery> inbox(Vertex v) const { return inbox_[v]; }
 
   // Stages a message from `from` over edge e; it is delivered to the other
   // endpoint at the end of the current round. Throws if the CONGEST
-  // constraints are violated.
+  // constraints are violated. Thread-safe across DISTINCT senders (each
+  // sender writes only its own outbox and its own directed-arc slots);
+  // round() relies on exactly that.
   void send(Vertex from, EdgeId e, const Message& msg) {
     if (msg.bits > bandwidth_)
       throw std::runtime_error("CONGEST: message exceeds bandwidth");
@@ -75,29 +101,55 @@ class SyncNetwork {
       throw std::runtime_error(
           "CONGEST: two messages on one directed edge in one round");
     sent_this_round_[slot] = 1;
-    staged_[is_u ? ed.v : ed.u].push_back(Delivery{from, e, msg});
-    ++edge_messages_[e];
-    ++stats_.messages;
-    any_sent_ = true;
+    outbox_[from].push_back(Delivery{from, e, msg});
   }
 
   // Runs one round: `step(v)` is invoked for every vertex (it may read
   // inbox(v) -- last round's deliveries -- and call send). Returns true if
   // any message was sent (used for quiescence detection).
   bool round(const std::function<void(Vertex)>& step) {
-    any_sent_ = false;
     std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0);
-    for (Vertex v = 0; v < g_->num_vertices(); ++v) step(v);
-    for (Vertex v = 0; v < g_->num_vertices(); ++v) {
+    const Vertex n = g_->num_vertices();
+    if (pool_ && pool_->thread_count() > 1) {
+      pool_->parallel_for(n, [&](size_t v) { step(static_cast<Vertex>(v)); });
+    } else {
+      for (Vertex v = 0; v < n; ++v) step(v);
+    }
+    // Merge phase, single-threaded: deliver outboxes in ascending sender id
+    // -- the exact order the sequential loop produced -- and do ALL shared
+    // accounting here, where no step body can race it.
+    bool any_sent = false;
+    for (Vertex v = 0; v < n; ++v) {
+      for (const Delivery& d : outbox_[v]) {
+        const Edge& ed = g_->endpoints(d.edge);
+        staged_[ed.u == d.from ? ed.v : ed.u].push_back(d);
+        ++edge_messages_[d.edge];
+        ++stats_.messages;
+        mix(d.from);
+        mix(d.edge);
+        mix(d.msg.instance);
+        mix(static_cast<uint64_t>(static_cast<int64_t>(d.msg.hops)));
+        mix(static_cast<uint64_t>(d.msg.tie));
+        any_sent = true;
+      }
+      outbox_[v].clear();
+    }
+    mix(0x9e3779b97f4a7c15ULL);  // round separator
+    for (Vertex v = 0; v < n; ++v) {
       inbox_[v].swap(staged_[v]);
       staged_[v].clear();
     }
     ++stats_.rounds;
     finalize_congestion();
-    return any_sent_;
+    return any_sent;
   }
 
  private:
+  void mix(uint64_t x) {
+    stats_.transcript_hash ^= x;
+    stats_.transcript_hash *= 0x100000001b3ULL;
+  }
+
   void finalize_congestion() {
     size_t mx = stats_.max_edge_messages;
     for (size_t c : edge_messages_)
@@ -107,12 +159,13 @@ class SyncNetwork {
 
   const Graph* g_;
   int bandwidth_;
+  const ThreadPool* pool_;
   NetworkStats stats_;
   std::vector<std::vector<Delivery>> inbox_;
   std::vector<std::vector<Delivery>> staged_;
+  std::vector<std::vector<Delivery>> outbox_;  // per-SENDER staging
   std::vector<char> sent_this_round_;
   std::vector<size_t> edge_messages_;
-  bool any_sent_ = false;
 };
 
 }  // namespace restorable::congest

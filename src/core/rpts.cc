@@ -1,5 +1,6 @@
 #include "core/rpts.h"
 
+#include <algorithm>
 #include <atomic>
 #include <queue>
 #include <unordered_map>
@@ -113,6 +114,205 @@ bool IRpts::batch_survives(const DeltaBatch& batch, const Spt& tree,
   for (const EdgeId pe : tree.parent_edge)
     if (pe != kNoEdge && removed.contains(pe)) return false;
   return true;
+}
+
+bool IRpts::tree_survives_eps(const GraphDelta& delta, const Spt& tree,
+                              const FaultSet& faults, uint32_t eps_q) const {
+  // A delta on a faulted-out edge never matters (excluded from G \ F either
+  // way).
+  if (delta.edge != kNoEdge && faults.contains(delta.edge)) return true;
+  if (delta.kind == GraphDelta::Kind::kRemove) {
+    // Removal stability carries over verbatim from the exact tier: a tree
+    // avoiding the edge keeps every parent chain (F1) and only loses
+    // feasibility constraints (F2).
+    return !tree.uses_edge(delta.edge);
+  }
+  const bool a_reach = tree.reachable(delta.u);
+  const bool b_reach = tree.reachable(delta.v);
+  // Both endpoints outside the root's component: e cannot extend it.
+  if (!a_reach && !b_reach) return true;
+  // Exactly one reachable: e attaches new vertices (F2 demands a finite
+  // label across it).
+  if (a_reach != b_reach) return false;
+  // Both reachable: F holds on the grown graph iff the new edge itself is
+  // (1+eps)-feasible in both travel directions. Labels, chains, and every
+  // old edge's constraints are untouched by the insert.
+  return !epsilon_improves(tree.hops[delta.v], tree.hops[delta.u] + 1,
+                           eps_q) &&
+         !epsilon_improves(tree.hops[delta.u], tree.hops[delta.v] + 1, eps_q);
+}
+
+bool IRpts::batch_survives_eps(const DeltaBatch& batch, const Spt& tree,
+                               const FaultSet& faults, uint32_t eps_q) const {
+  // Same structure as batch_survives: per-delta tests are independent (each
+  // reads only the old tree), removals collapse to one membership sweep.
+  FaultSet removed;
+  for (const GraphDelta& d : batch.net) {
+    if (d.edge != kNoEdge && faults.contains(d.edge)) continue;
+    if (d.kind == GraphDelta::Kind::kRemove)
+      removed.insert(d.edge);
+    else if (!tree_survives_eps(d, tree, faults, eps_q))
+      return false;
+  }
+  if (removed.empty()) return true;
+  for (const EdgeId pe : tree.parent_edge)
+    if (pe != kNoEdge && removed.contains(pe)) return false;
+  return true;
+}
+
+RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
+                                     const DeltaBatch& batch,
+                                     const FaultSet& faults,
+                                     double max_affected_fraction,
+                                     uint32_t eps_q) const {
+  const Graph& g = graph();
+  const Vertex n = g.num_vertices();
+
+  auto full = [&] {
+    // Fallback: a from-scratch EXACT recompute. Exact labels satisfy F at
+    // any eps (feasibility with slack is weaker than tight feasibility), so
+    // this is always a valid -- if conservative -- approximate tree.
+    RepairOutcome out;
+    out.tree = spt(old_tree.root, faults, old_tree.dir);
+    out.touched = n;
+    return out;
+  };
+
+  FaultSet removed, inserted;
+  for (const GraphDelta& d : batch.net) {
+    if (d.edge != kNoEdge && faults.contains(d.edge)) continue;
+    (d.kind == GraphDelta::Kind::kRemove ? removed : inserted).insert(d.edge);
+  }
+  if (removed.empty() && inserted.empty())
+    return {old_tree, /*repaired=*/true, /*touched=*/0};
+
+  const size_t limit = std::max<size_t>(
+      8, static_cast<size_t>(max_affected_fraction * static_cast<double>(n)));
+
+  RepairOutcome out;
+  out.tree = old_tree;
+  out.repaired = true;
+  Spt& nt = out.tree;
+
+  // Deterministic hops-only heap: (hops, vertex id), smallest first. Lazy
+  // deletion -- stale entries are skipped by comparing against the current
+  // label. Pop order is nondecreasing in hops (every relaxation offers
+  // hops+1 > hops of the popped source), so a vertex popped with a matching
+  // label is final: any later candidate has cand >= final, which the
+  // (relaxed or exact) improvement test rejects.
+  using QItem = std::pair<int32_t, Vertex>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<QItem>> pq;
+
+  std::vector<Vertex> decrease_seeds;
+
+  // ---- Phase R: detach the subtree forest hanging off removed edges and
+  // re-relax it EXACTLY against the surviving labels.
+  if (!removed.empty()) {
+    const std::vector<Vertex> order = old_tree.top_order();
+    std::vector<char> detached(n, 0);
+    size_t detached_count = 0;
+    for (Vertex v : order) {
+      const Vertex p = old_tree.parent[v];
+      if (p == kNoVertex) continue;
+      if (detached[p] || removed.contains(old_tree.parent_edge[v])) {
+        detached[v] = 1;
+        ++detached_count;
+      }
+    }
+    if (detached_count > limit) return full();
+
+    if (detached_count > 0) {
+      // Old labels are needed afterwards: a detached vertex whose fresh
+      // label comes back LOWER than its old one tightens the F2 constraint
+      // on every arc leaving it -- those must re-cascade with the relaxed
+      // test below. (Raised labels only loosen constraints.)
+      std::vector<int32_t> old_hops(nt.hops);
+      for (Vertex v = 0; v < n; ++v) {
+        if (!detached[v]) continue;
+        nt.hops[v] = kUnreachable;
+        nt.parent[v] = kNoVertex;
+        nt.parent_edge[v] = kNoEdge;
+      }
+      std::vector<char> settled(n, 0);
+      auto relax_into = [&](Vertex w, int32_t h, Vertex par, EdgeId pe) {
+        if (nt.hops[w] != kUnreachable && nt.hops[w] <= h) return;
+        nt.hops[w] = h;
+        nt.parent[w] = par;
+        nt.parent_edge[w] = pe;
+        pq.push({h, w});
+      };
+      // Frontier: every surviving in-neighbor of a detached vertex offers a
+      // candidate across the boundary arc; net inserts wait for the cascade.
+      for (Vertex v = 0; v < n; ++v) {
+        if (!detached[v]) continue;
+        for (const Arc& a : g.arcs(v)) {
+          const Vertex u = a.to;
+          if (detached[u] || nt.hops[u] == kUnreachable) continue;
+          if (faults.contains(a.edge) || inserted.contains(a.edge)) continue;
+          relax_into(v, nt.hops[u] + 1, u, a.edge);
+        }
+      }
+      while (!pq.empty()) {
+        const auto [h, v] = pq.top();
+        pq.pop();
+        if (settled[v] || h != nt.hops[v]) continue;
+        settled[v] = 1;
+        ++out.touched;
+        for (const Arc& a : g.arcs(v)) {
+          const Vertex w = a.to;
+          if (!detached[w] || settled[w]) continue;
+          if (faults.contains(a.edge) || inserted.contains(a.edge)) continue;
+          relax_into(w, h + 1, v, a.edge);
+        }
+      }
+      for (Vertex v = 0; v < n; ++v)
+        if (detached[v] && nt.hops[v] != kUnreachable &&
+            nt.hops[v] < old_hops[v])
+          decrease_seeds.push_back(v);
+    }
+  }
+
+  // ---- Cascade: net inserts + decrease seeds, all with the relaxed test.
+  // A popped vertex re-checks (1+eps) feasibility on every outgoing arc;
+  // improvements strictly lower labels and propagate. Exactly the updates
+  // that violate F fire -- the point of the approximate tier is that this
+  // region is much smaller than the exact affected region.
+  if (!inserted.empty() || !decrease_seeds.empty()) {
+    std::vector<char> improved(n, 0);
+    size_t improved_count = 0;
+    bool bail = false;
+    auto relax = [&](Vertex s, Vertex t_v, EdgeId e) {
+      if (nt.hops[s] == kUnreachable) return;
+      const int32_t h = nt.hops[s] + 1;
+      if (!epsilon_improves(nt.hops[t_v], h, eps_q)) return;
+      nt.hops[t_v] = h;
+      nt.parent[t_v] = s;
+      nt.parent_edge[t_v] = e;
+      if (!improved[t_v]) {
+        improved[t_v] = 1;
+        if (++improved_count > limit) bail = true;
+      }
+      pq.push({h, t_v});
+    };
+    for (Vertex v : decrease_seeds) pq.push({nt.hops[v], v});
+    for (EdgeId e : inserted) {
+      const Edge& ed = g.endpoints(e);
+      relax(ed.u, ed.v, e);
+      relax(ed.v, ed.u, e);
+    }
+    while (!pq.empty() && !bail) {
+      const auto [h, v] = pq.top();
+      pq.pop();
+      if (h != nt.hops[v]) continue;  // stale: v improved after this push
+      ++out.touched;
+      for (const Arc& a : g.arcs(v)) {
+        if (faults.contains(a.edge)) continue;
+        relax(v, a.to, a.edge);
+      }
+    }
+    if (bail) return full();
+  }
+  return out;
 }
 
 RepairOutcome IRpts::repair_tree(const Spt& old_tree, const DeltaBatch& batch,

@@ -22,14 +22,55 @@ namespace restorable {
 // the reversed reweighted graph. The two differ because r is antisymmetric.
 enum class Direction : uint8_t { kOut, kIn };
 
+// Fixed-point denominator of the quantized approximation parameter: a
+// request's eps_q encodes epsilon = eps_q / kEpsilonDenom. Quantizing keys
+// the approximate tier exactly -- two callers asking for "about 0.1" land on
+// the same cache entry -- and keeps the relaxed Dijkstra improvement test in
+// exact integer arithmetic (no float compare on the hot path).
+inline constexpr uint32_t kEpsilonDenom = 1024;
+
+// Floor-quantization: the effective epsilon never exceeds the requested one,
+// so the user-facing (1+epsilon)^depth stretch bound stays valid verbatim.
+// Clamped to epsilon <= 16 (beyond that every test degenerates anyway).
+inline uint32_t quantize_epsilon(double epsilon) {
+  if (!(epsilon > 0.0)) return 0;
+  double scaled = epsilon * static_cast<double>(kEpsilonDenom);
+  const double cap = 16.0 * static_cast<double>(kEpsilonDenom);
+  if (scaled > cap) scaled = cap;
+  return static_cast<uint32_t>(scaled);
+}
+
+inline double dequantize_epsilon(uint32_t eps_q) {
+  return static_cast<double>(eps_q) / static_cast<double>(kEpsilonDenom);
+}
+
+// The relaxed improvement test shared by the engine's epsilon-mode Dijkstra,
+// the serving tier's epsilon survival / repair predicates, and the tests:
+// a candidate hop count improves the current label iff
+// cur > (1 + epsilon) * cand, evaluated exactly over integers. eps_q == 0
+// degenerates to the strict test cur > cand.
+inline bool epsilon_improves(int32_t cur_hops, int32_t cand_hops,
+                             uint32_t eps_q) {
+  if (cur_hops == kUnreachable) return true;
+  return static_cast<int64_t>(cur_hops) * kEpsilonDenom >
+         static_cast<int64_t>(kEpsilonDenom + eps_q) *
+             static_cast<int64_t>(cand_hops);
+}
+
 // One unit of SSSP work: the scheme restricted to `root` under `faults`,
 // oriented by `dir`. Batches of these are what BatchSsspEngine (and the
 // IRpts::spt_batch interface) consume; results always come back in request
 // order, independent of scheduling.
+//
+// eps_q > 0 asks for the approximate tier: the engine runs the relaxed
+// (1+eps) improvement test, so the returned labels satisfy
+// d_true <= d <= (1+eps)^d_true * d_true per vertex. eps_q == 0 (the
+// default) is the exact tier -- bit-identical to the pre-epsilon engine.
 struct SsspRequest {
   Vertex root = kNoVertex;
   FaultSet faults{};
   Direction dir = Direction::kOut;
+  uint32_t eps_q = 0;  // quantized epsilon (kEpsilonDenom fixed-point)
 };
 
 // Composite identity of a tree producer at a point in time: which scheme

@@ -67,7 +67,8 @@ class BatchSsspEngine {
     std::vector<DijkstraResult<Policy>> out(requests.size());
     pool_.parallel_for(requests.size(), [&](size_t i) {
       tiebroken_sssp_into(g, policy, requests[i].root, requests[i].faults,
-                          requests[i].dir, thread_workspace<Policy>(), out[i]);
+                          requests[i].dir, thread_workspace<Policy>(), out[i],
+                          requests[i].eps_q);
     });
     return out;
   }

@@ -68,11 +68,26 @@ DijkstraWorkspace<Policy>& thread_workspace() {
 
 // Workspace-based tiebroken Dijkstra; drop-in equivalent of tiebroken_sssp
 // (same graph/policy/root/faults/dir contract, same result layout).
+//
+// eps_q > 0 switches the improvement test to the relaxed (1+eps) form
+// (epsilon_improves in core/spt.h): an open vertex is only re-labeled when
+// the candidate beats its current label by more than the (1+eps) slack, so
+// the settled labels satisfy d_true <= d <= (1+eps)^d_true * d_true while
+// the search touches (and re-heaps) far fewer vertices. Heap machinery,
+// reset, and tie accumulation (which keeps the pop order deterministic) are
+// shared with the exact mode. Two differences in the epsilon mode:
+//  * parents are assigned inline at relaxation time (from the just-popped,
+//    hence settled, source), because establish_sssp_parents assumes
+//    exact-tight labels that relaxed labels deliberately are not;
+//  * a settled label may exceed the length of its own parent chain (the
+//    chain only certifies SOME path of length <= hops[v]); parent chains
+//    still strictly descend in hops, so path_to / top_order stay valid.
+// eps_q == 0 runs the unmodified exact branch -- bit-identical output.
 template <typename Policy>
 void tiebroken_sssp_into(const Graph& g, const Policy& policy, Vertex root,
                          const FaultSet& faults, Direction dir,
                          DijkstraWorkspace<Policy>& ws,
-                         DijkstraResult<Policy>& res) {
+                         DijkstraResult<Policy>& res, uint32_t eps_q = 0) {
   using Tie = typename Policy::Tie;
   const Vertex n = g.num_vertices();
   ws.ensure(n);
@@ -168,9 +183,27 @@ void tiebroken_sssp_into(const Graph& g, const Policy& policy, Vertex root,
         hops[to] = h;
         tie[to] = tie[v];
         policy.accumulate(tie[to], g.label(a.edge), travel_forward);
+        if (eps_q) {
+          res.spt.parent[to] = v;
+          res.spt.parent_edge[to] = a.edge;
+        }
         state[to] = DijkstraWorkspace<Policy>::kOpen;
         ws.touched_.push_back(to);
         push(to);
+        continue;
+      }
+      if (eps_q) {
+        // Relaxed test: only a better-than-(1+eps) candidate re-labels an
+        // open vertex. v was just popped, so its label is final and the
+        // inline parent assignment is sound (hops[to] = hops[v] + 1 with v
+        // settled; no later relaxation can touch v).
+        if (!epsilon_improves(hops[to], h, eps_q)) continue;
+        hops[to] = h;
+        tie[to] = tie[v];
+        policy.accumulate(tie[to], g.label(a.edge), travel_forward);
+        res.spt.parent[to] = v;
+        res.spt.parent_edge[to] = a.edge;
+        sift_up(heap_pos[to]);
         continue;
       }
       if (h > hops[to]) continue;
@@ -186,13 +219,16 @@ void tiebroken_sssp_into(const Graph& g, const Policy& policy, Vertex root,
 
   // Every touched vertex was settled (the heap drains completely), so hops
   // and tie now hold exactly the settled labels; untouched vertices kept
-  // kUnreachable from the assign above. Parents come from the shared pass.
-  establish_sssp_parents(
-      g, policy, root, faults, dir,
-      [&state](Vertex v) {
-        return state[v] == DijkstraWorkspace<Policy>::kDone;
-      },
-      res);
+  // kUnreachable from the assign above. Exact parents come from the shared
+  // tightness pass; epsilon-mode parents were assigned inline above (the
+  // tightness pass would reject relaxed labels).
+  if (eps_q == 0)
+    establish_sssp_parents(
+        g, policy, root, faults, dir,
+        [&state](Vertex v) {
+          return state[v] == DijkstraWorkspace<Policy>::kDone;
+        },
+        res);
 
   // O(touched) reset, restoring the clean-state invariant for the next run.
   for (const Vertex v : ws.touched_) {

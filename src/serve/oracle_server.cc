@@ -17,9 +17,27 @@ const char* fetch_outcome_name(FetchOutcome o) {
       return "miss_coalesced";
     case FetchOutcome::kMissLeader:
       return "miss_leader";
+    case FetchOutcome::kApproxHit:
+      return "approx_hit";
+    case FetchOutcome::kEscalated:
+      return "escalated";
   }
   return "?";
 }
+
+namespace {
+const char* escalation_reason_name(EscalationReason r) {
+  switch (r) {
+    case EscalationReason::kPath:
+      return "path";
+    case EscalationReason::kExplicit:
+      return "explicit";
+    case EscalationReason::kStretchRecheck:
+      return "stretch_recheck";
+  }
+  return "?";
+}
+}  // namespace
 
 OracleServer::OracleServer(const IRpts& pi, ServerConfig config)
     : pi_(&pi), config_(config) {
@@ -68,6 +86,18 @@ void OracleServer::register_providers() {
           b.histogram(cls + ".latency_ns", m.latency_ns);
         }
         b.histogram("query.latency_ns", query_latency_ns_);
+        // Approximate tier: why queries escalated, and the observed stretch
+        // of sampled approximate answers (excess over exact, ppm).
+        b.counter("escalations_total", escalations_total_);
+        for (size_t i = 0; i < kNumEscalationReasons; ++i)
+          b.counter(std::string("escalations.") +
+                        escalation_reason_name(
+                            static_cast<EscalationReason>(i)),
+                    escalations_by_reason_[i]);
+        b.histogram("stretch.excess_ppm", stretch_excess_ppm_);
+        b.gauge("stretch.max_excess_ppm",
+                static_cast<int64_t>(
+                    max_stretch_excess_ppm_.load(std::memory_order_relaxed)));
         b.counter("update.apply_ns", apply_ns_);
         b.counter("update.repair_ns", repair_ns_);
         b.counter("update.repaired", repaired_);
@@ -148,7 +178,17 @@ SptHandle OracleServer::fetch_tree(const SsspRequest& req, FetchObs* obs) {
   // of a batcher leader.
   if (obs) obs->outcome = FetchObs::kLeader;
   const uint64_t c0 = obs::now_ns();
-  auto t = std::make_shared<const Spt>(pi_->spt(req.root, req.faults, req.dir));
+  SptHandle t;
+  if (req.eps_q) {
+    // The virtual spt() has no epsilon parameter; the batch interface is the
+    // epsilon-aware entry point (Rpts routes it through the engine's relaxed
+    // mode). A scheme whose spt_batch ignores eps_q returns exact trees
+    // under the approximate key -- sound, just stretch-free.
+    t = pi_->spt_batch(std::span<const SsspRequest>(&req, 1),
+                       config_.engine, nullptr)[0];
+  } else {
+    t = std::make_shared<const Spt>(pi_->spt(req.root, req.faults, req.dir));
+  }
   if (obs) obs->compute_ns = obs::now_ns() - c0;
   direct_bytes_.fetch_add(t->memory_bytes(), std::memory_order_relaxed);
   if (cache_) {
@@ -167,8 +207,14 @@ SptHandle OracleServer::fetch_tree_pinned(const SsspRequest& req,
   }
   if (obs) obs->outcome = FetchObs::kLeader;
   const uint64_t c0 = obs::now_ns();
-  auto t = std::make_shared<const Spt>(
-      pin->scheme->spt(req.root, req.faults, req.dir));
+  SptHandle t;
+  if (req.eps_q) {
+    t = pin->scheme->spt_batch(std::span<const SsspRequest>(&req, 1),
+                               config_.engine, nullptr)[0];
+  } else {
+    t = std::make_shared<const Spt>(
+        pin->scheme->spt(req.root, req.faults, req.dir));
+  }
   if (obs) obs->compute_ns = obs::now_ns() - c0;
   direct_bytes_.fetch_add(t->memory_bytes(), std::memory_order_relaxed);
   if (cache_) {
@@ -221,7 +267,7 @@ void OracleServer::end_query(QueryCtx& ctx) {
 
 SptHandle OracleServer::fetch_classified(const SsspRequest& req,
                                          const GenerationManager::Pin* pin,
-                                         QueryCtx& ctx) {
+                                         QueryCtx& ctx, bool escalated) {
   FetchObs fo;
   const uint64_t f0 = obs::now_ns();
   SptHandle tree = pin ? fetch_tree_pinned(req, *pin, &fo)
@@ -229,12 +275,20 @@ SptHandle OracleServer::fetch_classified(const SsspRequest& req,
   if constexpr (!obs::kEnabled) return tree;
   const uint64_t dur = obs::now_ns() - f0;
 
+  // Class precedence: escalated fetches are attributed to the escalation
+  // tier whatever their hit/miss fate; approximate-tier cache hits get their
+  // own class (misses keep the miss classes -- they reflect compute cost,
+  // and the batcher decomposition below applies to them unchanged).
   const FetchOutcome outcome =
-      fo.outcome == FetchObs::kHit
-          ? (req.faults.empty() ? FetchOutcome::kBaseHit
-                                : FetchOutcome::kFaultHit)
-          : (fo.outcome == FetchObs::kLeader ? FetchOutcome::kMissLeader
-                                             : FetchOutcome::kMissCoalesced);
+      escalated
+          ? FetchOutcome::kEscalated
+          : (fo.outcome == FetchObs::kHit
+                 ? (req.eps_q ? FetchOutcome::kApproxHit
+                              : (req.faults.empty() ? FetchOutcome::kBaseHit
+                                                    : FetchOutcome::kFaultHit))
+                 : (fo.outcome == FetchObs::kLeader
+                        ? FetchOutcome::kMissLeader
+                        : FetchOutcome::kMissCoalesced));
   ClassMetrics& m = class_metrics_[static_cast<size_t>(outcome)];
   m.fetches.add();
   m.latency_ns.record(dur);
@@ -243,8 +297,10 @@ SptHandle OracleServer::fetch_classified(const SsspRequest& req,
   // cost is the wait beyond queued compute, floored at 0 below.
   if (fo.queue_wait_ns) m.queue_wait_ns.add(fo.queue_wait_ns);
   if (fo.compute_ns) m.compute_ns.add(fo.compute_ns);
+  // Keyed off the RAW outcome so an escalated coalesced fetch still books
+  // its wait into the escalated class's decomposition.
   const uint64_t coalesce_wait =
-      outcome == FetchOutcome::kMissCoalesced && fo.wait_ns > fo.compute_ns
+      fo.outcome == FetchObs::kCoalesced && fo.wait_ns > fo.compute_ns
           ? fo.wait_ns - fo.compute_ns
           : 0;
   if (coalesce_wait) m.coalesce_wait_ns.add(coalesce_wait);
@@ -254,8 +310,9 @@ SptHandle OracleServer::fetch_classified(const SsspRequest& req,
     ctx.trace->attr(f, "outcome", std::string(fetch_outcome_name(outcome)));
     ctx.trace->attr(f, "root", static_cast<uint64_t>(req.root));
     ctx.trace->attr(f, "faults", static_cast<uint64_t>(req.faults.size()));
-    if (outcome == FetchOutcome::kMissLeader ||
-        outcome == FetchOutcome::kMissCoalesced) {
+    if (req.eps_q)
+      ctx.trace->attr(f, "eps_q", static_cast<uint64_t>(req.eps_q));
+    if (fo.outcome != FetchObs::kHit) {
       // Child spans synthesized from the decomposition durations: start
       // offsets are approximations (queue wait begins at enroll ~ f0; the
       // compute follows it), documented as such in docs/OBSERVABILITY.md.
@@ -269,6 +326,42 @@ SptHandle OracleServer::fetch_classified(const SsspRequest& req,
     }
   }
   return tree;
+}
+
+uint32_t OracleServer::effective_eps_q(const QueryOpts& opts) const {
+  if (opts.require_exact) return 0;
+  return opts.epsilon < 0.0 ? quantize_epsilon(config_.default_epsilon)
+                            : quantize_epsilon(opts.epsilon);
+}
+
+void OracleServer::note_escalation(EscalationReason reason) {
+  escalations_total_.add();
+  escalations_by_reason_[static_cast<size_t>(reason)].add();
+}
+
+bool OracleServer::stretch_probe_fires() {
+  if (config_.stretch_sample_every == 0) return false;
+  return stretch_probe_.fetch_add(1, std::memory_order_relaxed) %
+             config_.stretch_sample_every ==
+         0;
+}
+
+void OracleServer::record_stretch(int32_t exact_hops, int32_t approx_hops) {
+  // Reachability is preserved exactly by the relaxed tier (invariant F in
+  // core/rpts.h), so both sides are finite or both are kUnreachable; the
+  // latter is a perfect answer (excess 0).
+  uint64_t excess_ppm = 0;
+  if (exact_hops != kUnreachable && exact_hops > 0 &&
+      approx_hops > exact_hops) {
+    excess_ppm = static_cast<uint64_t>(approx_hops - exact_hops) * 1000000u /
+                 static_cast<uint64_t>(exact_hops);
+  }
+  stretch_excess_ppm_.record(excess_ppm);
+  uint64_t prev = max_stretch_excess_ppm_.load(std::memory_order_relaxed);
+  while (prev < excess_ppm &&
+         !max_stretch_excess_ppm_.compare_exchange_weak(
+             prev, excess_ppm, std::memory_order_relaxed)) {
+  }
 }
 
 SptHandle OracleServer::tree(const SsspRequest& req) {
@@ -304,8 +397,9 @@ ServerStats OracleServer::stats() const {
   s.bytes_materialized =
       static_cast<uint64_t>(snap.value_or("server", "bytes_direct")) +
       static_cast<uint64_t>(snap.value_or("batcher", "computed_bytes"));
-  uint64_t* counts[kNumFetchOutcomes] = {&s.base_hit, &s.fault_hit,
-                                         &s.miss_coalesced, &s.miss_leader};
+  uint64_t* counts[kNumFetchOutcomes] = {&s.base_hit,      &s.fault_hit,
+                                         &s.miss_coalesced, &s.miss_leader,
+                                         &s.approx_hit,     &s.escalated};
   for (size_t i = 0; i < kNumFetchOutcomes; ++i) {
     const std::string cls = fetch_outcome_name(static_cast<FetchOutcome>(i));
     *counts[i] =
@@ -317,6 +411,19 @@ ServerStats OracleServer::stats() const {
     s.compute_ns +=
         static_cast<uint64_t>(snap.value_or("server", cls + ".compute_ns"));
   }
+  s.escalations_total =
+      static_cast<uint64_t>(snap.value_or("server", "escalations_total"));
+  s.escalations_path =
+      static_cast<uint64_t>(snap.value_or("server", "escalations.path"));
+  s.escalations_explicit =
+      static_cast<uint64_t>(snap.value_or("server", "escalations.explicit"));
+  s.escalations_stretch_recheck = static_cast<uint64_t>(
+      snap.value_or("server", "escalations.stretch_recheck"));
+  // A histogram row's `value` is its sample count (obs/metrics.h).
+  s.stretch_samples =
+      static_cast<uint64_t>(snap.value_or("server", "stretch.excess_ppm"));
+  s.max_stretch_excess_ppm = static_cast<uint64_t>(
+      snap.value_or("server", "stretch.max_excess_ppm"));
   s.repair_ns =
       static_cast<uint64_t>(snap.value_or("server", "update.repair_ns"));
   s.repaired =
@@ -326,16 +433,48 @@ ServerStats OracleServer::stats() const {
   return s;
 }
 
-int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults) {
+int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults,
+                               const QueryOpts& opts) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   QueryCtx ctx = begin_query("distance");
+  const uint32_t eps_q = effective_eps_q(opts);
+  // require_exact against an approximate-tier default is an explicit
+  // escalation; a genuinely exact server never counts one.
+  const bool explicit_escalation =
+      opts.require_exact &&
+      (opts.epsilon < 0.0 ? quantize_epsilon(config_.default_epsilon)
+                          : quantize_epsilon(opts.epsilon)) > 0;
+
+  // One pin (or one guard) across every fetch this query performs: an
+  // approximate answer and its exact re-check always read the same epoch.
+  GenerationManager::Pin pin;
+  std::shared_lock<std::shared_mutex> guard(update_mu_, std::defer_lock);
+  if (gens_)
+    pin = gens_->pin();
+  else
+    guard.lock();
+  const GenerationManager::Pin* p = gens_ ? &pin : nullptr;
+
   int32_t ans;
-  if (gens_) {
-    const GenerationManager::Pin pin = gens_->pin();
-    ans = fetch_classified({s, faults, Direction::kOut}, &pin, ctx)->hops[t];
+  if (eps_q == 0) {
+    if (explicit_escalation) note_escalation(EscalationReason::kExplicit);
+    ans = fetch_classified({s, faults, Direction::kOut}, p, ctx,
+                           explicit_escalation)
+              ->hops[t];
   } else {
-    std::shared_lock<std::shared_mutex> guard(update_mu_);
-    ans = fetch_classified({s, faults, Direction::kOut}, nullptr, ctx)->hops[t];
+    ans = fetch_classified({s, faults, Direction::kOut, eps_q}, p, ctx)
+              ->hops[t];
+    if (stretch_probe_fires()) {
+      // Sampled exact re-check: escalate, record the observed excess, and
+      // return the exact answer (the caller gets a strictly better result
+      // for the monitoring it funded).
+      note_escalation(EscalationReason::kStretchRecheck);
+      const int32_t exact =
+          fetch_classified({s, faults, Direction::kOut}, p, ctx, true)
+              ->hops[t];
+      record_stretch(exact, ans);
+      ans = exact;
+    }
   }
   end_query(ctx);
   return ans;
@@ -344,13 +483,18 @@ int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults) {
 Path OracleServer::path(Vertex s, Vertex t, const FaultSet& faults) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   QueryCtx ctx = begin_query("path");
+  // Path reconstruction always runs on the exact tier: on an
+  // approximate-tier server that is an escalation (reason `path`).
+  const bool escalated = quantize_epsilon(config_.default_epsilon) > 0;
+  if (escalated) note_escalation(EscalationReason::kPath);
   Path p;
   if (gens_) {
     const GenerationManager::Pin pin = gens_->pin();
-    p = fetch_classified({s, faults, Direction::kOut}, &pin, ctx)->path_to(t);
+    p = fetch_classified({s, faults, Direction::kOut}, &pin, ctx, escalated)
+            ->path_to(t);
   } else {
     std::shared_lock<std::shared_mutex> guard(update_mu_);
-    p = fetch_classified({s, faults, Direction::kOut}, nullptr, ctx)
+    p = fetch_classified({s, faults, Direction::kOut}, nullptr, ctx, escalated)
             ->path_to(t);
   }
   end_query(ctx);
@@ -360,6 +504,11 @@ Path OracleServer::path(Vertex s, Vertex t, const FaultSet& faults) {
 int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   QueryCtx ctx = begin_query("replacement_distance");
+  // The stability fast path walks an exact parent chain, and the fault tree
+  // must be exact for the selected-path test to mean anything: replacement
+  // queries always escalate on an approximate-tier server.
+  const bool escalated = quantize_epsilon(config_.default_epsilon) > 0;
+  if (escalated) note_escalation(EscalationReason::kPath);
   // One pin (or one guard) across both fetches: the base tree and the fault
   // tree of a single query always belong to the same epoch.
   GenerationManager::Pin pin;
@@ -369,7 +518,7 @@ int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
   else
     guard.lock();
   auto fetch = [&](const SsspRequest& req) {
-    return fetch_classified(req, pin ? &pin : nullptr, ctx);
+    return fetch_classified(req, pin ? &pin : nullptr, ctx, escalated);
   };
   auto finish = [&](int32_t ans) {
     end_query(ctx);
@@ -428,7 +577,13 @@ UpdateResult OracleServer::apply_updates(Graph& graph,
     adv = cache_->advance_epoch(
         pi_->scheme_id(), res.old_epoch, res.new_epoch,
         [&](const SptKey& key, const Spt& tree) {
-          return pi_->batch_survives(res.batch, tree, key.fault_set());
+          // Approximate-tier entries survive under the epsilon-slack test
+          // (invariant F, core/rpts.h) -- measurably more of them carry
+          // forward than exact entries under the same churn.
+          return key.eps_q
+                     ? pi_->batch_survives_eps(res.batch, tree,
+                                               key.fault_set(), key.eps_q)
+                     : pi_->batch_survives(res.batch, tree, key.fault_set());
         },
         config_.prewarm_on_update ? &invalidated : nullptr);
   }
@@ -448,10 +603,14 @@ UpdateResult OracleServer::apply_updates(Graph& graph,
     const BatchSsspEngine& eng = BatchSsspEngine::or_shared(config_.engine);
     std::vector<RepairOutcome> outcomes(invalidated.size());
     eng.parallel_for(invalidated.size(), [&](size_t i) {
+      const SptCache::Invalidated& inv = invalidated[i];
       outcomes[i] =
-          pi_->repair_tree(*invalidated[i].old_tree, res.batch,
-                           invalidated[i].key.fault_set(),
-                           config_.repair_fraction);
+          inv.key.eps_q
+              ? pi_->repair_tree_eps(*inv.old_tree, res.batch,
+                                     inv.key.fault_set(),
+                                     config_.repair_fraction, inv.key.eps_q)
+              : pi_->repair_tree(*inv.old_tree, res.batch,
+                                 inv.key.fault_set(), config_.repair_fraction);
     });
     for (size_t i = 0; i < invalidated.size(); ++i) {
       auto tree = std::make_shared<const Spt>(std::move(outcomes[i].tree));
@@ -514,7 +673,13 @@ UpdateResult OracleServer::apply_updates_pinned(
     adv = cache_->advance_epoch(
         pi_->scheme_id(), res.old_epoch, res.new_epoch,
         [&](const SptKey& key, const Spt& tree) {
-          return pi_->batch_survives(res.batch, tree, key.fault_set());
+          // Approximate-tier entries survive under the epsilon-slack test
+          // (invariant F, core/rpts.h) -- measurably more of them carry
+          // forward than exact entries under the same churn.
+          return key.eps_q
+                     ? pi_->batch_survives_eps(res.batch, tree,
+                                               key.fault_set(), key.eps_q)
+                     : pi_->batch_survives(res.batch, tree, key.fault_set());
         },
         config_.prewarm_on_update ? &invalidated : nullptr);
   }
@@ -531,10 +696,14 @@ UpdateResult OracleServer::apply_updates_pinned(
     const BatchSsspEngine& eng = BatchSsspEngine::or_shared(config_.engine);
     std::vector<RepairOutcome> outcomes(invalidated.size());
     eng.parallel_for(invalidated.size(), [&](size_t i) {
+      const SptCache::Invalidated& inv = invalidated[i];
       outcomes[i] =
-          pi_->repair_tree(*invalidated[i].old_tree, res.batch,
-                           invalidated[i].key.fault_set(),
-                           config_.repair_fraction);
+          inv.key.eps_q
+              ? pi_->repair_tree_eps(*inv.old_tree, res.batch,
+                                     inv.key.fault_set(),
+                                     config_.repair_fraction, inv.key.eps_q)
+              : pi_->repair_tree(*inv.old_tree, res.batch,
+                                 inv.key.fault_set(), config_.repair_fraction);
     });
     for (size_t i = 0; i < invalidated.size(); ++i) {
       auto tree = std::make_shared<const Spt>(std::move(outcomes[i].tree));

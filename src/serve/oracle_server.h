@@ -62,14 +62,40 @@ namespace restorable {
 // the full taxonomy; the update-path classes `repaired` / `recomputed` live
 // in UpdateResult and the `server` component's update.* metrics).
 enum class FetchOutcome : uint8_t {
-  kBaseHit = 0,     // fault-free tree served from the cache
-  kFaultHit,        // fault tree served from the cache
+  kBaseHit = 0,     // fault-free EXACT tree served from the cache
+  kFaultHit,        // exact fault tree served from the cache
   kMissCoalesced,   // miss that waited on a flight another caller drove
   kMissLeader,      // miss that drove the compute (batcher leader, or the
                     // direct compute when coalescing is disabled)
+  kApproxHit,       // approximate-tier (eps_q > 0) tree served from the
+                    // cache (base and fault trees alike)
+  kEscalated,       // an EXACT fetch performed on behalf of an escalated
+                    // query (path/replacement reconstruction, require_exact,
+                    // or a sampled stretch re-check), whatever its hit/miss
+                    // fate -- its cost belongs to the escalation tier
 };
-inline constexpr size_t kNumFetchOutcomes = 4;
+inline constexpr size_t kNumFetchOutcomes = 6;
 const char* fetch_outcome_name(FetchOutcome o);
+
+// Why a query left the approximate tier for the exact one. Counted under
+// server.escalations.* in the metrics document.
+enum class EscalationReason : uint8_t {
+  kPath = 0,         // path / replacement queries always escalate
+  kExplicit,         // QueryOpts::require_exact on an approximate-tier server
+  kStretchRecheck,   // sampled 1-in-N exact re-check of an approximate answer
+};
+inline constexpr size_t kNumEscalationReasons = 3;
+
+// Per-query options of the approximate tier.
+struct QueryOpts {
+  // Requested stretch slack: answers are within (1+epsilon)^d_true of exact.
+  // Negative = use ServerConfig::default_epsilon. The effective value is
+  // floor-quantized (core/spt.h), so the promised bound always holds.
+  double epsilon = -1.0;
+  // Force the exact tier for this query (counted as an explicit escalation
+  // when the server would otherwise have served approximately).
+  bool require_exact = false;
+};
 
 // Query-path concurrency regime (ServerConfig::concurrency).
 enum class QueryConcurrency {
@@ -102,6 +128,18 @@ struct ServerConfig {
   // fraction of the vertex count, before the repair falls back to a full
   // recompute (see IRpts::repair_tree).
   double repair_fraction = kDefaultRepairFraction;
+  // Approximate tier default: distance queries that do not specify their own
+  // QueryOpts::epsilon are served from (1+epsilon)-stretch trees (engine
+  // relaxed mode; core/spt.h quantization). 0 = the server is exact-only and
+  // nothing below changes behavior. Path and replacement queries ALWAYS
+  // escalate to the exact tier (path reconstruction needs a real tree walk).
+  double default_epsilon = 0.0;
+  // Every Nth approximate distance answer is re-checked against the exact
+  // tier: the query is escalated (reason `stretch_recheck`), the EXACT
+  // answer is returned, and the observed excess is recorded into the
+  // server's stretch.excess_ppm histogram / stretch.max_excess_ppm gauge.
+  // 0 disables sampling.
+  uint32_t stretch_sample_every = 256;
   const BatchSsspEngine* engine = nullptr;  // nullptr = shared engine
   // External metrics registry to register this server's components into
   // (must outlive the server). nullptr = the server owns a private one,
@@ -148,6 +186,19 @@ struct ServerStats {
   uint64_t fault_hit = 0;
   uint64_t miss_coalesced = 0;
   uint64_t miss_leader = 0;
+  uint64_t approx_hit = 0;
+  uint64_t escalated = 0;
+  // Approximate-tier escalation accounting (queries, not fetches: one
+  // escalated query may perform several exact fetches).
+  uint64_t escalations_total = 0;
+  uint64_t escalations_path = 0;
+  uint64_t escalations_explicit = 0;
+  uint64_t escalations_stretch_recheck = 0;
+  // Sampled observed-stretch re-checks: how many were recorded and the worst
+  // excess seen, in parts-per-million of the exact distance (0 = the sampled
+  // approximate answers were all exact).
+  uint64_t stretch_samples = 0;
+  uint64_t max_stretch_excess_ppm = 0;
   // Latency decomposition totals across all classes, ns (per-class splits
   // and histograms live in the registry snapshot under `server`).
   uint64_t queue_wait_ns = 0;
@@ -169,8 +220,15 @@ class OracleServer {
   // concurrent reader; see SptHandle for the ownership rules).
   SptHandle tree(const SsspRequest& req);
 
-  // Hops of pi(s, t | F); kUnreachable if disconnected in G \ F.
-  int32_t distance(Vertex s, Vertex t, const FaultSet& faults = {});
+  // Hops of pi(s, t | F); kUnreachable if disconnected in G \ F. With an
+  // effective epsilon > 0 (opts.epsilon, else ServerConfig::default_epsilon)
+  // the answer is approximate: d_true <= answer <= (1+eps)^d_true * d_true,
+  // served from the relaxed tier's own cache entries. opts.require_exact
+  // escalates to the exact tier; 1-in-N answers are escalated anyway as
+  // stretch re-checks (ServerConfig::stretch_sample_every) and those return
+  // the exact answer.
+  int32_t distance(Vertex s, Vertex t, const FaultSet& faults = {},
+                   const QueryOpts& opts = {});
 
   // The selected path pi(s, t | F), oriented s -> t; empty if disconnected.
   Path path(Vertex s, Vertex t, const FaultSet& faults = {});
@@ -276,10 +334,21 @@ class OracleServer {
   // Classified fetch: routes to fetch_tree / fetch_tree_pinned (pin null =
   // shared-lock path, caller holds update_mu_ shared), attributes the
   // fetch's latency decomposition to its outcome class, and appends trace
-  // spans when the query is sampled.
+  // spans when the query is sampled. `escalated` forces the kEscalated
+  // class: the fetch serves a query that left the approximate tier, so its
+  // cost belongs there whatever its hit/miss fate.
   SptHandle fetch_classified(const SsspRequest& req,
-                             const GenerationManager::Pin* pin, QueryCtx& ctx);
+                             const GenerationManager::Pin* pin, QueryCtx& ctx,
+                             bool escalated = false);
   void register_providers();
+
+  // The quantized epsilon this query runs at: opts.epsilon if set (>= 0),
+  // else the server default; zero when opts.require_exact.
+  uint32_t effective_eps_q(const QueryOpts& opts) const;
+  void note_escalation(EscalationReason reason);
+  // True for 1-in-stretch_sample_every calls (always false when disabled).
+  bool stretch_probe_fires();
+  void record_stretch(int32_t exact_hops, int32_t approx_hops);
 
   // Tree fetch through the serving stack at the LIVE scheme's version;
   // callers hold update_mu_ (shared). The shared-lock regime only.
@@ -321,6 +390,14 @@ class OracleServer {
   obs::Tracer* tracer_;            // null = tracing off
   ClassMetrics class_metrics_[kNumFetchOutcomes];
   obs::Histogram query_latency_ns_;  // whole-query latency, all kinds
+  // Approximate-tier accounting. The probe counter is a live atomic (it
+  // decides behavior -- which queries re-check -- so it survives
+  // RESTORABLE_NO_METRICS); the rest are obs instruments.
+  std::atomic<uint64_t> stretch_probe_{0};
+  std::atomic<uint64_t> max_stretch_excess_ppm_{0};
+  obs::Counter escalations_total_;
+  obs::Counter escalations_by_reason_[kNumEscalationReasons];
+  obs::Histogram stretch_excess_ppm_;  // observed excess over exact, ppm
   obs::Counter repair_ns_;           // update-path repair/prewarm wall time
   obs::Counter apply_ns_;            // whole apply_updates wall time
   obs::Counter repaired_;            // prewarmed via incremental repair

@@ -16,7 +16,12 @@ size_t SptKeyHash::epoch_free(const SptKey& k) {
 }
 
 size_t SptKeyHash::operator()(const SptKey& k) const {
-  return static_cast<size_t>(hash_combine(epoch_free(k), k.epoch + 1));
+  // eps_q joins here, NOT in epoch_free: the exact and approximate tiers of
+  // one root share a shard (they coexist; advance_epoch walks both in one
+  // pass) while remaining distinct map entries.
+  return static_cast<size_t>(hash_combine(
+      hash_combine(epoch_free(k), k.epoch + 1),
+      static_cast<uint64_t>(k.eps_q) + 1));
 }
 
 SptCache::SptCache(Config config) {

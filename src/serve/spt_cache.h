@@ -56,6 +56,15 @@ struct SptKey {
   uint64_t epoch = 0;
   Vertex root = kNoVertex;
   Direction dir = Direction::kOut;
+  // Quantized epsilon of the approximate tier (core/spt.h): 0 = exact.
+  // Exact and approximate trees of one root are distinct entries that
+  // coexist per shard (eps_q is hashed by the full map hash but NOT by the
+  // shard hash, so epoch rekeying stays in-shard for both tiers). Exact
+  // keys promise bit-identical trees; approximate keys promise only the
+  // (1+eps)^depth stretch bound -- a carried-forward or epsilon-repaired
+  // approximate tree may differ from a fresh compute, and first-writer-wins
+  // keeps whichever landed first (both are within bound).
+  uint32_t eps_q = 0;
   std::vector<EdgeId> faults;  // sorted (copied from FaultSet)
 
   SptKey() = default;
@@ -64,6 +73,7 @@ struct SptKey {
         epoch(version.epoch),
         root(req.root),
         dir(req.dir),
+        eps_q(req.eps_q),
         faults(req.faults.begin(), req.faults.end()) {}
   // Epoch-0 convenience for static-graph callers (a never-mutated graph
   // stays at epoch 0, so this matches its scheme's version()).
@@ -83,12 +93,13 @@ struct SptKey {
 };
 
 struct SptKeyHash {
-  // Hash of everything EXCEPT the epoch. Shard selection uses this alone,
-  // so every epoch of one (scheme, root, faults, dir) lands on one shard
-  // and advance_epoch can rekey survivors in place under a single shard
-  // lock instead of migrating entries between shards.
+  // Hash of everything EXCEPT the epoch and eps_q. Shard selection uses
+  // this alone, so every epoch of one (scheme, root, faults, dir) -- exact
+  // and approximate tiers alike -- lands on one shard and advance_epoch can
+  // rekey survivors in place under a single shard lock instead of migrating
+  // entries between shards.
   static size_t epoch_free(const SptKey& k);
-  // Full map hash: the epoch-free part combined with the epoch.
+  // Full map hash: the epoch-free part combined with the epoch and eps_q.
   size_t operator()(const SptKey& k) const;
 };
 

@@ -130,6 +130,49 @@ TEST(ParallelSpts, RoundsScaleWithDPlusSigma) {
             8 * (d + static_cast<int>(sources.size())) + 20);
 }
 
+// Round-boundary determinism under parallel simulation: the per-sender
+// outbox staging + ascending-sender merge makes the ENTIRE execution
+// transcript (every delivery, in order) independent of the thread count.
+TEST(ParallelSpts, TranscriptIdenticalAcrossThreadCounts) {
+  Graph g = torus(4, 6);
+  const IsolationAtw atw(5);
+  std::vector<Vertex> sources{0, 5, 11, 17, 23};
+
+  const auto seq = congest::run_parallel_spts(g, atw, sources, 99);
+  ASSERT_NE(seq.stats.transcript_hash, 0u);
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const auto par =
+        congest::run_parallel_spts(g, atw, sources, 99, &pool);
+    EXPECT_EQ(par.stats.transcript_hash, seq.stats.transcript_hash)
+        << "threads=" << threads;
+    EXPECT_EQ(par.stats.rounds, seq.stats.rounds) << "threads=" << threads;
+    EXPECT_EQ(par.stats.messages, seq.stats.messages)
+        << "threads=" << threads;
+    EXPECT_EQ(par.stats.max_edge_messages, seq.stats.max_edge_messages);
+    ASSERT_EQ(par.spts.size(), seq.spts.size());
+    for (size_t k = 0; k < seq.spts.size(); ++k) {
+      EXPECT_EQ(par.spts[k].hops, seq.spts[k].hops) << "instance " << k;
+      EXPECT_EQ(par.spts[k].parent, seq.spts[k].parent) << "instance " << k;
+      EXPECT_EQ(par.spts[k].parent_edge, seq.spts[k].parent_edge);
+    }
+  }
+}
+
+TEST(DistSpt, TranscriptIdenticalAcrossThreadCounts) {
+  Graph g = gnp_connected(30, 0.12, 3);
+  const IsolationAtw atw(41);
+  const auto seq = congest::run_distributed_spt(g, atw, /*root=*/2);
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    const auto par = congest::run_distributed_spt(g, atw, 2, &pool);
+    EXPECT_EQ(par.stats.transcript_hash, seq.stats.transcript_hash)
+        << "threads=" << threads;
+    EXPECT_EQ(par.spt.hops, seq.spt.hops);
+    EXPECT_EQ(par.spt.parent, seq.spt.parent);
+  }
+}
+
 TEST(DistPreserver, OneFtSubsetPreserverExhaustive) {
   Graph g = gnp_connected(14, 0.25, 8);
   std::vector<Vertex> sources{0, 4, 9, 13};
