@@ -39,8 +39,8 @@ void spt_rows(Table& table) {
     const Spt central = pi.spt(0);
     bool exact = true;
     for (Vertex v = 0; v < spec.g.num_vertices(); ++v)
-      if (central.parent[v] != res.spt.parent[v] ||
-          central.hops[v] != res.spt.hops[v])
+      if (central.parent(v) != res.spt.parent(v) ||
+          central.hops(v) != res.spt.hops(v))
         exact = false;
     table.add_row(spec.name, spec.g.num_vertices(), diameter(spec.g),
                   res.stats.rounds, res.stats.max_edge_messages,

@@ -60,6 +60,14 @@
 //                     approx serve_eps row pairs
 //   --seed S          workload + flap seed, recorded in the JSON artifact
 //                     (default 1): same seed, same queries, same flaps
+//   --graph-file P    serve a real graph: .gr (DIMACS) / .txt|.snap (SNAP) /
+//                     .rcsr (frozen CSR, mmap) / native edge list. Replaces
+//                     the synthetic families in the serve scenario (when the
+//                     file fits; n > 10^4 graphs go to serve_large only) and
+//                     becomes the serve_large subject
+//   --large-n N       serve_large generated-graph size when no --graph-file
+//                     is given (default 100000; 0 skips the scenario)
+//   --large-deg D     average degree of the generated large graph (def. 3)
 //   --json PATH       emit one JSON row per measurement
 //   --metrics-out P   dump every serving stack's MetricsRegistry snapshot
 //                     (one JSON row per metric, tagged with bench / family /
@@ -82,7 +90,9 @@
 #include <utility>
 #include <vector>
 
+#include "graph/frozen_csr.h"
 #include "graph/generators.h"
+#include "graph/io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/oracle_server.h"
@@ -105,6 +115,9 @@ struct Options {
   size_t flaps = 12;
   std::vector<double> epsilons{0.25};
   uint64_t seed = 1;
+  std::string graph_file;
+  size_t large_n = 100000;
+  double large_deg = 3.0;
   std::string json_path;
   std::string metrics_path;
   std::string trace_path;
@@ -172,6 +185,12 @@ Options parse_options(int argc, char** argv) {
       }
     } else if (const char* v = value("--seed")) {
       opt.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--graph-file")) {
+      opt.graph_file = v;
+    } else if (const char* v = value("--large-n")) {
+      opt.large_n = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--large-deg")) {
+      opt.large_deg = std::atof(v);
     } else if (const char* v = value("--json")) {
       opt.json_path = v;
     } else if (const char* v = value("--metrics-out")) {
@@ -258,6 +277,24 @@ int32_t reference_answer(const IRpts& pi, const Query& q) {
       return static_cast<int32_t>(pi.path(q.s, q.t).length());
   }
   return kUnreachable;
+}
+
+// ---------------------------------------------------------------------------
+// Workload samplers. Drivers must measure the serving stack, not themselves:
+// any per-sample work that grows with n (rejection loops whose acceptance
+// probability shrinks, probe SSSPs) is precomputed into flat prefix arrays up
+// front, and the precompute wall time is reported separately (gen_ms) so
+// large-n rows stay honest about what the driver cost.
+
+// Prefix array of a tree's vertices that have a parent edge: flap-victim
+// draws become one O(1) index instead of a rejection loop that degenerates
+// when most of the graph is unreachable from the root.
+std::vector<Vertex> parented_vertices(const Spt& tree) {
+  std::vector<Vertex> out;
+  out.reserve(tree.num_vertices());
+  for (Vertex v = 0; v < tree.num_vertices(); ++v)
+    if (tree.parent(v) != kNoVertex) out.push_back(v);
+  return out;
 }
 
 struct Measurement {
@@ -664,10 +701,9 @@ void bench_churn(Table& churn_table, JsonRows& json, const Options& opt,
       } else if (removals++ % 2 == 0) {
         const Vertex h = hot_roots[flap_rng.next_below(hot_roots.size())];
         const auto tree = server.tree({h, {}, Direction::kOut});
-        Vertex x = static_cast<Vertex>(flap_rng.next_below(g.num_vertices()));
-        while (tree->parent[x] == kNoVertex)
-          x = static_cast<Vertex>(flap_rng.next_below(g.num_vertices()));
-        d = GraphDelta::remove(tree->parent_edge[x]);
+        const auto pool = parented_vertices(*tree);
+        const Vertex x = pool[flap_rng.next_below(pool.size())];
+        d = GraphDelta::remove(tree->parent_edge(x));
       } else {
         EdgeId e = static_cast<EdgeId>(flap_rng.next_below(g.num_edges()));
         while (!g.edge_present(e))
@@ -787,14 +823,12 @@ void bench_burst(Table& burst_table, JsonRows& json, const Options& opt,
     const IsolationRpts pick(g0, IsolationAtw(7));
     Rng rng(hash_combine(opt.seed, 0xb045));
     const Spt hot_tree = pick.spt(0);
+    const auto pool = parented_vertices(hot_tree);
     std::vector<char> taken(g0.num_edges(), 0);
     while (removals.size() < k) {
       EdgeId e;
       if (removals.size() % 2 == 0) {
-        Vertex x = static_cast<Vertex>(rng.next_below(g0.num_vertices()));
-        while (hot_tree.parent[x] == kNoVertex)
-          x = static_cast<Vertex>(rng.next_below(g0.num_vertices()));
-        e = hot_tree.parent_edge[x];
+        e = hot_tree.parent_edge(pool[rng.next_below(pool.size())]);
       } else {
         e = static_cast<EdgeId>(rng.next_below(g0.num_edges()));
       }
@@ -987,10 +1021,8 @@ void bench_churn_rcu(Table& rcu_table, JsonRows& json, const Options& opt,
       {
         Rng rng(hash_combine(opt.seed, 0x4cb7));
         const auto tree = server.tree({hot_roots[0], {}, Direction::kOut});
-        Vertex x = static_cast<Vertex>(rng.next_below(g.num_vertices()));
-        while (tree->parent[x] == kNoVertex)
-          x = static_cast<Vertex>(rng.next_below(g.num_vertices()));
-        victim = tree->parent_edge[x];
+        const auto pool = parented_vertices(*tree);
+        victim = tree->parent_edge(pool[rng.next_below(pool.size())]);
       }
       const Edge ends = g.endpoints(victim);
 
@@ -1161,23 +1193,43 @@ void bench_epsilon(Table& eps_table, JsonRows& json, const Options& opt,
   // the exact tier's freshly recomputed trees AGAIN (they adopted the
   // shortcut; carried approximate trees never did).
   std::vector<std::pair<Vertex, Vertex>> shortcuts;
+  Stopwatch gen_sw;
   {
+    // Hop-band index: ONE tree per hot root, vertices bucketed by their hop
+    // distance, then O(1) draws from the 3-4 band (widened to 2-4 when the
+    // band is thin). The old picker probed a full SSSP per rejected try,
+    // which is exactly the per-sample scan large-n drivers cannot afford.
     const IsolationRpts pick(g0, IsolationAtw(7));
     Rng rng(hash_combine(opt.seed, 0xe95));
+    std::vector<std::vector<Vertex>> band(hot_roots.size());
+    std::vector<std::vector<Vertex>> band_wide(hot_roots.size());
+    for (size_t i = 0; i < hot_roots.size(); ++i) {
+      const Spt t = pick.spt(hot_roots[i]);
+      for (Vertex v = 0; v < g0.num_vertices(); ++v) {
+        const int32_t h = t.hops(v);
+        if (h < 2 || h > 4) continue;
+        band_wide[i].push_back(v);
+        if (h >= 3) band[i].push_back(v);
+      }
+    }
     const size_t need = (opt.flaps + 1) / 2;
     size_t tries = 0;
-    while (shortcuts.size() < need) {
-      const Vertex u = hot_roots[rng.next_below(hot_roots.size())];
-      const Vertex v =
-          static_cast<Vertex>(rng.next_below(g0.num_vertices()));
+    while (shortcuts.size() < need && tries < 100000) {
+      const size_t i = rng.next_below(hot_roots.size());
       ++tries;
-      if (u == v || g0.find_edge(u, v) != kNoEdge) continue;
-      const int32_t duv = pick.distance(u, v);
-      const int32_t lo = tries > 5000 ? 2 : 3;
-      if (duv < lo || duv > 4) continue;
+      const auto& pool = tries > 5000 ? band_wide[i] : band[i];
+      if (pool.empty()) continue;
+      const Vertex u = hot_roots[i];
+      const Vertex v = pool[rng.next_below(pool.size())];
+      if (g0.find_edge(u, v) != kNoEdge) continue;
       shortcuts.emplace_back(u, v);
     }
+    if (shortcuts.size() < need) {
+      std::cerr << "serve_eps: no shortcut candidates in the 2-4 hop band\n";
+      return;
+    }
   }
+  const double gen_ms = gen_sw.millis();
 
   struct TierResult {
     double qps = 0;        // sustained: queries / (query wall + apply wall)
@@ -1369,6 +1421,7 @@ void bench_epsilon(Table& eps_table, JsonRows& json, const Options& opt,
             .field("qps_query", r.qps_query)
             .field("p50_us", r.p50_us)
             .field("p99_us", r.p99_us)
+            .field("gen_ms", gen_ms)
             .field("apply_ms", r.apply_ms)
             .field("hit_rate", r.hit_rate)
             .field("bytes_per_query", r.bytes_per_query)
@@ -1399,6 +1452,264 @@ void bench_epsilon(Table& eps_table, JsonRows& json, const Options& opt,
   }
 }
 
+// Large-graph scenario (bench=serve_large rows): the memory-capacity
+// economics of production-scale graphs. The subject is either --graph-file
+// or a generated sparse_connected(large_n) road-like graph, taken through
+// the full restart path -- freeze -> write -> mmap-load -> thaw -- so every
+// run reports what a cold start actually costs (gen_ms for the driver's own
+// graph acquisition, pack_ms to freeze, load_ms to map; mmap records whether
+// the zero-parse path was live). Queries draw hot roots from a skewed
+// (min-of-four uniforms) distribution over a root set sized ~2x what the
+// fat-tree budget holds, so the cache budget -- not compute -- is the
+// binding constraint, exactly the regime compact trees exist for. Three
+// modes per thread count: fat trees on the in-memory graph, compact trees
+// on the in-memory graph, compact trees on the mmap-thawed graph. The
+// deterministic query stream makes the sampled answers comparable
+// element-wise across modes; after the query window a short flap phase
+// (remove a hot parent edge, heal it) exercises repair-vs-recompute at
+// scale. CI asserts compact bytes_per_tree <= 0.6x fat, strictly more
+// trees resident at the fixed budget, and sample streams bit-identical
+// across all three modes.
+void bench_large(Table& large_table, JsonRows& json, const Options& opt,
+                 const ObsSinks& sinks) {
+  // --- Acquire the subject graph (gen_ms = driver-side acquisition cost).
+  Stopwatch gen_sw;
+  Graph mem;
+  std::string family;
+  if (!opt.graph_file.empty()) {
+    mem = load_graph_auto(opt.graph_file);
+    const auto slash = opt.graph_file.find_last_of('/');
+    family = slash == std::string::npos ? opt.graph_file
+                                        : opt.graph_file.substr(slash + 1);
+  } else {
+    if (opt.large_n < 2) return;
+    mem = sparse_connected(static_cast<Vertex>(opt.large_n), opt.large_deg,
+                           opt.seed);
+    family = "sparse(" + std::to_string(opt.large_n) + ")";
+  }
+  const double gen_ms = gen_sw.millis();
+
+  // --- Restart path: freeze -> write -> mmap-load -> thaw. A .rcsr input is
+  // mapped directly; everything else round-trips through a scratch file.
+  const bool input_frozen =
+      opt.graph_file.size() > 5 &&
+      opt.graph_file.substr(opt.graph_file.size() - 5) == ".rcsr";
+  const std::string frozen_path =
+      input_frozen ? opt.graph_file
+                   : "/tmp/serve_large_" + std::to_string(opt.seed) + "_" +
+                         std::to_string(mem.num_vertices()) + ".rcsr";
+  double pack_ms = 0, load_ms = 0;
+  bool mmapped = false;
+  uint64_t file_bytes = 0;
+  Graph mapped;
+  bool have_mapped = false;
+  if (!input_frozen) {
+    Stopwatch sw;
+    if (FrozenCsr::freeze(mem).write(frozen_path)) pack_ms = sw.millis();
+  }
+  {
+    Stopwatch sw;
+    auto frozen = FrozenCsr::load(frozen_path);
+    load_ms = sw.millis();
+    if (frozen) {
+      mmapped = frozen->mapped();
+      file_bytes = frozen->file_bytes();
+      mapped = frozen->thaw();
+      have_mapped = true;
+    }
+  }
+  if (!input_frozen) std::remove(frozen_path.c_str());
+  if (!have_mapped) mapped = mem;  // degraded: still measures, mmap=0
+
+  const IsolationRpts ref(mem, IsolationAtw(7));
+  const size_t hot = 32;
+  std::vector<Vertex> hot_roots;
+  for (size_t i = 0; i < hot; ++i)
+    hot_roots.push_back(static_cast<Vertex>(
+        (static_cast<uint64_t>(i) * mem.num_vertices()) / hot));
+  // Budget: half the hot set's fat trees. Fat mode must evict; compact mode
+  // (~6 vs 12 bytes/vertex) holds roughly the whole set.
+  const size_t probe_bytes = ref.spt(hot_roots[0]).memory_bytes();
+  const size_t budget = (hot / 2) * (probe_bytes + 256);
+  // Query volume scaled so miss-driven recomputes stay bounded as n grows
+  // (each miss is a full SSSP); the row records the actual count.
+  const size_t lq = std::max<size_t>(
+      240, std::min(opt.queries,
+                    size_t{200000000} / std::max<size_t>(1, mem.num_vertices())));
+  const size_t large_flaps = 2;
+
+  struct LargeRun {
+    Measurement m;
+    std::vector<std::pair<Query, int32_t>> samples;  // deterministic order
+    SptCache::Stats cstats;
+    ServerStats sstats;
+    double apply_ms = 0;
+  };
+
+  for (int threads : {1, 2, 8}) {
+    const BatchSsspEngine engine(threads);
+    auto run_mode = [&](const Graph& base, bool compact_trees,
+                        const char* mode) {
+      LargeRun r;
+      Graph g = base;  // private copy: the flap phase mutates it
+      const IsolationRpts pi(g, IsolationAtw(7));
+      ServerConfig cfg;
+      cfg.cache.shards = 1;  // exact LRU counts: entries compare across modes
+      cfg.cache.byte_budget = budget;
+      cfg.cache.compact_trees = compact_trees;
+      cfg.max_batch = opt.max_batch;
+      cfg.engine = &engine;
+      cfg.tracer = sinks.tracer;
+      OracleServer server(pi, cfg);
+
+      const size_t per_thread = std::max<size_t>(1, lq / threads);
+      std::vector<std::vector<double>> lat(threads);
+      std::vector<std::vector<std::pair<Query, int32_t>>> sm(threads);
+      Stopwatch wall;
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (int w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w] {
+          lat[w].reserve(per_thread);
+          for (size_t i = 0; i < per_thread; ++i) {
+            const uint64_t seq = static_cast<uint64_t>(w) * per_thread + i;
+            const uint64_t h =
+                hash_combine(hash_combine(0x1a49e, opt.seed), seq);
+            Query q;
+            // Skewed root draw: min of four uniforms keeps the head of the
+            // hot set resident under LRU while the tail still gets touched.
+            uint64_t idx = h % hot;
+            idx = std::min(idx, hash_combine(h, 4) % hot);
+            idx = std::min(idx, hash_combine(h, 5) % hot);
+            idx = std::min(idx, hash_combine(h, 6) % hot);
+            q.s = hot_roots[idx];
+            q.t = static_cast<Vertex>(hash_combine(h, 1) % g.num_vertices());
+            q.e = 0;
+            q.kind =
+                hash_combine(h, 3) % 10 < 8 ? Query::kDistance : Query::kPath;
+            Stopwatch sw;
+            const int32_t got = run_query(server, q);
+            lat[w].push_back(sw.micros());
+            if (i % 16 == 0) sm[w].emplace_back(q, got);
+          }
+        });
+      }
+      for (auto& t : workers) t.join();
+      r.m.wall_ms = wall.millis();
+      for (auto& s : sm)
+        r.samples.insert(r.samples.end(), s.begin(), s.end());
+
+      // Repair-vs-recompute at scale: flap a hot parent edge and heal it,
+      // letting the update walk adjudicate the full resident set.
+      {
+        const auto tree = server.tree({hot_roots[0], {}, Direction::kOut});
+        const auto pool = parented_vertices(*tree);
+        Rng rng(hash_combine(opt.seed, 0x1a46e));
+        Stopwatch sw;
+        for (size_t f = 0; f < large_flaps; ++f) {
+          const EdgeId e = tree->parent_edge(pool[rng.next_below(pool.size())]);
+          const Edge ends = g.endpoints(e);
+          server.apply_update(g, GraphDelta::remove(e));
+          server.apply_update(g, GraphDelta::insert(ends.u, ends.v));
+        }
+        r.apply_ms = sw.millis();
+      }
+
+      std::vector<double> all;
+      for (auto& l : lat) all.insert(all.end(), l.begin(), l.end());
+      std::sort(all.begin(), all.end());
+      if (!all.empty()) {
+        r.m.p50_us = all[all.size() / 2];
+        r.m.p99_us = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+      }
+      r.m.qps = static_cast<double>(all.size()) / (r.m.wall_ms / 1e3);
+      r.cstats = server.cache()->stats();
+      r.sstats = server.stats();
+      dump_metrics(sinks, server, "serve_large", family, threads, mode);
+      return r;
+    };
+
+    const LargeRun fat = run_mode(mem, false, "fat");
+    const LargeRun compact = run_mode(mem, true, "compact");
+    const LargeRun compact_mmap = run_mode(mapped, true, "compact_mmap");
+
+    // Answer audits, outside every timing window: (a) the three modes'
+    // deterministic sample streams must agree element-wise (compact vs fat,
+    // mmap vs in-memory); (b) a subset is verified against the scheme
+    // computed from scratch.
+    auto matches = [&](const LargeRun& a, const LargeRun& b) {
+      if (a.samples.size() != b.samples.size()) return uint64_t{0};
+      uint64_t same = 0;
+      for (size_t i = 0; i < a.samples.size(); ++i)
+        if (a.samples[i].second == b.samples[i].second) ++same;
+      return same;
+    };
+    const uint64_t compact_match = matches(compact, fat);
+    const uint64_t mmap_match = matches(compact_mmap, compact);
+
+    struct ModeRow {
+      const char* mode;
+      const LargeRun* r;
+      uint64_t match;
+    };
+    const ModeRow rows[] = {{"fat", &fat, fat.samples.size()},
+                            {"compact", &compact, compact_match},
+                            {"compact_mmap", &compact_mmap, mmap_match}};
+    for (const auto& row : rows) {
+      const LargeRun& r = *row.r;
+      size_t checked = 0, correct = 0;
+      for (size_t i = 0; i < r.samples.size(); i += 8) {
+        ++checked;
+        if (r.samples[i].second == reference_answer(ref, r.samples[i].first))
+          ++correct;
+      }
+      const double bytes_per_tree =
+          static_cast<double>(r.cstats.bytes) /
+          static_cast<double>(std::max<size_t>(1, r.cstats.entries));
+      large_table.add_row(family, mem.num_vertices(), threads, row.mode,
+                          r.m.qps, r.cstats.hit_rate(),
+                          static_cast<uint64_t>(r.cstats.entries),
+                          bytes_per_tree, load_ms, mmapped ? "yes" : "no");
+      json.row()
+          .field("bench", "serve_large")
+          .field("family", family)
+          .field("n", static_cast<uint64_t>(mem.num_vertices()))
+          .field("m", static_cast<uint64_t>(mem.num_edges()))
+          .field("threads", threads)
+          .field("mode", row.mode)
+          .field("metrics", metrics_build())
+          .field("seed", opt.seed)
+          .field("queries", static_cast<uint64_t>(lq))
+          .field("hot_roots", static_cast<uint64_t>(hot))
+          .field("budget_bytes", static_cast<uint64_t>(budget))
+          .field("gen_ms", gen_ms)
+          .field("pack_ms", pack_ms)
+          .field("load_ms", load_ms)
+          .field("file_bytes", file_bytes)
+          .field("mmap", static_cast<uint64_t>(mmapped ? 1 : 0))
+          .field("qps", r.m.qps)
+          .field("p50_us", r.m.p50_us)
+          .field("p99_us", r.m.p99_us)
+          .field("hit_rate", r.cstats.hit_rate())
+          .field("trees_resident", static_cast<uint64_t>(r.cstats.entries))
+          .field("cache_bytes", static_cast<uint64_t>(r.cstats.bytes))
+          .field("bytes_per_tree", bytes_per_tree)
+          .field("evictions", r.cstats.evictions)
+          .field("flaps", static_cast<uint64_t>(large_flaps))
+          .field("apply_ms", r.apply_ms)
+          .field("repair_ms", static_cast<double>(r.sstats.repair_ns) / 1e6)
+          .field("repaired", r.sstats.repaired)
+          .field("recomputed", r.sstats.recomputed)
+          .field("samples", static_cast<uint64_t>(r.samples.size()))
+          .field("samples_match", row.match)
+          .field("checked", static_cast<uint64_t>(checked))
+          .field("correct", static_cast<uint64_t>(correct))
+          .field("hw_threads",
+                 static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    }
+  }
+}
+
 int run(const Options& opt) {
   std::cout << "Serving bench: closed-loop mixed (s, t, F) queries against "
                "OracleServer.\nhot root set = "
@@ -1418,6 +1729,8 @@ int run(const Options& opt) {
                    "p99_churn_us", "p99_ratio", "updates", "answers_ok"});
   Table eps_table({"family", "threads", "epsilon", "tier", "qps_sustained",
                    "carried_frac", "hit_rate", "max_excess", "in_bound"});
+  Table large_table({"family", "n", "threads", "mode", "qps", "hit_rate",
+                     "trees", "bytes_per_tree", "load_ms", "mmap"});
   JsonRows json;
 
   // Observability sinks. The tracer (1-in-256 sampling) is shared by every
@@ -1440,18 +1753,43 @@ int run(const Options& opt) {
   if (tracer) sinks.tracer = &*tracer;
 
   const Graph g400 = gnp_connected(400, 16.0 / 400, 1234);
-  bench_family(table, json, opt, sinks, "gnp(400)", g400);
-  if (!opt.small) {
-    bench_family(table, json, opt, sinks, "gnp(2000)",
-                 gnp_connected(2000, 8.0 / 2000, 1236));
-    bench_family(table, json, opt, sinks, "cliquechain(20,20)",
-                 clique_chain(20, 20));
+  if (!opt.graph_file.empty()) {
+    // The --graph-file axis: the serve scenario runs on the real graph
+    // (when it fits the full cache_off baseline; larger graphs are the
+    // serve_large scenario's subject below).
+    Graph file_graph;
+    try {
+      file_graph = load_graph_auto(opt.graph_file);
+    } catch (const std::exception& e) {
+      std::cerr << "--graph-file: " << e.what() << "\n";
+      return 1;
+    }
+    const auto slash = opt.graph_file.find_last_of('/');
+    const std::string family =
+        slash == std::string::npos ? opt.graph_file
+                                   : opt.graph_file.substr(slash + 1);
+    if (file_graph.num_vertices() <= 10000) {
+      bench_family(table, json, opt, sinks, family, file_graph);
+    } else {
+      std::cout << "--graph-file n=" << file_graph.num_vertices()
+                << " skips the per-fetch-recompute baseline; see the "
+                   "serve_large rows.\n";
+    }
+  } else {
+    bench_family(table, json, opt, sinks, "gnp(400)", g400);
+    if (!opt.small) {
+      bench_family(table, json, opt, sinks, "gnp(2000)",
+                   gnp_connected(2000, 8.0 / 2000, 1236));
+      bench_family(table, json, opt, sinks, "cliquechain(20,20)",
+                   clique_chain(20, 20));
+    }
   }
   bench_fault_scan(scan_table, json, opt, sinks, "gnp(400)", g400);
   bench_churn(churn_table, json, opt, sinks, "gnp(400)", g400);
   bench_burst(burst_table, json, opt, sinks, "gnp(400)", g400);
   bench_churn_rcu(rcu_table, json, opt, sinks, "gnp(400)", g400);
   bench_epsilon(eps_table, json, opt, sinks, "gnp(400)", g400);
+  bench_large(large_table, json, opt, sinks);
 
   table.print();
   std::cout << "\nFault-scan admission scenario (small budget, sweeping "
@@ -1482,6 +1820,13 @@ int run(const Options& opt) {
                "worst sampled (approx - exact) / exact,\nin_bound = every "
                "sampled answer within the (1+eps)^d * d stretch contract:\n";
   eps_table.print();
+  std::cout << "\nLarge-graph scenario: skewed hot-root traffic against a "
+               "budget sized to half the hot set's FAT trees;\nmode fat = "
+               "12 B/vertex publication, compact = 6 B/vertex "
+               "(SptCache::Config::compact_trees), compact_mmap = the\nsame "
+               "served from the frozen-CSR restart path (pack_ms/load_ms in "
+               "the JSON rows). Same budget, twice the trees:\n";
+  large_table.print();
   std::cout << "Expected shape: cache_on hit rate approaches 1 on the "
                "repeated-root workload, so qps is bounded by tree lookups\n"
                "+ O(d) path walks instead of full Dijkstra recomputes; "

@@ -22,8 +22,8 @@ void run_row(Table& table, const std::string& deterministic,
   size_t reached = 0;
   for (Vertex s = 0; s < g.num_vertices(); ++s) {
     const auto res = tiebroken_sssp(g, policy, s, {}, Direction::kOut);
-    for (int32_t h : res.spt.hops)
-      if (h >= 0) ++reached;
+    for (Vertex v = 0; v < res.spt.num_vertices(); ++v)
+      if (res.spt.hops(v) >= 0) ++reached;
   }
   const double secs = w.seconds();
 
@@ -37,7 +37,7 @@ void run_row(Table& table, const std::string& deterministic,
     const auto a = tiebroken_sssp(g, policy, s, {}, Direction::kOut);
     const auto b = tiebroken_sssp(rg, policy, s, {}, Direction::kOut);
     for (Vertex v = 0; v < g.num_vertices(); ++v)
-      if (a.spt.parent[v] != b.spt.parent[v]) ++mismatches;
+      if (a.spt.parent(v) != b.spt.parent(v)) ++mismatches;
   }
 
   table.add_row(policy.name(), deterministic, g.num_vertices(), g.num_edges(),

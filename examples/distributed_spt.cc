@@ -25,7 +25,7 @@ int main() {
   const Spt central = pi.spt(0);
   bool exact = true;
   for (Vertex v = 0; v < g.num_vertices(); ++v)
-    if (single.spt.parent[v] != central.parent[v]) exact = false;
+    if (single.spt.parent(v) != central.parent(v)) exact = false;
   std::cout << "[Lemma 34] SPT(0): " << single.stats.rounds << " rounds, "
             << single.stats.messages << " messages, max "
             << single.stats.max_edge_messages << " msgs/edge, "

@@ -39,13 +39,14 @@ Spt to_spt(const Graph& g, Vertex root, const std::vector<Label>& label) {
   spt.root = root;
   spt.dir = Direction::kOut;
   const Vertex n = g.num_vertices();
-  spt.hops.assign(n, kUnreachable);
-  spt.parent.assign(n, kNoVertex);
-  spt.parent_edge.assign(n, kNoEdge);
+  spt.reset(n);
+  auto& hops = spt.mutable_hops();
+  auto& parent = spt.mutable_parent();
+  auto& parent_edge = spt.mutable_parent_edge();
   for (Vertex v = 0; v < n; ++v) {
-    spt.hops[v] = label[v].hops;
-    spt.parent[v] = label[v].parent;
-    spt.parent_edge[v] = label[v].parent_edge;
+    hops[v] = label[v].hops;
+    parent[v] = label[v].parent;
+    parent_edge[v] = label[v].parent_edge;
   }
   return spt;
 }

@@ -42,6 +42,9 @@ void establish_sssp_parents(const Graph& g, const Policy& policy, Vertex root,
                             DoneFn&& done, DijkstraResult<Policy>& res) {
   using Tie = typename Policy::Tie;
   const Vertex n = g.num_vertices();
+  auto& hops = res.spt.mutable_hops();
+  auto& parent = res.spt.mutable_parent();
+  auto& parent_edge = res.spt.mutable_parent_edge();
   for (Vertex v = 0; v < n; ++v) {
     if (v == root || !done(v)) continue;
     bool found = false;
@@ -49,7 +52,7 @@ void establish_sssp_parents(const Graph& g, const Policy& policy, Vertex root,
     for (const Arc& a : g.arcs(v)) {
       const Vertex u = a.to;
       if (!done(u) || faults.contains(a.edge)) continue;
-      if (res.spt.hops[u] + 1 != res.spt.hops[v]) continue;
+      if (hops[u] + 1 != hops[v]) continue;
       const bool travel_forward =
           dir == Direction::kOut ? !a.forward : a.forward;  // u -> v travel
       Tie t = res.tie[u];
@@ -57,8 +60,8 @@ void establish_sssp_parents(const Graph& g, const Policy& policy, Vertex root,
       if (policy.compare(t, res.tie[v]) == 0) {
         // Exact match with the settled label: this arc is on the unique
         // shortest path. (There can be only one by uniqueness.)
-        res.spt.parent[v] = u;
-        res.spt.parent_edge[v] = a.edge;
+        parent[v] = u;
+        parent_edge[v] = a.edge;
         found = true;
         break;
       }
@@ -67,8 +70,8 @@ void establish_sssp_parents(const Graph& g, const Policy& policy, Vertex root,
         // happen with exact policies; protects the long-double policy from
         // rounding).
         best = t;
-        res.spt.parent[v] = u;
-        res.spt.parent_edge[v] = a.edge;
+        parent[v] = u;
+        parent_edge[v] = a.edge;
         found = true;
       }
     }
@@ -91,10 +94,10 @@ DijkstraResult<Policy> tiebroken_sssp(const Graph& g, const Policy& policy,
   DijkstraResult<Policy> res;
   res.spt.root = root;
   res.spt.dir = dir;
-  res.spt.hops.assign(n, kUnreachable);
-  res.spt.parent.assign(n, kNoVertex);
-  res.spt.parent_edge.assign(n, kNoEdge);
+  res.spt.reset(n);
+  res.spt.attach_endpoints(g.shared_endpoints());
   res.tie.assign(n, policy.zero());
+  auto& hops = res.spt.mutable_hops();
 
   using Tie = typename Policy::Tie;
   struct QItem {
@@ -109,7 +112,7 @@ DijkstraResult<Policy> tiebroken_sssp(const Graph& g, const Policy& policy,
   std::priority_queue<QItem, std::vector<QItem>, decltype(cmp)> pq(cmp);
   std::vector<char> done(n, 0);
 
-  res.spt.hops[root] = 0;
+  hops[root] = 0;
   pq.push({0, policy.zero(), root});
   while (!pq.empty()) {
     QItem top = pq.top();
@@ -117,7 +120,7 @@ DijkstraResult<Policy> tiebroken_sssp(const Graph& g, const Policy& policy,
     const Vertex v = top.v;
     if (done[v]) continue;
     done[v] = 1;
-    res.spt.hops[v] = top.hops;
+    hops[v] = top.hops;
     res.tie[v] = top.tie;
     for (const Arc& a : g.arcs(v)) {
       if (done[a.to] || faults.contains(a.edge)) continue;
@@ -128,13 +131,13 @@ DijkstraResult<Policy> tiebroken_sssp(const Graph& g, const Policy& policy,
       Tie t = top.tie;
       policy.accumulate(t, g.label(a.edge), travel_forward);
       const int32_t h = top.hops + 1;
-      const int32_t old_h = res.spt.hops[a.to];
+      const int32_t old_h = hops[a.to];
       // Lazy-deletion heap: push improved tentative labels; stale entries
       // are skipped by the `done` check. We keep a cheap dominance filter on
       // hop count to bound heap growth.
       if (old_h != kUnreachable && old_h < h) continue;
       pq.push({h, std::move(t), a.to});
-      if (old_h == kUnreachable || h < old_h) res.spt.hops[a.to] = h;
+      if (old_h == kUnreachable || h < old_h) hops[a.to] = h;
     }
   }
   // Second pass establishes parents from the settled labels. We recompute
@@ -142,7 +145,7 @@ DijkstraResult<Policy> tiebroken_sssp(const Graph& g, const Policy& policy,
   // *settled* values (the relaxation loop above overwrites hops with
   // tentative labels; fix them first).
   for (Vertex v = 0; v < n; ++v)
-    if (!done[v]) res.spt.hops[v] = kUnreachable;
+    if (!done[v]) hops[v] = kUnreachable;
   establish_sssp_parents(g, policy, root, faults, dir,
                          [&done](Vertex v) { return done[v] != 0; }, res);
   return res;

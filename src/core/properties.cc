@@ -21,10 +21,10 @@ CheckResult check_shortest_paths(const IRpts& pi, const FaultSet& faults) {
     const Spt tree = pi.spt(s, faults, Direction::kOut);
     const auto truth = bfs_distances(g, s, faults);
     for (Vertex t = 0; t < g.num_vertices(); ++t) {
-      if (tree.hops[t] != truth[t]) {
+      if (tree.hops(t) != truth[t]) {
         return PropertyViolation{
             "shortest-paths", s, t, faults,
-            "selected hops " + std::to_string(tree.hops[t]) + " != BFS " +
+            "selected hops " + std::to_string(tree.hops(t)) + " != BFS " +
                 std::to_string(truth[t])};
       }
       if (t != s && tree.reachable(t)) {
@@ -139,7 +139,7 @@ bool is_restorable_for(const IRpts& pi, Vertex s, Vertex t,
     for (Vertex x = 0; x < g.num_vertices(); ++x) {
       if (!from_s.reachable(x) || !from_t.reachable(x)) continue;
       if (s_bad[x] || t_bad[x]) continue;
-      if (from_s.hops[x] + from_t.hops[x] == target) return true;
+      if (from_s.hops(x) + from_t.hops(x) == target) return true;
     }
   }
   return false;
@@ -186,7 +186,7 @@ CheckResult check_f_restorable(const IRpts& pi, int k,
           for (Vertex x = 0; x < g.num_vertices() && !ok; ++x) {
             if (!from_s.reachable(x) || !from_t.reachable(x)) continue;
             if (s_bad[x] || t_bad[x]) continue;
-            if (from_s.hops[x] + from_t.hops[x] == repl[t]) ok = true;
+            if (from_s.hops(x) + from_t.hops(x) == repl[t]) ok = true;
           }
           if (ok) break;
         }

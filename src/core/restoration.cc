@@ -21,7 +21,7 @@ RestorationOutcome restore_with_trees(const Graph& g, const Spt& from_s,
   for (Vertex x = 0; x < g.num_vertices(); ++x) {
     if (!from_s.reachable(x) || !from_t.reachable(x)) continue;
     if (s_uses[x] || t_uses[x]) continue;
-    const int32_t h = from_s.hops[x] + from_t.hops[x];
+    const int32_t h = from_s.hops(x) + from_t.hops(x);
     if (best == kNoVertex || h < best_hops) {
       best = x;
       best_hops = h;
@@ -76,7 +76,7 @@ RestorationOutcome restore_multi_fault(const IRpts& pi, Vertex s, Vertex t,
     for (Vertex x = 0; x < g.num_vertices(); ++x) {
       if (!from_s.reachable(x) || !from_t.reachable(x)) continue;
       if (s_bad[x] || t_bad[x]) continue;
-      const int32_t h = from_s.hops[x] + from_t.hops[x];
+      const int32_t h = from_s.hops(x) + from_t.hops(x);
       if (h == out.optimal_hops) {
         out.midpoint = x;
         out.hops = h;

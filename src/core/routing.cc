@@ -17,13 +17,13 @@ RoutingTables::RoutingTables(const IRpts& pi)
     std::vector<Vertex> second(n_, kNoVertex);
     for (Vertex v : tree.top_order()) {
       if (v == s) continue;
-      second[v] = tree.parent[v] == s ? v : second[tree.parent[v]];
+      second[v] = tree.parent(v) == s ? v : second[tree.parent(v)];
       // Forward table row of s: next hop toward v on pi(s, v).
       fwd_[idx(s, v)] = second[v];
-      hops_[idx(s, v)] = tree.hops[v];
+      hops_[idx(s, v)] = tree.hops(v);
       // Reverse-scheme table: pi~(x, s) = reverse(pi(s, x)) travels x -> s,
       // whose first hop out of x is x's tree parent.
-      rev_[idx(v, s)] = tree.parent[v];
+      rev_[idx(v, s)] = tree.parent(v);
     }
   }
 }

@@ -38,8 +38,15 @@ std::vector<SptHandle> cached_spt_batch(
   // already-resident bit-identical tree from a racing writer).
   if (!miss_reqs.empty()) {
     std::vector<Spt> computed = compute_misses(miss_reqs);
+    const bool compact = cache.compact_trees();
     for (size_t k = 0; k < miss_reqs.size(); ++k) {
       const SptKey key(version, miss_reqs[k]);
+      // Publication-time compaction: the tree is converted BEFORE it is
+      // wrapped, so the cache and every requesting slot share one (compact)
+      // handle -- pointer identity between hit and insert is preserved.
+      // Trees that cannot compact (no endpoint table, >u16 hop counts) are
+      // admitted fat; answers are identical either way.
+      if (compact) computed[k].compact();
       auto tree = std::make_shared<const Spt>(std::move(computed[k]));
       if (auto resident = cache.insert(key, tree)) tree = std::move(resident);
       for (size_t slot : miss_slots.at(key)) out[slot] = tree;
@@ -111,8 +118,11 @@ bool IRpts::batch_survives(const DeltaBatch& batch, const Spt& tree,
       return false;
   }
   if (removed.empty()) return true;
-  for (const EdgeId pe : tree.parent_edge)
+  const Vertex n = tree.num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    const EdgeId pe = tree.parent_edge(v);
     if (pe != kNoEdge && removed.contains(pe)) return false;
+  }
   return true;
 }
 
@@ -137,9 +147,9 @@ bool IRpts::tree_survives_eps(const GraphDelta& delta, const Spt& tree,
   // Both reachable: F holds on the grown graph iff the new edge itself is
   // (1+eps)-feasible in both travel directions. Labels, chains, and every
   // old edge's constraints are untouched by the insert.
-  return !epsilon_improves(tree.hops[delta.v], tree.hops[delta.u] + 1,
+  return !epsilon_improves(tree.hops(delta.v), tree.hops(delta.u) + 1,
                            eps_q) &&
-         !epsilon_improves(tree.hops[delta.u], tree.hops[delta.v] + 1, eps_q);
+         !epsilon_improves(tree.hops(delta.u), tree.hops(delta.v) + 1, eps_q);
 }
 
 bool IRpts::batch_survives_eps(const DeltaBatch& batch, const Spt& tree,
@@ -155,8 +165,11 @@ bool IRpts::batch_survives_eps(const DeltaBatch& batch, const Spt& tree,
       return false;
   }
   if (removed.empty()) return true;
-  for (const EdgeId pe : tree.parent_edge)
+  const Vertex n = tree.num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    const EdgeId pe = tree.parent_edge(v);
     if (pe != kNoEdge && removed.contains(pe)) return false;
+  }
   return true;
 }
 
@@ -190,9 +203,14 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
       8, static_cast<size_t>(max_affected_fraction * static_cast<double>(n)));
 
   RepairOutcome out;
-  out.tree = old_tree;
+  // The repair mutates labels in place: start from a fat copy (identity
+  // copy when the cached tree was never compacted).
+  out.tree = old_tree.thawed();
   out.repaired = true;
   Spt& nt = out.tree;
+  auto& nt_hops = nt.mutable_hops();
+  auto& nt_parent = nt.mutable_parent();
+  auto& nt_parent_edge = nt.mutable_parent_edge();
 
   // Deterministic hops-only heap: (hops, vertex id), smallest first. Lazy
   // deletion -- stale entries are skipped by comparing against the current
@@ -212,9 +230,9 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
     std::vector<char> detached(n, 0);
     size_t detached_count = 0;
     for (Vertex v : order) {
-      const Vertex p = old_tree.parent[v];
+      const Vertex p = old_tree.parent(v);
       if (p == kNoVertex) continue;
-      if (detached[p] || removed.contains(old_tree.parent_edge[v])) {
+      if (detached[p] || removed.contains(old_tree.parent_edge(v))) {
         detached[v] = 1;
         ++detached_count;
       }
@@ -226,19 +244,19 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
       // label comes back LOWER than its old one tightens the F2 constraint
       // on every arc leaving it -- those must re-cascade with the relaxed
       // test below. (Raised labels only loosen constraints.)
-      std::vector<int32_t> old_hops(nt.hops);
+      std::vector<int32_t> old_hops(nt_hops);
       for (Vertex v = 0; v < n; ++v) {
         if (!detached[v]) continue;
-        nt.hops[v] = kUnreachable;
-        nt.parent[v] = kNoVertex;
-        nt.parent_edge[v] = kNoEdge;
+        nt_hops[v] = kUnreachable;
+        nt_parent[v] = kNoVertex;
+        nt_parent_edge[v] = kNoEdge;
       }
       std::vector<char> settled(n, 0);
       auto relax_into = [&](Vertex w, int32_t h, Vertex par, EdgeId pe) {
-        if (nt.hops[w] != kUnreachable && nt.hops[w] <= h) return;
-        nt.hops[w] = h;
-        nt.parent[w] = par;
-        nt.parent_edge[w] = pe;
+        if (nt_hops[w] != kUnreachable && nt_hops[w] <= h) return;
+        nt_hops[w] = h;
+        nt_parent[w] = par;
+        nt_parent_edge[w] = pe;
         pq.push({h, w});
       };
       // Frontier: every surviving in-neighbor of a detached vertex offers a
@@ -247,15 +265,15 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
         if (!detached[v]) continue;
         for (const Arc& a : g.arcs(v)) {
           const Vertex u = a.to;
-          if (detached[u] || nt.hops[u] == kUnreachable) continue;
+          if (detached[u] || nt_hops[u] == kUnreachable) continue;
           if (faults.contains(a.edge) || inserted.contains(a.edge)) continue;
-          relax_into(v, nt.hops[u] + 1, u, a.edge);
+          relax_into(v, nt_hops[u] + 1, u, a.edge);
         }
       }
       while (!pq.empty()) {
         const auto [h, v] = pq.top();
         pq.pop();
-        if (settled[v] || h != nt.hops[v]) continue;
+        if (settled[v] || h != nt_hops[v]) continue;
         settled[v] = 1;
         ++out.touched;
         for (const Arc& a : g.arcs(v)) {
@@ -266,8 +284,8 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
         }
       }
       for (Vertex v = 0; v < n; ++v)
-        if (detached[v] && nt.hops[v] != kUnreachable &&
-            nt.hops[v] < old_hops[v])
+        if (detached[v] && nt_hops[v] != kUnreachable &&
+            nt_hops[v] < old_hops[v])
           decrease_seeds.push_back(v);
     }
   }
@@ -282,19 +300,19 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
     size_t improved_count = 0;
     bool bail = false;
     auto relax = [&](Vertex s, Vertex t_v, EdgeId e) {
-      if (nt.hops[s] == kUnreachable) return;
-      const int32_t h = nt.hops[s] + 1;
-      if (!epsilon_improves(nt.hops[t_v], h, eps_q)) return;
-      nt.hops[t_v] = h;
-      nt.parent[t_v] = s;
-      nt.parent_edge[t_v] = e;
+      if (nt_hops[s] == kUnreachable) return;
+      const int32_t h = nt_hops[s] + 1;
+      if (!epsilon_improves(nt_hops[t_v], h, eps_q)) return;
+      nt_hops[t_v] = h;
+      nt_parent[t_v] = s;
+      nt_parent_edge[t_v] = e;
       if (!improved[t_v]) {
         improved[t_v] = 1;
         if (++improved_count > limit) bail = true;
       }
       pq.push({h, t_v});
     };
-    for (Vertex v : decrease_seeds) pq.push({nt.hops[v], v});
+    for (Vertex v : decrease_seeds) pq.push({nt_hops[v], v});
     for (EdgeId e : inserted) {
       const Edge& ed = g.endpoints(e);
       relax(ed.u, ed.v, e);
@@ -303,7 +321,7 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
     while (!pq.empty() && !bail) {
       const auto [h, v] = pq.top();
       pq.pop();
-      if (h != nt.hops[v]) continue;  // stale: v improved after this push
+      if (h != nt_hops[v]) continue;  // stale: v improved after this push
       ++out.touched;
       for (const Arc& a : g.arcs(v)) {
         if (faults.contains(a.edge)) continue;
@@ -348,10 +366,12 @@ Spt ArbitraryRpts::spt(Vertex root, const FaultSet& faults,
   Spt t;
   t.root = root;
   t.dir = dir;
-  t.hops.assign(n, kUnreachable);
-  t.parent.assign(n, kNoVertex);
-  t.parent_edge.assign(n, kNoEdge);
-  t.hops[root] = 0;
+  t.reset(n);
+  t.attach_endpoints(g.shared_endpoints());
+  auto& hops = t.mutable_hops();
+  auto& parent = t.mutable_parent();
+  auto& parent_edge = t.mutable_parent_edge();
+  hops[root] = 0;
 
   // Layered BFS; each newly discovered vertex picks the smallest-id parent
   // in the previous layer (and smallest edge id among parallel options),
@@ -364,16 +384,16 @@ Spt ArbitraryRpts::spt(Vertex root, const FaultSet& faults,
     for (Vertex v : frontier) {
       for (const Arc& a : g.arcs(v)) {
         if (faults.contains(a.edge)) continue;
-        if (t.hops[a.to] == kUnreachable) {
-          t.hops[a.to] = level;
-          t.parent[a.to] = v;
-          t.parent_edge[a.to] = a.edge;
+        if (hops[a.to] == kUnreachable) {
+          hops[a.to] = level;
+          parent[a.to] = v;
+          parent_edge[a.to] = a.edge;
           next.push_back(a.to);
-        } else if (t.hops[a.to] == level &&
-                   (v < t.parent[a.to] ||
-                    (v == t.parent[a.to] && a.edge < t.parent_edge[a.to]))) {
-          t.parent[a.to] = v;
-          t.parent_edge[a.to] = a.edge;
+        } else if (hops[a.to] == level &&
+                   (v < parent[a.to] ||
+                    (v == parent[a.to] && a.edge < parent_edge[a.to]))) {
+          parent[a.to] = v;
+          parent_edge[a.to] = a.edge;
         }
       }
     }

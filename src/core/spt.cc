@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 namespace restorable {
 
 Path Spt::path_to(Vertex v) const {
   if (!reachable(v)) return {};
   Path p;
-  for (Vertex x = v; x != root; x = parent[x]) {
+  for (Vertex x = v; x != root; x = parent(x)) {
     p.vertices.push_back(x);
-    p.edges.push_back(parent_edge[x]);
+    p.edges.push_back(parent_edge(x));
   }
   p.vertices.push_back(root);
   if (dir == Direction::kOut) {
@@ -23,52 +24,151 @@ Path Spt::path_to(Vertex v) const {
 
 bool Spt::uses_edge(EdgeId e) const {
   // Unreachable vertices hold kNoEdge, which never equals a real edge id.
-  return std::find(parent_edge.begin(), parent_edge.end(), e) !=
-         parent_edge.end();
+  if (!compact_)
+    return std::find(parent_edge_.begin(), parent_edge_.end(), e) !=
+           parent_edge_.end();
+  return std::find(cpe_.begin(), cpe_.end(), e) != cpe_.end();
 }
 
 std::vector<char> Spt::paths_using_edge(EdgeId e) const {
-  std::vector<char> uses(hops.size(), 0);
+  std::vector<char> uses(num_vertices(), 0);
   for (Vertex v : top_order()) {
     if (v == root) continue;
-    uses[v] = uses[parent[v]] || parent_edge[v] == e;
+    uses[v] = uses[parent(v)] || parent_edge(v) == e;
   }
   return uses;
 }
 
 std::vector<char> Spt::paths_using_any(const FaultSet& faults) const {
-  std::vector<char> uses(hops.size(), 0);
+  std::vector<char> uses(num_vertices(), 0);
   for (Vertex v : top_order()) {
     if (v == root) continue;
-    uses[v] = uses[parent[v]] || faults.contains(parent_edge[v]);
+    uses[v] = uses[parent(v)] || faults.contains(parent_edge(v));
   }
   return uses;
 }
 
 std::vector<EdgeId> Spt::tree_edges() const {
   std::vector<EdgeId> out;
-  out.reserve(hops.size());
-  for (Vertex v = 0; v < hops.size(); ++v)
-    if (v != root && reachable(v)) out.push_back(parent_edge[v]);
+  const Vertex n = num_vertices();
+  out.reserve(n);
+  for (Vertex v = 0; v < n; ++v)
+    if (v != root && reachable(v)) out.push_back(parent_edge(v));
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
-size_t Spt::memory_bytes() const {
-  return sizeof(Spt) + hops.capacity() * sizeof(int32_t) +
-         parent.capacity() * sizeof(Vertex) +
-         parent_edge.capacity() * sizeof(EdgeId);
-}
-
 std::vector<Vertex> Spt::top_order() const {
   std::vector<Vertex> order;
-  order.reserve(hops.size());
-  for (Vertex v = 0; v < hops.size(); ++v)
+  const Vertex n = num_vertices();
+  order.reserve(n);
+  for (Vertex v = 0; v < n; ++v)
     if (reachable(v)) order.push_back(v);
   std::sort(order.begin(), order.end(),
-            [this](Vertex a, Vertex b) { return hops[a] < hops[b]; });
+            [this](Vertex a, Vertex b) { return hops(a) < hops(b); });
   return order;
+}
+
+size_t Spt::memory_bytes() const {
+  // Both forms' reserved storage; the inactive form's vectors are
+  // swap-released to capacity 0 by reset() / compact(), so the sum is exact
+  // whichever form is live. The shared endpoint table is excluded (owned by
+  // the graph, shared across trees).
+  return sizeof(Spt) + hops_.capacity() * sizeof(int32_t) +
+         parent_.capacity() * sizeof(Vertex) +
+         parent_edge_.capacity() * sizeof(EdgeId) +
+         chops_.capacity() * sizeof(uint16_t) + cpe_.capacity() * sizeof(EdgeId);
+}
+
+void Spt::reset(Vertex n) {
+  if (compact_) {
+    compact_ = false;
+    std::vector<uint16_t>().swap(chops_);
+    std::vector<EdgeId>().swap(cpe_);
+  }
+  n_ = 0;
+  endpoints_.reset();
+  hops_.assign(n, kUnreachable);
+  parent_.assign(n, kNoVertex);
+  parent_edge_.assign(n, kNoEdge);
+}
+
+bool Spt::compact() {
+  if (compact_) return true;
+  if (!endpoints_) return false;
+  const Vertex n = static_cast<Vertex>(hops_.size());
+  Vertex trunc = 0;  // one past the last reachable vertex
+  for (Vertex v = 0; v < n; ++v) {
+    const int32_t h = hops_[v];
+    if (h == kUnreachable) continue;
+    if (h >= static_cast<int32_t>(kCompactUnreachable)) return false;
+    trunc = v + 1;
+  }
+  // Build into exactly-sized locals (capacity == size) so memory_bytes()
+  // reports the true compact footprint, then swap-release the fat arrays.
+  std::vector<uint16_t> chops(trunc);
+  std::vector<EdgeId> cpe(trunc);
+  for (Vertex v = 0; v < trunc; ++v) {
+    const int32_t h = hops_[v];
+    chops[v] =
+        h == kUnreachable ? kCompactUnreachable : static_cast<uint16_t>(h);
+    cpe[v] = parent_edge_[v];
+  }
+  chops_.swap(chops);
+  cpe_.swap(cpe);
+  n_ = n;
+  compact_ = true;
+  std::vector<int32_t>().swap(hops_);
+  std::vector<Vertex>().swap(parent_);
+  std::vector<EdgeId>().swap(parent_edge_);
+  return true;
+}
+
+Spt Spt::compacted() const {
+  if (compact_ || !endpoints_) return *this;
+  const Vertex n = static_cast<Vertex>(hops_.size());
+  Vertex trunc = 0;  // one past the last reachable vertex
+  for (Vertex v = 0; v < n; ++v) {
+    const int32_t h = hops_[v];
+    if (h == kUnreachable) continue;
+    if (h >= static_cast<int32_t>(kCompactUnreachable)) return *this;
+    trunc = v + 1;
+  }
+  Spt out;
+  out.root = root;
+  out.dir = dir;
+  out.chops_.resize(trunc);
+  out.cpe_.resize(trunc);
+  for (Vertex v = 0; v < trunc; ++v) {
+    const int32_t h = hops_[v];
+    out.chops_[v] =
+        h == kUnreachable ? kCompactUnreachable : static_cast<uint16_t>(h);
+    out.cpe_[v] = parent_edge_[v];
+  }
+  out.n_ = n;
+  out.compact_ = true;
+  out.endpoints_ = endpoints_;
+  return out;
+}
+
+Spt Spt::thawed() const {
+  if (!compact_) return *this;
+  Spt fat;
+  fat.root = root;
+  fat.dir = dir;
+  fat.reset(n_);
+  auto& hops = fat.hops_;
+  auto& parent = fat.parent_;
+  auto& parent_edge = fat.parent_edge_;
+  for (Vertex v = 0; v < static_cast<Vertex>(chops_.size()); ++v) {
+    if (chops_[v] == kCompactUnreachable) continue;
+    hops[v] = static_cast<int32_t>(chops_[v]);
+    parent[v] = this->parent(v);
+    parent_edge[v] = cpe_[v];
+  }
+  fat.endpoints_ = endpoints_;
+  return fat;
 }
 
 }  // namespace restorable

@@ -95,15 +95,20 @@ void tiebroken_sssp_into(const Graph& g, const Policy& policy, Vertex root,
 
   res.spt.root = root;
   res.spt.dir = dir;
-  res.spt.hops.assign(n, kUnreachable);
-  res.spt.parent.assign(n, kNoVertex);
-  res.spt.parent_edge.assign(n, kNoEdge);
+  res.spt.reset(n);
+  res.spt.attach_endpoints(g.shared_endpoints());
   res.tie.assign(n, policy.zero());
 
   auto& state = ws.state_;
   auto& heap_pos = ws.heap_pos_;
   auto& heap = ws.heap_;
-  auto& hops = res.spt.hops;
+  // Raw fat-form arrays, bound once outside the hot loop: the relaxation
+  // sweep below stays free of per-access form dispatch, and every id it
+  // touches is 32-bit (Vertex/EdgeId/heap positions), so million-node
+  // graphs run the same loop with half the index traffic of size_t code.
+  auto& hops = res.spt.mutable_hops();
+  auto& parent = res.spt.mutable_parent();
+  auto& parent_edge = res.spt.mutable_parent_edge();
   auto& tie = res.tie;
 
   // (hops, tie) lexicographic order on tentative labels.
@@ -184,8 +189,8 @@ void tiebroken_sssp_into(const Graph& g, const Policy& policy, Vertex root,
         tie[to] = tie[v];
         policy.accumulate(tie[to], g.label(a.edge), travel_forward);
         if (eps_q) {
-          res.spt.parent[to] = v;
-          res.spt.parent_edge[to] = a.edge;
+          parent[to] = v;
+          parent_edge[to] = a.edge;
         }
         state[to] = DijkstraWorkspace<Policy>::kOpen;
         ws.touched_.push_back(to);
@@ -201,8 +206,8 @@ void tiebroken_sssp_into(const Graph& g, const Policy& policy, Vertex root,
         hops[to] = h;
         tie[to] = tie[v];
         policy.accumulate(tie[to], g.label(a.edge), travel_forward);
-        res.spt.parent[to] = v;
-        res.spt.parent_edge[to] = a.edge;
+        parent[to] = v;
+        parent_edge[to] = a.edge;
         sift_up(heap_pos[to]);
         continue;
       }

@@ -1,0 +1,262 @@
+#include "graph/frozen_csr.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RESTORABLE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define RESTORABLE_HAS_MMAP 0
+#endif
+
+namespace restorable {
+namespace {
+
+constexpr char kMagic[8] = {'R', 'S', 'P', 'T', 'C', 'S', 'R', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kFlagHasPresent = 1u << 0;
+constexpr size_t kHeaderBytes = 64;
+
+// Header field offsets (bytes). All fields little-endian; the library only
+// targets little-endian hosts (static_assert below), so reads are memcpy.
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffFlags = 12;
+constexpr size_t kOffN = 16;
+constexpr size_t kOffM = 24;
+constexpr size_t kOffPresent = 32;
+constexpr size_t kOffEpoch = 40;
+constexpr size_t kOffChecksum = 48;
+constexpr size_t kOffPayload = 56;
+
+static_assert(std::endian::native == std::endian::little,
+              "frozen CSR images are little-endian");
+
+size_t align8(size_t x) { return (x + 7) & ~size_t{7}; }
+
+uint64_t fnv1a(const uint8_t* p, size_t len) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+void put(std::vector<uint8_t>& buf, size_t off, T value) {
+  std::memcpy(buf.data() + off, &value, sizeof(T));
+}
+
+template <typename T>
+T get(const uint8_t* p, size_t off) {
+  T value;
+  std::memcpy(&value, p + off, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+struct FrozenCsr::Mapping {
+#if RESTORABLE_HAS_MMAP
+  void* addr = nullptr;
+  size_t len = 0;
+  ~Mapping() {
+    if (addr) ::munmap(addr, len);
+  }
+#endif
+};
+
+FrozenCsr FrozenCsr::freeze(const Graph& g) {
+  const uint64_t n = g.num_vertices();
+  const uint64_t m = g.num_edges();
+  const uint64_t present = g.num_present_edges();
+  const bool has_present = !g.present_.empty();
+
+  const size_t off_offsets = kHeaderBytes;
+  const size_t off_arcs = align8(off_offsets + (n + 1) * sizeof(uint32_t));
+  const size_t off_edges = align8(off_arcs + 2 * present * sizeof(PackedArc));
+  const size_t off_labels = align8(off_edges + m * 2 * sizeof(uint32_t));
+  const size_t off_present = align8(off_labels + m * sizeof(uint32_t));
+  const size_t total = align8(off_present + (has_present ? m : 0));
+
+  FrozenCsr out;
+  out.owned_.assign(total, 0);
+  auto& buf = out.owned_;
+
+  std::memcpy(buf.data(), kMagic, sizeof(kMagic));
+  put<uint32_t>(buf, kOffVersion, kVersion);
+  put<uint32_t>(buf, kOffFlags, has_present ? kFlagHasPresent : 0);
+  put<uint64_t>(buf, kOffN, n);
+  put<uint64_t>(buf, kOffM, m);
+  put<uint64_t>(buf, kOffPresent, present);
+  put<uint64_t>(buf, kOffEpoch, g.epoch());
+  put<uint64_t>(buf, kOffPayload, total - kHeaderBytes);
+
+  // A default-constructed Graph has an empty offsets_ (the sized ctor
+  // allocates n+1); the zeroed buffer already encodes offsets[0] == 0.
+  if (!g.offsets_.empty())
+    std::memcpy(buf.data() + off_offsets, g.offsets_.data(),
+                (n + 1) * sizeof(uint32_t));
+  auto* arcs = reinterpret_cast<PackedArc*>(buf.data() + off_arcs);
+  for (size_t i = 0; i < g.arcs_.size(); ++i) {
+    const Arc& a = g.arcs_[i];
+    arcs[i] = {a.to, (a.edge << 1) | (a.forward ? 1u : 0u)};
+  }
+  auto* edges = reinterpret_cast<uint32_t*>(buf.data() + off_edges);
+  const std::vector<Edge>& slots = g.edges();
+  for (uint64_t e = 0; e < m; ++e) {
+    edges[2 * e] = slots[e].u;
+    edges[2 * e + 1] = slots[e].v;
+  }
+  if (m)
+    std::memcpy(buf.data() + off_labels, g.labels_.data(),
+                m * sizeof(uint32_t));
+  if (has_present)
+    for (uint64_t e = 0; e < m; ++e)
+      buf[off_present + e] = g.present_[e] ? 1 : 0;
+
+  put<uint64_t>(buf, kOffChecksum,
+                fnv1a(buf.data() + kHeaderBytes, total - kHeaderBytes));
+
+  out.data_ = buf.data();
+  out.size_ = total;
+  const bool ok = out.attach(/*verify_checksum=*/false);
+  (void)ok;
+  return out;
+}
+
+bool FrozenCsr::attach(bool verify_checksum) {
+  if (!data_ || size_ < kHeaderBytes) return false;
+  if (std::memcmp(data_, kMagic, sizeof(kMagic)) != 0) return false;
+  if (get<uint32_t>(data_, kOffVersion) != kVersion) return false;
+  const uint32_t flags = get<uint32_t>(data_, kOffFlags);
+  n_ = get<uint64_t>(data_, kOffN);
+  m_ = get<uint64_t>(data_, kOffM);
+  present_ = get<uint64_t>(data_, kOffPresent);
+  epoch_ = get<uint64_t>(data_, kOffEpoch);
+  const uint64_t payload = get<uint64_t>(data_, kOffPayload);
+  if (present_ > m_) return false;
+  if (size_ < kHeaderBytes + payload) return false;
+
+  const bool has_present = flags & kFlagHasPresent;
+  const size_t off_offsets = kHeaderBytes;
+  const size_t off_arcs = align8(off_offsets + (n_ + 1) * sizeof(uint32_t));
+  const size_t off_edges = align8(off_arcs + 2 * present_ * sizeof(PackedArc));
+  const size_t off_labels = align8(off_edges + m_ * 2 * sizeof(uint32_t));
+  const size_t off_present = align8(off_labels + m_ * sizeof(uint32_t));
+  const size_t total = align8(off_present + (has_present ? m_ : 0));
+  if (size_ < total || kHeaderBytes + payload != total) return false;
+
+  if (verify_checksum &&
+      get<uint64_t>(data_, kOffChecksum) !=
+          fnv1a(data_ + kHeaderBytes, payload))
+    return false;
+
+  offsets_ = reinterpret_cast<const uint32_t*>(data_ + off_offsets);
+  arcs_ = reinterpret_cast<const PackedArc*>(data_ + off_arcs);
+  edges_ = reinterpret_cast<const uint32_t*>(data_ + off_edges);
+  labels_ = reinterpret_cast<const uint32_t*>(data_ + off_labels);
+  present_map_ = has_present ? data_ + off_present : nullptr;
+  // The CSR must stay inside the arc section even if the offsets lie.
+  if (offsets_[n_] != 2 * present_) return false;
+  return true;
+}
+
+bool FrozenCsr::write(const std::string& path) const {
+  if (!valid()) return false;
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  const bool wrote = std::fwrite(data_, 1, size_, f) == size_;
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<FrozenCsr> FrozenCsr::load(const std::string& path,
+                                         bool prefer_mmap) {
+  FrozenCsr out;
+#if RESTORABLE_HAS_MMAP
+  if (prefer_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return std::nullopt;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    const size_t len = static_cast<size_t>(st.st_size);
+    void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps the file alive
+    if (addr != MAP_FAILED) {
+      auto mapping = std::make_shared<Mapping>();
+      mapping->addr = addr;
+      mapping->len = len;
+      out.mapping_ = std::move(mapping);
+      out.data_ = static_cast<const uint8_t*>(addr);
+      out.size_ = len;
+      if (!out.attach(/*verify_checksum=*/true)) return std::nullopt;
+      return out;
+    }
+    // mmap failed (e.g. an empty or special file): fall through to read.
+  }
+#else
+  (void)prefer_mmap;
+#endif
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  if (len < 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out.owned_.resize(static_cast<size_t>(len));
+  const bool read_ok =
+      std::fread(out.owned_.data(), 1, out.owned_.size(), f) ==
+      out.owned_.size();
+  std::fclose(f);
+  if (!read_ok) return std::nullopt;
+  out.data_ = out.owned_.data();
+  out.size_ = out.owned_.size();
+  if (!out.attach(/*verify_checksum=*/true)) return std::nullopt;
+  return out;
+}
+
+Graph FrozenCsr::thaw() const {
+  Graph g;
+  if (!valid()) return g;
+  g.n_ = static_cast<Vertex>(n_);
+  auto slots = std::make_shared<std::vector<Edge>>(m_);
+  for (uint64_t e = 0; e < m_; ++e)
+    (*slots)[e] = {edges_[2 * e], edges_[2 * e + 1]};
+  g.edges_ = std::move(slots);
+  g.labels_.assign(labels_, labels_ + m_);
+  g.offsets_.assign(offsets_, offsets_ + n_ + 1);
+  g.arcs_.resize(2 * present_);
+  for (uint64_t i = 0; i < 2 * present_; ++i) {
+    const PackedArc& a = arcs_[i];
+    g.arcs_[i] = {a.to, a.edge(), a.forward()};
+  }
+  if (present_map_) {
+    g.present_.assign(present_map_, present_map_ + m_);
+    g.absent_ = static_cast<EdgeId>(m_ - present_);
+  }
+  g.epoch_ = epoch_;
+  return g;
+}
+
+}  // namespace restorable

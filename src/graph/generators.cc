@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <set>
+#include <unordered_set>
 #include <stdexcept>
 
 #include "util/random.h"
@@ -187,6 +188,40 @@ Graph theta_graph(Vertex width, Vertex len) {
     }
     edges.push_back({prev, 1});
   }
+  return Graph(n, std::move(edges));
+}
+
+Graph sparse_connected(Vertex n, double avg_degree, uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("sparse_connected: n >= 2 required");
+  if (avg_degree < 2.0)
+    throw std::invalid_argument("sparse_connected: avg_degree >= 2 required");
+  Rng rng(seed);
+  const uint64_t target =
+      static_cast<uint64_t>(avg_degree * static_cast<double>(n) / 2.0);
+  std::vector<Edge> edges;
+  edges.reserve(target);
+  // O(m)-sized dedup set keyed on the packed ordered pair; a std::set of
+  // pairs would be O(m log m) and ~5x the memory.
+  std::unordered_set<uint64_t> present;
+  present.reserve(target * 2);
+  auto try_add = [&](Vertex u, Vertex v) {
+    if (u == v) return false;
+    const Vertex lo = std::min(u, v), hi = std::max(u, v);
+    const uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+    if (!present.insert(key).second) return false;
+    edges.push_back({lo, hi});
+    return true;
+  };
+  // Random spanning tree, O(n): attach vertex i to a uniform earlier vertex
+  // (vertices are exchangeable under the random extra edges, so the
+  // permutation gnp_connected shuffles through buys nothing at this scale).
+  for (Vertex i = 1; i < n; ++i)
+    try_add(i, static_cast<Vertex>(rng.next_below(i)));
+  // Extra edges by rejection, O(m) expected: collisions are rare while
+  // m << n^2, which is the entire point of this family.
+  while (edges.size() < target)
+    try_add(static_cast<Vertex>(rng.next_below(n)),
+            static_cast<Vertex>(rng.next_below(n)));
   return Graph(n, std::move(edges));
 }
 

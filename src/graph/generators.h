@@ -61,4 +61,12 @@ Graph theta_graph(Vertex width, Vertex len);
 // Theta(sigma^2 d m) baseline.
 Graph clique_chain(Vertex k, Vertex c);
 
+// Connected sparse graph at production scale: a random spanning tree plus
+// (avg_degree/2 - 1) * n random extra edges, built in O(n + m) with a
+// hash-set dedup -- no O(n^2) pair scan, so n = 10^5..10^7 generates in
+// seconds. Road-network-like when avg_degree is small (2.5-4). This is the
+// family serve_bench's serve_large scenario and the CI bench-smoke use for
+// their n >= 10^5 points.
+Graph sparse_connected(Vertex n, double avg_degree, uint64_t seed);
+
 }  // namespace restorable

@@ -88,36 +88,39 @@ std::string FaultSet::to_string() const {
 }
 
 Graph::Graph(Vertex n, std::vector<Edge> edges, std::vector<EdgeId> labels)
-    : n_(n), edges_(std::move(edges)), labels_(std::move(labels)) {
-  for (const Edge& e : edges_) {
+    : n_(n),
+      edges_(std::make_shared<std::vector<Edge>>(std::move(edges))),
+      labels_(std::move(labels)) {
+  for (const Edge& e : *edges_) {
     if (e.u == e.v) throw std::invalid_argument("self-loops are not allowed");
     if (e.u >= n_ || e.v >= n_)
       throw std::invalid_argument("edge endpoint out of range");
   }
   if (labels_.empty()) {
-    labels_.resize(edges_.size());
-    for (EdgeId e = 0; e < edges_.size(); ++e) labels_[e] = e;
+    labels_.resize(edges_->size());
+    for (EdgeId e = 0; e < edges_->size(); ++e) labels_[e] = e;
   }
-  if (labels_.size() != edges_.size())
+  if (labels_.size() != edges_->size())
     throw std::invalid_argument("labels/edges size mismatch");
   build_csr();
 }
 
 void Graph::build_csr() {
+  const std::vector<Edge>& edges = *edges_;
   offsets_.assign(n_ + 1, 0);
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
+  for (EdgeId e = 0; e < edges.size(); ++e) {
     if (!edge_present(e)) continue;
-    ++offsets_[edges_[e].u + 1];
-    ++offsets_[edges_[e].v + 1];
+    ++offsets_[edges[e].u + 1];
+    ++offsets_[edges[e].v + 1];
   }
   for (Vertex v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
-  arcs_.resize(2 * (edges_.size() - absent_));
+  arcs_.resize(2 * (edges.size() - absent_));
   // Fill using offsets_ itself as the cursor (no scratch allocation -- this
   // runs once per pooled-subgraph rebuild and once per mutation), then shift
   // the ends back down one slot to restore the start offsets.
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
+  for (EdgeId e = 0; e < edges.size(); ++e) {
     if (!edge_present(e)) continue;
-    const Edge& ed = edges_[e];
+    const Edge& ed = edges[e];
     arcs_[offsets_[ed.u]++] = Arc{ed.v, e, /*forward=*/true};
     arcs_[offsets_[ed.v]++] = Arc{ed.u, e, /*forward=*/false};
   }
@@ -131,11 +134,11 @@ bool Graph::apply_one(GraphDelta& delta) {
     if (e >= num_edges()) throw std::invalid_argument("remove: edge id out of range");
     // Record the slot whether or not this is a no-op, so the caller's delta
     // is always a complete description of the edge it names.
-    delta.u = edges_[e].u;
-    delta.v = edges_[e].v;
+    delta.u = endpoints(e).u;
+    delta.v = endpoints(e).v;
     delta.label = labels_[e];
     if (!edge_present(e)) return false;  // already absent: no-op
-    if (present_.empty()) present_.assign(edges_.size(), 1);
+    if (present_.empty()) present_.assign(edges_->size(), 1);
     present_[e] = 0;
     ++absent_;
     return true;
@@ -150,8 +153,8 @@ bool Graph::apply_one(GraphDelta& delta) {
   // resurrected in place, keeping its id, label and stored endpoint order
   // (the orientation the antisymmetric weight is defined on).
   EdgeId tomb = kNoEdge;
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
-    const Edge& ed = edges_[e];
+  for (EdgeId e = 0; e < edges_->size(); ++e) {
+    const Edge& ed = (*edges_)[e];
     if (!((ed.u == u && ed.v == v) || (ed.u == v && ed.v == u))) continue;
     if (edge_present(e)) {
       delta.edge = e;
@@ -167,18 +170,18 @@ bool Graph::apply_one(GraphDelta& delta) {
     present_[tomb] = 1;
     --absent_;
     delta.edge = tomb;
-    delta.u = edges_[tomb].u;
-    delta.v = edges_[tomb].v;
+    delta.u = endpoints(tomb).u;
+    delta.v = endpoints(tomb).v;
     delta.label = labels_[tomb];
   } else {
-    const EdgeId e = static_cast<EdgeId>(edges_.size());
+    const EdgeId e = static_cast<EdgeId>(edges_->size());
     // A fresh slot needs a label no existing edge holds -- per-label
     // tiebreak weights must stay distinct -- so take one past the largest.
     // On identity-labeled graphs (the default) that is exactly the slot
     // index.
     EdgeId fresh_label = 0;
     for (EdgeId l : labels_) fresh_label = std::max(fresh_label, l + 1);
-    edges_.push_back(Edge{u, v});
+    edges_mut().push_back(Edge{u, v});
     labels_.push_back(fresh_label);
     if (!present_.empty()) present_.push_back(1);
     delta.edge = e;
@@ -245,8 +248,8 @@ DeltaBatch Graph::apply(std::span<const GraphDelta> deltas) {
     GraphDelta net;
     net.kind = is_present ? GraphDelta::Kind::kInsert : GraphDelta::Kind::kRemove;
     net.edge = e;
-    net.u = edges_[e].u;
-    net.v = edges_[e].v;
+    net.u = endpoints(e).u;
+    net.v = endpoints(e).v;
     net.label = labels_[e];
     batch.net.push_back(net);
   }
@@ -282,16 +285,20 @@ void Graph::assign_edge_subgraph(const Graph& base,
   // base's edges were validated at its construction, so the copies need no
   // re-validation here.
   n_ = base.n_;
-  edges_.clear();
+  // Detach from any sharers before the in-place rebuild (pooled subgraphs
+  // are uniquely owned after the first pass, so this clones at most once).
+  if (edges_.use_count() > 1) edges_ = std::make_shared<std::vector<Edge>>();
+  std::vector<Edge>& edges = *edges_;
+  edges.clear();
   labels_.clear();
   // A rebuilt subgraph is a fresh static value: no tombstones, epoch 0.
   present_.clear();
   absent_ = 0;
   epoch_ = 0;
-  edges_.reserve(edge_ids.size());
+  edges.reserve(edge_ids.size());
   labels_.reserve(edge_ids.size());
   for (EdgeId e : edge_ids) {
-    edges_.push_back(base.edges_[e]);
+    edges.push_back(base.endpoints(e));
     labels_.push_back(base.labels_[e]);
   }
   build_csr();
@@ -308,7 +315,7 @@ bool Graph::is_valid_path(const Path& p, const FaultSet& faults) const {
     const EdgeId e = p.edges[i];
     if (e >= num_edges() || !edge_present(e)) return false;
     if (faults.contains(e)) return false;
-    const Edge& ed = edges_[e];
+    const Edge& ed = endpoints(e);
     const Vertex a = p.vertices[i], b = p.vertices[i + 1];
     if (!((ed.u == a && ed.v == b) || (ed.u == b && ed.v == a))) return false;
   }

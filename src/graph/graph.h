@@ -178,14 +178,26 @@ class Graph {
   Vertex num_vertices() const { return n_; }
   // Edge *slots*, including tombstoned (removed) edges: edge ids stay dense
   // and stable, so per-id loops and FaultSets remain valid across updates.
-  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_->size()); }
   // Slots currently present (contributing arcs).
   EdgeId num_present_edges() const {
-    return static_cast<EdgeId>(edges_.size()) - absent_;
+    return static_cast<EdgeId>(edges_->size()) - absent_;
   }
 
-  const Edge& endpoints(EdgeId e) const { return edges_[e]; }
-  const std::vector<Edge>& edges() const { return edges_; }
+  const Edge& endpoints(EdgeId e) const { return (*edges_)[e]; }
+  const std::vector<Edge>& edges() const { return *edges_; }
+
+  // The endpoint table as a shared, copy-on-write handle. Holders (compact
+  // Spts derive parent(v) from it, see core/spt.h) keep a consistent table
+  // for as long as they need: mutation clones the vector when it is shared,
+  // and because edge slots are append-only with stored endpoint order
+  // preserved across tombstone flaps, a holder's table remains a valid
+  // description of every edge id that existed when it was taken -- even for
+  // trees carried forward across epoch bumps. Copying a Graph (and
+  // snapshot()) shares the table instead of duplicating it.
+  std::shared_ptr<const std::vector<Edge>> shared_endpoints() const {
+    return edges_;
+  }
 
   // The original-graph edge id of local edge e (see file comment).
   EdgeId label(EdgeId e) const { return labels_[e]; }
@@ -237,7 +249,7 @@ class Graph {
 
   // Other endpoint of edge e as seen from u.
   Vertex other_endpoint(EdgeId e, Vertex u) const {
-    const Edge& ed = edges_[e];
+    const Edge& ed = (*edges_)[e];
     assert(ed.u == u || ed.v == u);
     return ed.u == u ? ed.v : ed.u;
   }
@@ -267,6 +279,11 @@ class Graph {
   GraphSnapshot snapshot() const;
 
  private:
+  // FrozenCsr::thaw fills a Graph's members directly from the packed file
+  // image (no edge re-validation, no CSR counting sort) -- the zero-parse
+  // load path for million-node graphs.
+  friend class FrozenCsr;
+
   void build_csr();
   // Shared mutation core: applies one delta to the edge/label/tombstone
   // state WITHOUT rebuilding the CSR or bumping the epoch (the callers
@@ -274,8 +291,17 @@ class Graph {
   // the topology changed.
   bool apply_one(GraphDelta& delta);
 
+  // The endpoint table, mutable: clones when shared (snapshots, compact
+  // trees) so holders of shared_endpoints() never observe a mutation.
+  std::vector<Edge>& edges_mut() {
+    if (edges_.use_count() > 1)
+      edges_ = std::make_shared<std::vector<Edge>>(*edges_);
+    return *edges_;
+  }
+
   Vertex n_ = 0;
-  std::vector<Edge> edges_;
+  std::shared_ptr<std::vector<Edge>> edges_ =
+      std::make_shared<std::vector<Edge>>();
   std::vector<EdgeId> labels_;
   std::vector<uint32_t> offsets_;  // size n_ + 1
   std::vector<Arc> arcs_;          // size 2 * num_present_edges()

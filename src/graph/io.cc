@@ -1,10 +1,26 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/frozen_csr.h"
 
 namespace restorable {
+namespace {
+
+// Order-free dedup key of an undirected pair; endpoints fit u32 so the pair
+// packs into one u64.
+uint64_t pair_key(Vertex u, Vertex v) {
+  const Vertex lo = std::min(u, v);
+  const Vertex hi = std::max(u, v);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
 
 void write_edge_list(const Graph& g, std::ostream& os) {
   os << "n " << g.num_vertices() << '\n';
@@ -48,6 +64,105 @@ void save_graph(const Graph& g, const std::string& path) {
 Graph load_graph(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open " + path);
+  return read_edge_list(is);
+}
+
+Graph read_dimacs_gr(std::istream& is) {
+  Vertex n = 0;
+  bool have_problem = false;
+  std::vector<Edge> edges;
+  std::unordered_set<uint64_t> seen;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    switch (line[0]) {
+      case 'c':  // comment
+        break;
+      case 'p': {
+        if (have_problem)
+          throw std::runtime_error("DIMACS: duplicate problem line");
+        std::istringstream ss(line);
+        char p;
+        std::string kind;
+        uint64_t nn = 0, mm = 0;
+        if (!(ss >> p >> kind >> nn >> mm))
+          throw std::runtime_error("DIMACS: bad problem line: " + line);
+        if (nn >= kNoVertex)
+          throw std::runtime_error("DIMACS: vertex count exceeds 32-bit ids");
+        n = static_cast<Vertex>(nn);
+        have_problem = true;
+        edges.reserve(mm / 2 + 1);  // arcs usually come in symmetric pairs
+        break;
+      }
+      case 'a': {
+        if (!have_problem)
+          throw std::runtime_error("DIMACS: arc before problem line");
+        std::istringstream ss(line);
+        char a;
+        uint64_t u1 = 0, v1 = 0;
+        if (!(ss >> a >> u1 >> v1))  // trailing weight ignored (unweighted)
+          throw std::runtime_error("DIMACS: bad arc line: " + line);
+        if (u1 < 1 || v1 < 1 || u1 > n || v1 > n)
+          throw std::runtime_error("DIMACS: arc endpoint out of range: " +
+                                   line);
+        const Vertex u = static_cast<Vertex>(u1 - 1);
+        const Vertex v = static_cast<Vertex>(v1 - 1);
+        if (u == v) break;  // self-loop: the model disallows it
+        if (seen.insert(pair_key(u, v)).second) edges.push_back({u, v});
+        break;
+      }
+      default:
+        throw std::runtime_error("DIMACS: unknown line kind: " + line);
+    }
+  }
+  if (!have_problem) throw std::runtime_error("DIMACS: missing problem line");
+  return Graph(n, std::move(edges));
+}
+
+Graph read_snap_edge_list(std::istream& is,
+                          std::vector<uint64_t>* orig_ids) {
+  std::unordered_map<uint64_t, Vertex> dense;
+  std::vector<uint64_t> ids;
+  std::vector<Edge> edges;
+  std::unordered_set<uint64_t> seen;
+  auto intern = [&](uint64_t id) {
+    auto [it, fresh] = dense.try_emplace(id, static_cast<Vertex>(ids.size()));
+    if (fresh) {
+      if (ids.size() >= kNoVertex)
+        throw std::runtime_error("SNAP: vertex count exceeds 32-bit ids");
+      ids.push_back(id);
+    }
+    return it->second;
+  };
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    uint64_t a = 0, b = 0;
+    if (!(ss >> a >> b))
+      throw std::runtime_error("SNAP: bad edge line: " + line);
+    if (a == b) continue;  // self-loop
+    const Vertex u = intern(a);
+    const Vertex v = intern(b);
+    if (seen.insert(pair_key(u, v)).second) edges.push_back({u, v});
+  }
+  if (orig_ids) *orig_ids = ids;
+  return Graph(static_cast<Vertex>(ids.size()), std::move(edges));
+}
+
+Graph load_graph_auto(const std::string& path) {
+  const auto dot = path.rfind('.');
+  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+  if (ext == ".rcsr") {
+    auto frozen = FrozenCsr::load(path);
+    if (!frozen)
+      throw std::runtime_error("cannot load frozen CSR " + path);
+    return frozen->thaw();
+  }
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  if (ext == ".gr") return read_dimacs_gr(is);
+  if (ext == ".txt" || ext == ".snap") return read_snap_edge_list(is);
   return read_edge_list(is);
 }
 

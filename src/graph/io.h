@@ -1,10 +1,28 @@
-// Plain-text edge-list serialization:
+// Graph ingestion and plain-text serialization.
+//
+// Native edge-list format (examples / test round-trips):
 //
 //   # comment lines allowed
 //   n <num_vertices>
 //   e <u> <v>        (one line per edge, 0-indexed)
 //
-// Used by the examples to load/save topologies and by tests for round-trips.
+// Real-graph loaders for the two formats production road/social graphs
+// actually ship in:
+//
+//   * DIMACS .gr (9th DIMACS shortest-path challenge): `c` comments,
+//     one `p sp <n> <m>` problem line, `a <u> <v> [w]` arc lines with
+//     1-indexed endpoints. The paper's model is unweighted, so weights are
+//     ignored; the symmetric arc pairs DIMACS files list (u->v and v->u)
+//     collapse to one undirected edge.
+//   * SNAP edge lists: `#` comments, one `<u> <v>` pair per line with
+//     arbitrary (sparse, non-dense) vertex ids, which are remapped to a
+//     dense [0, n) range in first-appearance order.
+//
+// Both loaders drop self-loops and duplicate edges (an undirected pair
+// listed in either order counts once): the Graph substrate is
+// multigraph-free. load_graph_auto dispatches on extension, including the
+// frozen binary form (.rcsr -- see graph/frozen_csr.h), so tools and
+// benches take any supported file via one flag.
 #pragma once
 
 #include <iosfwd>
@@ -19,5 +37,21 @@ Graph read_edge_list(std::istream& is);
 
 void save_graph(const Graph& g, const std::string& path);
 Graph load_graph(const std::string& path);
+
+// DIMACS .gr reader (see file comment). Throws std::runtime_error on a
+// malformed file (missing/duplicate problem line, out-of-range endpoints).
+Graph read_dimacs_gr(std::istream& is);
+
+// SNAP edge-list reader (see file comment). num_vertices() of the result is
+// the number of distinct endpoints; `orig_ids`, when non-null, receives the
+// original id of each dense vertex (orig_ids->at(v) = id v had in the file).
+Graph read_snap_edge_list(std::istream& is,
+                          std::vector<uint64_t>* orig_ids = nullptr);
+
+// Loads a graph from any supported file, dispatching on extension:
+// .gr -> DIMACS, .txt/.snap -> SNAP, .rcsr -> frozen CSR (mmap; see
+// graph/frozen_csr.h), anything else -> native edge list. Throws
+// std::runtime_error when the file cannot be opened or parsed.
+Graph load_graph_auto(const std::string& path);
 
 }  // namespace restorable

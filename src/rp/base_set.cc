@@ -54,7 +54,7 @@ RestorationOutcome restore_via_base_set(const IRpts& pi, Vertex s, Vertex t,
       const Vertex v = orient == 0 ? ed.v : ed.u;
       if (!from_s.reachable(u) || !to_t.reachable(v)) continue;
       if (s_uses[u] || t_uses[v]) continue;
-      const int32_t h = from_s.hops[u] + 1 + to_t.hops[v];
+      const int32_t h = from_s.hops(u) + 1 + to_t.hops(v);
       if (out.hops == kUnreachable || h < out.hops) {
         out.hops = h;
         best_u = u;

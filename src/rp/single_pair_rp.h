@@ -105,8 +105,8 @@ ReplacementPathsResult single_pair_replacement_paths(const Graph& g,
   l.assign(n, 0);
   for (Vertex v : from_s.spt.top_order()) {
     if (v == s) continue;
-    const Vertex par = from_s.spt.parent[v];
-    const EdgeId pe = from_s.spt.parent_edge[v];
+    const Vertex par = from_s.spt.parent(v);
+    const EdgeId pe = from_s.spt.parent_edge(v);
     l[v] = l[par] + (on_p[pe] ? 1 : 0);
   }
   // r(v): d minus the number of P-edges on the selected v ~> t path (a
@@ -118,8 +118,8 @@ ReplacementPathsResult single_pair_replacement_paths(const Graph& g,
       r[v] = static_cast<int32_t>(d);
       continue;
     }
-    const Vertex par = to_t.spt.parent[v];  // next vertex toward t
-    const EdgeId pe = to_t.spt.parent_edge[v];
+    const Vertex par = to_t.spt.parent(v);  // next vertex toward t
+    const EdgeId pe = to_t.spt.parent_edge(v);
     r[v] = r[par] - (on_p[pe] ? 1 : 0);
   }
 
@@ -154,7 +154,7 @@ ReplacementPathsResult single_pair_replacement_paths(const Graph& g,
         });
       }
       activate[lo].push_back(Candidate{
-          from_s.spt.hops[u] + 1 + to_t.spt.hops[v], std::move(tie), hi});
+          from_s.spt.hops(u) + 1 + to_t.spt.hops(v), std::move(tie), hi});
     }
   }
 

@@ -32,7 +32,7 @@ SourcewiseReplacementPaths::SourcewiseReplacementPaths(
     auto& row = table_[e];
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
       if (!cut[v]) continue;
-      row.emplace(v, repl.hops[v]);
+      row.emplace(v, repl.hops(v));
     }
     // Overlay the replacement paths of the affected vertices (stability:
     // unaffected vertices keep their base paths, already overlaid). A vertex
@@ -40,11 +40,11 @@ SourcewiseReplacementPaths::SourcewiseReplacementPaths(
     // parent chain.
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
       if (!cut[v] || !repl.reachable(v)) continue;
-      for (Vertex x = v; x != s && repl.parent_edge[x] != kNoEdge &&
+      for (Vertex x = v; x != s && repl.parent_edge(x) != kNoEdge &&
                          visited[x] != e;
-           x = repl.parent[x]) {
+           x = repl.parent(x)) {
         visited[x] = e;
-        in_preserver[repl.parent_edge[x]] = 1;
+        in_preserver[repl.parent_edge(x)] = 1;
       }
     }
   }
@@ -54,10 +54,10 @@ SourcewiseReplacementPaths::SourcewiseReplacementPaths(
 
 int32_t SourcewiseReplacementPaths::query(Vertex v, EdgeId e) const {
   const auto it = table_.find(e);
-  if (it == table_.end()) return base_->hops[v];  // fault off every path
+  if (it == table_.end()) return base_->hops(v);  // fault off every path
   const auto hit = it->second.find(v);
   // Fault on the tree but not on pi(s, v): stability again.
-  return hit == it->second.end() ? base_->hops[v] : hit->second;
+  return hit == it->second.end() ? base_->hops(v) : hit->second;
 }
 
 size_t SourcewiseReplacementPaths::entries() const {

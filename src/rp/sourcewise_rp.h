@@ -37,7 +37,7 @@ class SourcewiseReplacementPaths {
   int32_t query(Vertex v, EdgeId e) const;
 
   // The fault-free selected distance.
-  int32_t base_distance(Vertex v) const { return base_->hops[v]; }
+  int32_t base_distance(Vertex v) const { return base_->hops(v); }
 
   // Number of stored replacement entries (the structure's space).
   size_t entries() const;

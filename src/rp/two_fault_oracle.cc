@@ -62,7 +62,7 @@ int32_t TwoFaultSubsetOracle::query(Vertex s1, Vertex s2,
     for (Vertex x = 0; x < g_->num_vertices(); ++x) {
       if (!t1.reachable(x) || !t2.reachable(x)) continue;
       if (bad1[x] || bad2[x]) continue;
-      const int32_t h = t1.hops[x] + t2.hops[x];
+      const int32_t h = t1.hops(x) + t2.hops(x);
       if (best == kUnreachable || h < best) best = h;
     }
   }

@@ -187,7 +187,9 @@ SptHandle OracleServer::fetch_tree(const SsspRequest& req, FetchObs* obs) {
     t = pi_->spt_batch(std::span<const SsspRequest>(&req, 1),
                        config_.engine, nullptr)[0];
   } else {
-    t = std::make_shared<const Spt>(pi_->spt(req.root, req.faults, req.dir));
+    Spt computed = pi_->spt(req.root, req.faults, req.dir);
+    if (cache_ && cache_->compact_trees()) computed.compact();
+    t = std::make_shared<const Spt>(std::move(computed));
   }
   if (obs) obs->compute_ns = obs::now_ns() - c0;
   direct_bytes_.fetch_add(t->memory_bytes(), std::memory_order_relaxed);
@@ -212,8 +214,9 @@ SptHandle OracleServer::fetch_tree_pinned(const SsspRequest& req,
     t = pin->scheme->spt_batch(std::span<const SsspRequest>(&req, 1),
                                config_.engine, nullptr)[0];
   } else {
-    t = std::make_shared<const Spt>(
-        pin->scheme->spt(req.root, req.faults, req.dir));
+    Spt computed = pin->scheme->spt(req.root, req.faults, req.dir);
+    if (cache_ && cache_->compact_trees()) computed.compact();
+    t = std::make_shared<const Spt>(std::move(computed));
   }
   if (obs) obs->compute_ns = obs::now_ns() - c0;
   direct_bytes_.fetch_add(t->memory_bytes(), std::memory_order_relaxed);
@@ -460,10 +463,10 @@ int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults,
     if (explicit_escalation) note_escalation(EscalationReason::kExplicit);
     ans = fetch_classified({s, faults, Direction::kOut}, p, ctx,
                            explicit_escalation)
-              ->hops[t];
+              ->hops(t);
   } else {
     ans = fetch_classified({s, faults, Direction::kOut, eps_q}, p, ctx)
-              ->hops[t];
+              ->hops(t);
     if (stretch_probe_fires()) {
       // Sampled exact re-check: escalate, record the observed excess, and
       // return the exact answer (the caller gets a strictly better result
@@ -471,7 +474,7 @@ int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults,
       note_escalation(EscalationReason::kStretchRecheck);
       const int32_t exact =
           fetch_classified({s, faults, Direction::kOut}, p, ctx, true)
-              ->hops[t];
+              ->hops(t);
       record_stretch(exact, ans);
       ans = exact;
     }
@@ -533,17 +536,17 @@ int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
   // selection -- hence the distance -- unchanged. Walking the O(d) parent
   // chain beats building the fault tree whenever the path avoids e.
   bool on_path = false;
-  for (Vertex x = t; x != s; x = base->parent[x]) {
-    if (base->parent_edge[x] == e) {
+  for (Vertex x = t; x != s; x = base->parent(x)) {
+    if (base->parent_edge(x) == e) {
       on_path = true;
       break;
     }
   }
   if (!on_path) {
     stability_hits_.fetch_add(1, std::memory_order_relaxed);
-    return finish(base->hops[t]);
+    return finish(base->hops(t));
   }
-  return finish(fetch({s, FaultSet{e}, Direction::kOut})->hops[t]);
+  return finish(fetch({s, FaultSet{e}, Direction::kOut})->hops(t));
 }
 
 UpdateResult OracleServer::apply_update(Graph& graph, GraphDelta delta) {
@@ -613,6 +616,8 @@ UpdateResult OracleServer::apply_updates(Graph& graph,
                                  inv.key.fault_set(), config_.repair_fraction);
     });
     for (size_t i = 0; i < invalidated.size(); ++i) {
+      // Publication point: compact before wrapping (never behind a handle).
+      if (cache_->compact_trees()) outcomes[i].tree.compact();
       auto tree = std::make_shared<const Spt>(std::move(outcomes[i].tree));
       direct_bytes_.fetch_add(tree->memory_bytes(),
                               std::memory_order_relaxed);
@@ -706,6 +711,8 @@ UpdateResult OracleServer::apply_updates_pinned(
                                  inv.key.fault_set(), config_.repair_fraction);
     });
     for (size_t i = 0; i < invalidated.size(); ++i) {
+      // Publication point: compact before wrapping (never behind a handle).
+      if (cache_->compact_trees()) outcomes[i].tree.compact();
       auto tree = std::make_shared<const Spt>(std::move(outcomes[i].tree));
       direct_bytes_.fetch_add(tree->memory_bytes(),
                               std::memory_order_relaxed);

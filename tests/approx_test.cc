@@ -34,17 +34,17 @@ double stretch_bound(double eps, int32_t d_true) {
 void expect_within_stretch(const Spt& approx, const Spt& exact,
                            uint32_t eps_q) {
   const double eps = dequantize_epsilon(eps_q);
-  ASSERT_EQ(approx.hops.size(), exact.hops.size());
-  for (Vertex v = 0; v < approx.hops.size(); ++v) {
-    if (exact.hops[v] == kUnreachable) {
-      EXPECT_EQ(approx.hops[v], kUnreachable) << "v=" << v;
+  ASSERT_EQ(approx.num_vertices(), exact.num_vertices());
+  for (Vertex v = 0; v < approx.num_vertices(); ++v) {
+    if (exact.hops(v) == kUnreachable) {
+      EXPECT_EQ(approx.hops(v), kUnreachable) << "v=" << v;
       continue;
     }
-    ASSERT_NE(approx.hops[v], kUnreachable) << "v=" << v;
-    EXPECT_GE(approx.hops[v], exact.hops[v]) << "v=" << v;
-    EXPECT_LE(static_cast<double>(approx.hops[v]),
-              stretch_bound(eps, exact.hops[v]) + 1e-9)
-        << "v=" << v << " d_true=" << exact.hops[v];
+    ASSERT_NE(approx.hops(v), kUnreachable) << "v=" << v;
+    EXPECT_GE(approx.hops(v), exact.hops(v)) << "v=" << v;
+    EXPECT_LE(static_cast<double>(approx.hops(v)),
+              stretch_bound(eps, exact.hops(v)) + 1e-9)
+        << "v=" << v << " d_true=" << exact.hops(v);
   }
 }
 
@@ -54,18 +54,18 @@ void expect_within_stretch(const Spt& approx, const Spt& exact,
 void expect_realizable(const Graph& g, const Spt& tree,
                        const FaultSet& faults) {
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (tree.hops[v] == kUnreachable || v == tree.root) continue;
-    const Vertex p = tree.parent[v];
-    const EdgeId pe = tree.parent_edge[v];
+    if (tree.hops(v) == kUnreachable || v == tree.root) continue;
+    const Vertex p = tree.parent(v);
+    const EdgeId pe = tree.parent_edge(v);
     ASSERT_NE(p, kNoVertex) << "v=" << v;
     ASSERT_NE(pe, kNoEdge) << "v=" << v;
     EXPECT_TRUE(g.edge_present(pe)) << "v=" << v;
     EXPECT_FALSE(faults.contains(pe)) << "v=" << v;
     const Edge& e = g.endpoints(pe);
     EXPECT_TRUE((e.u == p && e.v == v) || (e.v == p && e.u == v));
-    EXPECT_LT(tree.hops[p], tree.hops[v]) << "v=" << v;
+    EXPECT_LT(tree.hops(p), tree.hops(v)) << "v=" << v;
   }
-  EXPECT_EQ(tree.hops[tree.root], 0);
+  EXPECT_EQ(tree.hops(tree.root), 0);
 }
 
 TEST(EpsilonQuantization, FloorsAndCaps) {
@@ -111,9 +111,13 @@ void run_exact_identity_fuzz(const Graph& g, const Policy& policy) {
     const auto got = eng.run_batch_spt(g, policy, reqs);
     ASSERT_EQ(got.size(), want.size());
     for (size_t i = 0; i < got.size(); ++i) {
-      EXPECT_EQ(got[i].hops, want[i].hops) << "threads=" << threads;
-      EXPECT_EQ(got[i].parent, want[i].parent) << "threads=" << threads;
-      EXPECT_EQ(got[i].parent_edge, want[i].parent_edge);
+      ASSERT_EQ(got[i].num_vertices(), want[i].num_vertices());
+      for (Vertex v = 0; v < want[i].num_vertices(); ++v) {
+        EXPECT_EQ(got[i].hops(v), want[i].hops(v)) << "threads=" << threads;
+        EXPECT_EQ(got[i].parent(v), want[i].parent(v))
+            << "threads=" << threads;
+        EXPECT_EQ(got[i].parent_edge(v), want[i].parent_edge(v));
+      }
     }
   }
 }
@@ -280,18 +284,18 @@ TEST(ApproxServer, ServesApproximatelyAndEscalatesOnDemand) {
     const Spt exact = pi.spt(s);
     for (Vertex t = 0; t < g.num_vertices(); t += 7) {
       const int32_t approx = server.distance(s, t);
-      if (exact.hops[t] == kUnreachable) {
+      if (exact.hops(t) == kUnreachable) {
         EXPECT_EQ(approx, kUnreachable);
         continue;
       }
-      EXPECT_GE(approx, exact.hops[t]);
+      EXPECT_GE(approx, exact.hops(t));
       EXPECT_LE(static_cast<double>(approx),
-                stretch_bound(eps, exact.hops[t]) + 1e-9);
+                stretch_bound(eps, exact.hops(t)) + 1e-9);
       // require_exact escalates and answers exactly.
       EXPECT_EQ(server.distance(s, t, {}, {.require_exact = true}),
-                exact.hops[t]);
+                exact.hops(t));
       // Per-query epsilon 0 answers exactly too.
-      EXPECT_EQ(server.distance(s, t, {}, {.epsilon = 0.0}), exact.hops[t]);
+      EXPECT_EQ(server.distance(s, t, {}, {.epsilon = 0.0}), exact.hops(t));
     }
   }
   const ServerStats st = server.stats();
@@ -317,7 +321,7 @@ TEST(ApproxServer, StretchRecheckReturnsExactAnswer) {
   for (Vertex s = 0; s < g.num_vertices(); s += 3) {
     const Spt exact = pi.spt(s);
     for (Vertex t = 0; t < g.num_vertices(); t += 5)
-      EXPECT_EQ(server.distance(s, t), exact.hops[t]) << s << "->" << t;
+      EXPECT_EQ(server.distance(s, t), exact.hops(t)) << s << "->" << t;
   }
   if constexpr (obs::kEnabled) {
     const ServerStats st = server.stats();
@@ -375,10 +379,10 @@ TEST(ApproxServer, ApproxTierSurvivesChurnAtLeastAsWellAsExact) {
     // Post-churn answers still within bound.
     const Spt exact = pi.spt(3);
     const int32_t d = server.distance(3, b);
-    if (exact.hops[b] != kUnreachable) {
-      EXPECT_GE(d, exact.hops[b]);
+    if (exact.hops(b) != kUnreachable) {
+      EXPECT_GE(d, exact.hops(b));
       EXPECT_LE(static_cast<double>(d),
-                stretch_bound(1.0, exact.hops[b]) + 1e-9);
+                stretch_bound(1.0, exact.hops(b)) + 1e-9);
     }
   }
   EXPECT_GT(carried_total, 0u);

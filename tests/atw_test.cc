@@ -131,8 +131,8 @@ void expect_unique_selection(const Graph& g, const Policy& policy) {
     Graph rg(g.num_vertices(), std::move(redges), std::move(rlabels));
     const auto b = tiebroken_sssp(rg, policy, s, {}, Direction::kOut);
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
-      EXPECT_EQ(a.spt.hops[v], b.spt.hops[v]);
-      EXPECT_EQ(a.spt.parent[v], b.spt.parent[v])
+      EXPECT_EQ(a.spt.hops(v), b.spt.hops(v));
+      EXPECT_EQ(a.spt.parent(v), b.spt.parent(v))
           << "non-unique selection at s=" << s << " v=" << v;
     }
   }
@@ -175,7 +175,7 @@ void expect_hops_preserved(const Graph& g, const Policy& policy) {
       const auto d = tiebroken_sssp(g, policy, s, faults, Direction::kOut);
       const auto truth = bfs_distances(g, s, faults);
       for (Vertex v = 0; v < g.num_vertices(); ++v)
-        ASSERT_EQ(d.spt.hops[v], truth[v])
+        ASSERT_EQ(d.spt.hops(v), truth[v])
             << "s=" << s << " v=" << v << " F=" << faults.to_string();
     }
   }

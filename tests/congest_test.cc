@@ -89,8 +89,8 @@ TEST_P(DistSptSweep, MatchesCentralizedSpt) {
   IsolationRpts pi(g, atw);
   const Spt central = pi.spt(root);
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    ASSERT_EQ(dist.spt.hops[v], central.hops[v]) << "v=" << v;
-    EXPECT_EQ(dist.spt.parent[v], central.parent[v]) << "v=" << v;
+    ASSERT_EQ(dist.spt.hops(v), central.hops(v)) << "v=" << v;
+    EXPECT_EQ(dist.spt.parent(v), central.parent(v)) << "v=" << v;
   }
   // Round bound: eccentricity + O(1).
   EXPECT_LE(dist.stats.rounds, eccentricity(g, root) + 3);
@@ -110,9 +110,9 @@ TEST(ParallelSpts, AllInstancesExactUnderScheduling) {
   for (size_t k = 0; k < sources.size(); ++k) {
     const Spt central = pi.spt(sources[k]);
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
-      ASSERT_EQ(run.spts[k].hops[v], central.hops[v])
+      ASSERT_EQ(run.spts[k].hops(v), central.hops(v))
           << "instance " << k << " v=" << v;
-      EXPECT_EQ(run.spts[k].parent[v], central.parent[v]);
+      EXPECT_EQ(run.spts[k].parent(v), central.parent(v));
     }
   }
 }
@@ -152,9 +152,14 @@ TEST(ParallelSpts, TranscriptIdenticalAcrossThreadCounts) {
     EXPECT_EQ(par.stats.max_edge_messages, seq.stats.max_edge_messages);
     ASSERT_EQ(par.spts.size(), seq.spts.size());
     for (size_t k = 0; k < seq.spts.size(); ++k) {
-      EXPECT_EQ(par.spts[k].hops, seq.spts[k].hops) << "instance " << k;
-      EXPECT_EQ(par.spts[k].parent, seq.spts[k].parent) << "instance " << k;
-      EXPECT_EQ(par.spts[k].parent_edge, seq.spts[k].parent_edge);
+      ASSERT_EQ(par.spts[k].num_vertices(), seq.spts[k].num_vertices());
+      for (Vertex v = 0; v < seq.spts[k].num_vertices(); ++v) {
+        EXPECT_EQ(par.spts[k].hops(v), seq.spts[k].hops(v))
+            << "instance " << k;
+        EXPECT_EQ(par.spts[k].parent(v), seq.spts[k].parent(v))
+            << "instance " << k;
+        EXPECT_EQ(par.spts[k].parent_edge(v), seq.spts[k].parent_edge(v));
+      }
     }
   }
 }
@@ -168,8 +173,10 @@ TEST(DistSpt, TranscriptIdenticalAcrossThreadCounts) {
     const auto par = congest::run_distributed_spt(g, atw, 2, &pool);
     EXPECT_EQ(par.stats.transcript_hash, seq.stats.transcript_hash)
         << "threads=" << threads;
-    EXPECT_EQ(par.spt.hops, seq.spt.hops);
-    EXPECT_EQ(par.spt.parent, seq.spt.parent);
+    for (Vertex v = 0; v < seq.spt.num_vertices(); ++v) {
+      EXPECT_EQ(par.spt.hops(v), seq.spt.hops(v)) << "v=" << v;
+      EXPECT_EQ(par.spt.parent(v), seq.spt.parent(v)) << "v=" << v;
+    }
   }
 }
 

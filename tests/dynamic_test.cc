@@ -21,14 +21,23 @@ namespace {
 void expect_same_tree(const Spt& got, const Spt& want) {
   EXPECT_EQ(got.root, want.root);
   EXPECT_EQ(got.dir, want.dir);
-  EXPECT_EQ(got.hops, want.hops);
-  EXPECT_EQ(got.parent, want.parent);
-  EXPECT_EQ(got.parent_edge, want.parent_edge);
+  ASSERT_EQ(got.num_vertices(), want.num_vertices());
+  for (Vertex v = 0; v < want.num_vertices(); ++v) {
+    EXPECT_EQ(got.hops(v), want.hops(v)) << "v=" << v;
+    EXPECT_EQ(got.parent(v), want.parent(v)) << "v=" << v;
+    EXPECT_EQ(got.parent_edge(v), want.parent_edge(v)) << "v=" << v;
+  }
 }
 
 bool same_tree(const Spt& a, const Spt& b) {
-  return a.root == b.root && a.dir == b.dir && a.hops == b.hops &&
-         a.parent == b.parent && a.parent_edge == b.parent_edge;
+  if (a.root != b.root || a.dir != b.dir ||
+      a.num_vertices() != b.num_vertices())
+    return false;
+  for (Vertex v = 0; v < a.num_vertices(); ++v)
+    if (a.hops(v) != b.hops(v) || a.parent(v) != b.parent(v) ||
+        a.parent_edge(v) != b.parent_edge(v))
+      return false;
+  return true;
 }
 
 // A mixed key set over every root: base out-trees everywhere, plus in-trees
@@ -80,9 +89,9 @@ TEST(TreeSurvives, ExactAcrossRemovalsInsertsAndFlaps) {
   // must carry (non-zero carried fraction is the acceptance criterion).
   Vertex deep = 0;
   for (Vertex v = 0; v < g.num_vertices(); ++v)
-    if (trees[0].reachable(v) && trees[0].hops[v] > trees[0].hops[deep])
+    if (trees[0].reachable(v) && trees[0].hops(v) > trees[0].hops(deep))
       deep = v;
-  GraphDelta d = GraphDelta::remove(trees[0].parent_edge[deep]);
+  GraphDelta d = GraphDelta::remove(trees[0].parent_edge(deep));
   ASSERT_TRUE(g.apply(d));
   auto [survived_a, changed_a] = check_survivors(pi, d, reqs, trees);
   EXPECT_GT(survived_a, reqs.size() / 2);  // plenty carried
@@ -105,7 +114,7 @@ TEST(TreeSurvives, ExactAcrossRemovalsInsertsAndFlaps) {
   Vertex cu = kNoVertex, cv = kNoVertex;
   for (Vertex a = 0; a < g.num_vertices() && cu == kNoVertex; ++a)
     for (Vertex b = 0; b < g.num_vertices(); ++b)
-      if (trees[0].hops[b] > trees[0].hops[a] + 1 &&
+      if (trees[0].hops(b) > trees[0].hops(a) + 1 &&
           g.find_edge(a, b) == kNoEdge) {
         cu = a;
         cv = b;
@@ -149,12 +158,12 @@ TEST(TreeSurvives, DisconnectionAndReconnectionAreDetected) {
   // edge both of whose endpoints are interior path vertices (degree 2).
   Vertex far = 0;
   for (Vertex v = 0; v < g.num_vertices(); ++v)
-    if (t0.hops[v] > t0.hops[far]) far = v;
+    if (t0.hops(v) > t0.hops(far)) far = v;
   EdgeId bridge = kNoEdge;
-  for (Vertex v = far; t0.parent[v] != kNoVertex; v = t0.parent[v]) {
-    const Edge& e = g.endpoints(t0.parent_edge[v]);
+  for (Vertex v = far; t0.parent(v) != kNoVertex; v = t0.parent(v)) {
+    const Edge& e = g.endpoints(t0.parent_edge(v));
     if (g.degree(e.u) == 2 && g.degree(e.v) == 2) {
-      bridge = t0.parent_edge[v];
+      bridge = t0.parent_edge(v);
       break;
     }
   }
@@ -185,8 +194,8 @@ TEST(AffectedRoots, SoundAndFineGrained) {
   // Remove a tree edge of root 0 (parent_edge[0] is kNoEdge at the root
   // itself; pick a vertex that actually has a parent).
   Vertex x = 0;
-  while (before[0]->parent[x] == kNoVertex) ++x;
-  GraphDelta d = GraphDelta::remove(before[0]->parent_edge[x]);
+  while (before[0]->parent(x) == kNoVertex) ++x;
+  GraphDelta d = GraphDelta::remove(before[0]->parent_edge(x));
   ASSERT_TRUE(g.apply(d));
 
   const auto affected = pi.affected_roots(d, before);
@@ -239,8 +248,8 @@ TEST(SptCacheDynamic, AdvanceEpochRekeysSurvivorsZeroCopy) {
                       {1, {}, Direction::kOut}),
                pi.spt(1));
 
-  GraphDelta d = GraphDelta::remove(base[0]->parent_edge[
-      base[0]->parent[1] != kNoVertex ? 1 : 2]);
+  GraphDelta d = GraphDelta::remove(base[0]->parent_edge(
+      base[0]->parent(1) != kNoVertex ? 1 : 2));
   const uint64_t old_epoch = g.epoch();
   ASSERT_TRUE(g.apply(d));
 
@@ -402,8 +411,8 @@ TEST(OracleServerDynamic, ApplyUpdateMatchesFromScratchRebuild) {
     const auto t0 = server.tree({0, {}, Direction::kOut});
     Vertex deep = 0;
     for (Vertex v = 0; v < g.num_vertices(); ++v)
-      if (t0->reachable(v) && t0->hops[v] > t0->hops[deep]) deep = v;
-    const EdgeId victim = t0->parent_edge[deep];
+      if (t0->reachable(v) && t0->hops(v) > t0->hops(deep)) deep = v;
+    const EdgeId victim = t0->parent_edge(deep);
     server.distance(0, deep, FaultSet{victim});
 
     const auto res = server.apply_update(g, GraphDelta::remove(victim));

@@ -20,7 +20,7 @@ TEST(EdgeCases, SingleVertexGraph) {
   Graph g(1, {});
   IsolationRpts pi(g, IsolationAtw(1));
   const Spt t = pi.spt(0);
-  EXPECT_EQ(t.hops[0], 0);
+  EXPECT_EQ(t.hops(0), 0);
   EXPECT_EQ(pi.distance(0, 0), 0);
   const Vertex sources[] = {0};
   EXPECT_EQ(build_sv_preserver(pi, sources, 1).count(), 0u);

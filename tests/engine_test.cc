@@ -58,9 +58,12 @@ void expect_batch_matches_reference(const Graph& g, const Policy& policy,
                    " request=" + std::to_string(i));
       EXPECT_EQ(got[i].spt.root, want[i].spt.root);
       EXPECT_EQ(got[i].spt.dir, want[i].spt.dir);
-      EXPECT_EQ(got[i].spt.hops, want[i].spt.hops);
-      EXPECT_EQ(got[i].spt.parent, want[i].spt.parent);
-      EXPECT_EQ(got[i].spt.parent_edge, want[i].spt.parent_edge);
+      ASSERT_EQ(got[i].spt.num_vertices(), want[i].spt.num_vertices());
+      for (Vertex v = 0; v < want[i].spt.num_vertices(); ++v) {
+        EXPECT_EQ(got[i].spt.hops(v), want[i].spt.hops(v));
+        EXPECT_EQ(got[i].spt.parent(v), want[i].spt.parent(v));
+        EXPECT_EQ(got[i].spt.parent_edge(v), want[i].spt.parent_edge(v));
+      }
       ASSERT_EQ(got[i].tie.size(), want[i].tie.size());
       for (Vertex v = 0; v < g.num_vertices(); ++v) {
         EXPECT_EQ(policy.compare(got[i].tie[v], want[i].tie[v]), 0)
@@ -113,8 +116,10 @@ TEST(BatchSsspEngine, WorkspaceSurvivesGraphSwitches) {
     for (size_t i = 0; i < reqs.size(); ++i) {
       const auto want =
           tiebroken_sssp(g, pol, reqs[i].root, reqs[i].faults, reqs[i].dir);
-      EXPECT_EQ(got[i].spt.hops, want.spt.hops);
-      EXPECT_EQ(got[i].spt.parent, want.spt.parent);
+      for (Vertex v = 0; v < want.spt.num_vertices(); ++v) {
+        EXPECT_EQ(got[i].spt.hops(v), want.spt.hops(v));
+        EXPECT_EQ(got[i].spt.parent(v), want.spt.parent(v));
+      }
       EXPECT_EQ(got[i].tie, want.tie);
     }
   }
@@ -135,9 +140,11 @@ TEST(SptBatch, RptsOverrideMatchesSequentialSpt) {
   ASSERT_EQ(got.size(), reqs.size());
   for (size_t i = 0; i < reqs.size(); ++i) {
     const Spt want = pi.spt(reqs[i].root, reqs[i].faults, reqs[i].dir);
-    EXPECT_EQ(got[i]->hops, want.hops);
-    EXPECT_EQ(got[i]->parent, want.parent);
-    EXPECT_EQ(got[i]->parent_edge, want.parent_edge);
+    for (Vertex v = 0; v < want.num_vertices(); ++v) {
+      EXPECT_EQ(got[i]->hops(v), want.hops(v));
+      EXPECT_EQ(got[i]->parent(v), want.parent(v));
+      EXPECT_EQ(got[i]->parent_edge(v), want.parent_edge(v));
+    }
   }
 }
 
@@ -151,8 +158,10 @@ TEST(SptBatch, DefaultImplementationCoversArbitraryRpts) {
   ASSERT_EQ(got.size(), reqs.size());
   for (size_t i = 0; i < reqs.size(); ++i) {
     const Spt want = pi.spt(reqs[i].root, reqs[i].faults, reqs[i].dir);
-    EXPECT_EQ(got[i]->hops, want.hops);
-    EXPECT_EQ(got[i]->parent, want.parent);
+    for (Vertex v = 0; v < want.num_vertices(); ++v) {
+      EXPECT_EQ(got[i]->hops(v), want.hops(v));
+      EXPECT_EQ(got[i]->parent(v), want.parent(v));
+    }
   }
 }
 

@@ -23,9 +23,12 @@ namespace {
 void expect_same_tree(const Spt& got, const Spt& want) {
   EXPECT_EQ(got.root, want.root);
   EXPECT_EQ(got.dir, want.dir);
-  EXPECT_EQ(got.hops, want.hops);
-  EXPECT_EQ(got.parent, want.parent);
-  EXPECT_EQ(got.parent_edge, want.parent_edge);
+  ASSERT_EQ(got.num_vertices(), want.num_vertices());
+  for (Vertex v = 0; v < want.num_vertices(); ++v) {
+    EXPECT_EQ(got.hops(v), want.hops(v)) << "v=" << v;
+    EXPECT_EQ(got.parent(v), want.parent(v)) << "v=" << v;
+    EXPECT_EQ(got.parent_edge(v), want.parent_edge(v)) << "v=" << v;
+  }
 }
 
 std::unique_ptr<const Generation> make_generation(const IRpts& pi) {
@@ -71,8 +74,8 @@ TEST(GenerationManager, PinObservesCurrentAndSurvivesUnpublish) {
 
   // Mutate the LIVE graph and publish the new world; the pin still sees the
   // frozen old one, bit-identically.
-  GraphDelta d = GraphDelta::remove(before.parent_edge[1] != kNoEdge
-                                        ? before.parent_edge[1]
+  GraphDelta d = GraphDelta::remove(before.parent_edge(1) != kNoEdge
+                                        ? before.parent_edge(1)
                                         : EdgeId{0});
   ASSERT_TRUE(g.apply(d));
   mgr.publish(make_generation(pi));
@@ -259,8 +262,11 @@ TEST(OracleServerEpochPinned, HammerPinsAcrossPublishes) {
             // The pin has now been held across up to a full flap (two
             // publishes): its frozen world must be byte-for-byte unmoved.
             const Spt again = held->scheme->spt(reference.root);
-            ASSERT_EQ(again.hops, reference.hops);
-            ASSERT_EQ(again.parent, reference.parent);
+            ASSERT_EQ(again.num_vertices(), reference.num_vertices());
+            for (Vertex v = 0; v < reference.num_vertices(); ++v) {
+              ASSERT_EQ(again.hops(v), reference.hops(v));
+              ASSERT_EQ(again.parent(v), reference.parent(v));
+            }
             verified.fetch_add(1, std::memory_order_relaxed);
             held = GenerationManager::Pin();  // release: let drains proceed
           } else if (!held && r % 8 == 0) {

@@ -1,0 +1,149 @@
+// Ingestion loaders: DIMACS .gr and SNAP edge lists round-trip the
+// committed fixtures in tests/data/ into the exact expected Graph, and
+// load_graph_auto dispatches every supported extension.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/frozen_csr.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace restorable {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(RESTORABLE_TEST_DATA_DIR) + "/" + name;
+}
+
+// Order-free edge multiset of a graph, for comparing against expectations.
+std::multiset<std::pair<Vertex, Vertex>> edge_set(const Graph& g) {
+  std::multiset<std::pair<Vertex, Vertex>> out;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.endpoints(e);
+    out.insert({std::min(ed.u, ed.v), std::max(ed.u, ed.v)});
+  }
+  return out;
+}
+
+TEST(GraphIo, DimacsFixtureRoundTrip) {
+  const Graph g = load_graph_auto(fixture("tiny.gr"));
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 7u);  // 14 arcs = 7 symmetric pairs
+  const std::multiset<std::pair<Vertex, Vertex>> want = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}, {1, 4}};
+  EXPECT_EQ(edge_set(g), want);
+}
+
+TEST(GraphIo, SnapFixtureRemapsSparseIds) {
+  std::ifstream is(fixture("tiny_snap.txt"));
+  ASSERT_TRUE(is.is_open());
+  std::vector<uint64_t> ids;
+  const Graph g = read_snap_edge_list(is, &ids);
+  // Dense ids in first-appearance order; the duplicate pair (101,309) and
+  // the self-loop (205,205) are dropped.
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  const std::vector<uint64_t> want_ids = {101, 205, 309, 4242, 7};
+  EXPECT_EQ(ids, want_ids);
+  const std::multiset<std::pair<Vertex, Vertex>> want = {
+      {0, 1}, {1, 2}, {0, 2}, {2, 3}, {0, 3}, {3, 4}, {0, 4}};
+  EXPECT_EQ(edge_set(g), want);
+}
+
+TEST(GraphIo, AutoDispatchCoversEveryExtension) {
+  // .txt routes through the SNAP reader (same fixture, no orig_ids).
+  const Graph snap = load_graph_auto(fixture("tiny_snap.txt"));
+  EXPECT_EQ(snap.num_vertices(), 5u);
+  EXPECT_EQ(snap.num_edges(), 7u);
+
+  // Native edge list and frozen CSR go through scratch files.
+  const Graph g = gnp_connected(30, 0.15, 19);
+  const std::string dir = ::testing::TempDir();
+  const std::string native = dir + "/auto_native.edges";
+  const std::string frozen = dir + "/auto_frozen.rcsr";
+  save_graph(g, native);
+  ASSERT_TRUE(FrozenCsr::freeze(g).write(frozen));
+  const Graph from_native = load_graph_auto(native);
+  const Graph from_frozen = load_graph_auto(frozen);
+  EXPECT_EQ(from_native.num_vertices(), g.num_vertices());
+  EXPECT_EQ(edge_set(from_native), edge_set(g));
+  EXPECT_EQ(from_frozen.num_vertices(), g.num_vertices());
+  EXPECT_EQ(from_frozen.edges(), g.edges());
+  std::remove(native.c_str());
+  std::remove(frozen.c_str());
+}
+
+TEST(GraphIo, DimacsRejectsMalformedInput) {
+  {
+    std::istringstream no_problem("c nothing but comments\n");
+    EXPECT_THROW(read_dimacs_gr(no_problem), std::runtime_error);
+  }
+  {
+    std::istringstream arc_first("a 1 2 3\np sp 4 1\n");
+    EXPECT_THROW(read_dimacs_gr(arc_first), std::runtime_error);
+  }
+  {
+    std::istringstream out_of_range("p sp 3 1\na 1 9 5\n");
+    EXPECT_THROW(read_dimacs_gr(out_of_range), std::runtime_error);
+  }
+  {
+    std::istringstream twice("p sp 3 1\np sp 3 1\n");
+    EXPECT_THROW(read_dimacs_gr(twice), std::runtime_error);
+  }
+  {
+    std::istringstream junk("p sp 3 1\nz 1 2\n");
+    EXPECT_THROW(read_dimacs_gr(junk), std::runtime_error);
+  }
+}
+
+TEST(GraphIo, SnapRejectsMalformedInput) {
+  std::istringstream bad("1 2\nnot numbers\n");
+  EXPECT_THROW(read_snap_edge_list(bad), std::runtime_error);
+}
+
+TEST(GraphIo, AutoThrowsOnMissingFile) {
+  EXPECT_THROW(load_graph_auto(fixture("does_not_exist.gr")),
+               std::runtime_error);
+  EXPECT_THROW(load_graph_auto(fixture("does_not_exist.rcsr")),
+               std::runtime_error);
+}
+
+TEST(GraphIo, SparseConnectedGeneratorIsConnectedAndDedups) {
+  const Graph g = sparse_connected(5000, 3.0, 77);
+  EXPECT_EQ(g.num_vertices(), 5000u);
+  EXPECT_EQ(g.num_edges(), 7500u);  // avg_degree * n / 2, exactly
+  // Connectivity and no duplicates: every edge unique, one component.
+  std::set<std::pair<Vertex, Vertex>> uniq;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.endpoints(e);
+    EXPECT_NE(ed.u, ed.v);
+    EXPECT_TRUE(
+        uniq.insert({std::min(ed.u, ed.v), std::max(ed.u, ed.v)}).second);
+  }
+  // BFS from 0 must reach everything.
+  std::vector<char> vis(g.num_vertices(), 0);
+  std::vector<Vertex> stack = {0};
+  vis[0] = 1;
+  size_t reached = 1;
+  while (!stack.empty()) {
+    const Vertex u = stack.back();
+    stack.pop_back();
+    for (const auto& arc : g.arcs(u)) {
+      if (!vis[arc.to]) {
+        vis[arc.to] = 1;
+        ++reached;
+        stack.push_back(arc.to);
+      }
+    }
+  }
+  EXPECT_EQ(reached, g.num_vertices());
+}
+
+}  // namespace
+}  // namespace restorable

@@ -2,6 +2,7 @@
 // restorability results: Theorem 19 (ATW schemes are f-restorable),
 // Theorem 37 (no symmetric scheme on C4 is 1-restorable, by exhaustive
 // enumeration), and the Figure-1 phenomenon (a plausible BFS scheme fails).
+#include <algorithm>
 #include "core/properties.h"
 
 #include <gtest/gtest.h>
@@ -25,10 +26,12 @@ TEST(Checkers, ShortestPathsCatchesBadScheme) {
       // Claim everything is at distance 1 with nonsense parents.
       Spt t;
       t.root = root;
-      t.hops.assign(g_->num_vertices(), 1);
-      t.hops[root] = 0;
-      t.parent.assign(g_->num_vertices(), root);
-      t.parent_edge.assign(g_->num_vertices(), 0);
+      t.reset(g_->num_vertices());
+      std::fill(t.mutable_hops().begin(), t.mutable_hops().end(), 1);
+      t.mutable_hops()[root] = 0;
+      std::fill(t.mutable_parent().begin(), t.mutable_parent().end(), root);
+      std::fill(t.mutable_parent_edge().begin(), t.mutable_parent_edge().end(),
+                EdgeId{0});
       return t;
     }
    private:

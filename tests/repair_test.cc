@@ -19,9 +19,12 @@ namespace {
 void expect_same_tree(const Spt& got, const Spt& want) {
   EXPECT_EQ(got.root, want.root);
   EXPECT_EQ(got.dir, want.dir);
-  EXPECT_EQ(got.hops, want.hops);
-  EXPECT_EQ(got.parent, want.parent);
-  EXPECT_EQ(got.parent_edge, want.parent_edge);
+  ASSERT_EQ(got.num_vertices(), want.num_vertices());
+  for (Vertex v = 0; v < want.num_vertices(); ++v) {
+    EXPECT_EQ(got.hops(v), want.hops(v)) << "v=" << v;
+    EXPECT_EQ(got.parent(v), want.parent(v)) << "v=" << v;
+    EXPECT_EQ(got.parent_edge(v), want.parent_edge(v)) << "v=" << v;
+  }
 }
 
 TEST(GraphBatchApply, OneEpochBumpAndFilledDeltas) {
@@ -89,8 +92,8 @@ TEST(BatchSurvives, NetNoOpCarriesEverything) {
   // Flap a tree edge of root 0 inside one batch: net-empty, so EVERY tree
   // survives vacuously -- including the trees that used the flapped edge.
   Vertex x = 1;
-  while (trees[0].parent[x] == kNoVertex) ++x;
-  const EdgeId victim = trees[0].parent_edge[x];
+  while (trees[0].parent(x) == kNoVertex) ++x;
+  const EdgeId victim = trees[0].parent_edge(x);
   const Edge ed = g.endpoints(victim);
   std::vector<GraphDelta> flap{GraphDelta::remove(victim),
                                GraphDelta::insert(ed.u, ed.v)};
@@ -234,12 +237,12 @@ TEST(RepairTree, DisconnectionAndReattachment) {
   const Spt t0 = pi.spt(0);
   Vertex far = 0;
   for (Vertex v = 0; v < g.num_vertices(); ++v)
-    if (t0.hops[v] > t0.hops[far]) far = v;
+    if (t0.hops(v) > t0.hops(far)) far = v;
   EdgeId bridge = kNoEdge;
-  for (Vertex v = far; t0.parent[v] != kNoVertex; v = t0.parent[v]) {
-    const Edge& e = g.endpoints(t0.parent_edge[v]);
+  for (Vertex v = far; t0.parent(v) != kNoVertex; v = t0.parent(v)) {
+    const Edge& e = g.endpoints(t0.parent_edge(v));
     if (g.degree(e.u) == 2 && g.degree(e.v) == 2) {
-      bridge = t0.parent_edge[v];
+      bridge = t0.parent_edge(v);
       break;
     }
   }
@@ -264,8 +267,8 @@ TEST(RepairTree, ThresholdFallsBackToRecompute) {
   const IsolationRpts pi(g, IsolationAtw(45));
   const Spt t0 = pi.spt(0);
   Vertex x = 1;
-  while (t0.parent[x] == kNoVertex) ++x;
-  std::vector<GraphDelta> cut{GraphDelta::remove(t0.parent_edge[x])};
+  while (t0.parent(x) == kNoVertex) ++x;
+  std::vector<GraphDelta> cut{GraphDelta::remove(t0.parent_edge(x))};
   const DeltaBatch batch = g.apply(std::span<const GraphDelta>(cut));
   // A zero threshold clamps to the minimum affected-region allowance; a
   // huge detach cannot fit, so the repair must recompute -- and still be
@@ -298,11 +301,11 @@ TEST(OracleServerBatch, ApplyUpdatesMatchesRebuildAcrossThreads) {
     const auto t0 = server.tree({0, {}, Direction::kOut});
     std::vector<GraphDelta> burst;
     Vertex x = 1;
-    while (t0->parent[x] == kNoVertex) ++x;
-    burst.push_back(GraphDelta::remove(t0->parent_edge[x]));
+    while (t0->parent(x) == kNoVertex) ++x;
+    burst.push_back(GraphDelta::remove(t0->parent_edge(x)));
     ++x;
-    while (t0->parent[x] == kNoVertex) ++x;
-    burst.push_back(GraphDelta::remove(t0->parent_edge[x]));
+    while (t0->parent(x) == kNoVertex) ++x;
+    burst.push_back(GraphDelta::remove(t0->parent_edge(x)));
     burst.push_back(GraphDelta::remove(20));
     burst.push_back(GraphDelta::remove(21));
 
@@ -329,8 +332,8 @@ TEST(OracleServerBatch, ApplyUpdatesMatchesRebuildAcrossThreads) {
     // invalidations, zero repairs.
     const auto tree_now = server.tree({0, {}, Direction::kOut});
     Vertex y = 1;
-    while (tree_now->parent[y] == kNoVertex) ++y;
-    const EdgeId flapped = tree_now->parent_edge[y];
+    while (tree_now->parent(y) == kNoVertex) ++y;
+    const EdgeId flapped = tree_now->parent_edge(y);
     const Edge fe = g.endpoints(flapped);
     std::vector<GraphDelta> flap{GraphDelta::remove(flapped),
                                  GraphDelta::insert(fe.u, fe.v)};

@@ -19,17 +19,17 @@ TEST(Robustness, DistributedSptOnSingleEdge) {
   Graph g = path_graph(2);
   const IsolationAtw atw(1);
   const auto res = congest::run_distributed_spt(g, atw, 0);
-  EXPECT_EQ(res.spt.hops[1], 1);
-  EXPECT_EQ(res.spt.parent[1], 0u);
+  EXPECT_EQ(res.spt.hops(1), 1);
+  EXPECT_EQ(res.spt.parent(1), 0u);
 }
 
 TEST(Robustness, DistributedSptOnDisconnectedGraph) {
   Graph g(4, {{0, 1}, {2, 3}});
   const IsolationAtw atw(2);
   const auto res = congest::run_distributed_spt(g, atw, 0);
-  EXPECT_EQ(res.spt.hops[1], 1);
-  EXPECT_EQ(res.spt.hops[2], kUnreachable);
-  EXPECT_EQ(res.spt.hops[3], kUnreachable);
+  EXPECT_EQ(res.spt.hops(1), 1);
+  EXPECT_EQ(res.spt.hops(2), kUnreachable);
+  EXPECT_EQ(res.spt.hops(3), kUnreachable);
 }
 
 TEST(Robustness, ParallelSptsWithDuplicateSources) {
@@ -39,8 +39,11 @@ TEST(Robustness, ParallelSptsWithDuplicateSources) {
   const auto run = congest::run_parallel_spts(g, atw, sources, 5);
   ASSERT_EQ(run.spts.size(), 3u);
   // Duplicate instances converge to the same tree.
-  EXPECT_EQ(run.spts[0].parent, run.spts[1].parent);
-  EXPECT_EQ(run.spts[0].hops, run.spts[1].hops);
+  ASSERT_EQ(run.spts[0].num_vertices(), run.spts[1].num_vertices());
+  for (Vertex v = 0; v < run.spts[0].num_vertices(); ++v) {
+    EXPECT_EQ(run.spts[0].parent(v), run.spts[1].parent(v));
+    EXPECT_EQ(run.spts[0].hops(v), run.spts[1].hops(v));
+  }
 }
 
 TEST(Robustness, DistributedPreserverSingleSource) {

@@ -129,7 +129,7 @@ TEST(Rpts, SubgraphViewKeepsSelection) {
   // tree T_0 is fully present in h.
   const Spt th = pih.spt(0);
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    ASSERT_EQ(th.hops[v], t0.hops[v]);
+    ASSERT_EQ(th.hops(v), t0.hops(v));
     Path a = th.path_to(v), b = t0.path_to(v);
     // Compare as vertex sequences (edge ids differ between g and h).
     EXPECT_EQ(a.vertices, b.vertices);
@@ -142,7 +142,9 @@ TEST(ArbitraryRpts, IsShortestAndDeterministic) {
   EXPECT_EQ(check_shortest_paths(pi, {}), std::nullopt);
   const Spt a = pi.spt(3);
   const Spt b = pi.spt(3);
-  EXPECT_EQ(a.parent, b.parent);
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  for (Vertex v = 0; v < a.num_vertices(); ++v)
+    EXPECT_EQ(a.parent(v), b.parent(v));
 }
 
 // ---------------------------------------------------------------------------

@@ -27,9 +27,12 @@ namespace {
 void expect_same_tree(const Spt& got, const Spt& want) {
   EXPECT_EQ(got.root, want.root);
   EXPECT_EQ(got.dir, want.dir);
-  EXPECT_EQ(got.hops, want.hops);
-  EXPECT_EQ(got.parent, want.parent);
-  EXPECT_EQ(got.parent_edge, want.parent_edge);
+  ASSERT_EQ(got.num_vertices(), want.num_vertices());
+  for (Vertex v = 0; v < want.num_vertices(); ++v) {
+    EXPECT_EQ(got.hops(v), want.hops(v)) << "v=" << v;
+    EXPECT_EQ(got.parent(v), want.parent(v)) << "v=" << v;
+    EXPECT_EQ(got.parent_edge(v), want.parent_edge(v)) << "v=" << v;
+  }
 }
 
 TEST(SptCache, LookupInsertAndLruRefresh) {
@@ -353,8 +356,11 @@ TEST(CoalescingBatcher, SingleFlightUnderConcurrentMixedLoad) {
         if (r % 4 == 3) faults.insert(static_cast<EdgeId>(r % 11));
         const auto tree = batcher.get({root, faults, Direction::kOut});
         const Spt want = pi.spt(root, faults);
-        if (tree->hops != want.hops || tree->parent != want.parent)
-          mismatches.fetch_add(1, std::memory_order_relaxed);
+        bool same = tree->num_vertices() == want.num_vertices();
+        for (Vertex v = 0; same && v < want.num_vertices(); ++v)
+          same = tree->hops(v) == want.hops(v) &&
+                 tree->parent(v) == want.parent(v);
+        if (!same) mismatches.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -739,9 +745,9 @@ TEST(OracleServer, PrewarmCountsAndShardPeakAccounting) {
     server.tree({r, {}, Direction::kOut});
   const auto t0 = server.tree({0, {}, Direction::kOut});
   Vertex x = 1;
-  while (t0->parent[x] == kNoVertex) ++x;
+  while (t0->parent(x) == kNoVertex) ++x;
 
-  const auto res = server.apply_update(g, GraphDelta::remove(t0->parent_edge[x]));
+  const auto res = server.apply_update(g, GraphDelta::remove(t0->parent_edge(x)));
   ASSERT_TRUE(res.changed);
   EXPECT_GT(res.invalidated, 0u);
   // Every reported prewarm is a real resident entry at the new epoch.
@@ -790,10 +796,10 @@ TEST(OracleServer, PrewarmMatchesActualResidencyUnderTinyBudget) {
   }
   ASSERT_NE(victim_tree, nullptr);
   Vertex x = 0;
-  while (victim_tree->parent[x] == kNoVertex) ++x;
+  while (victim_tree->parent(x) == kNoVertex) ++x;
 
   const auto res =
-      server.apply_update(g, GraphDelta::remove(victim_tree->parent_edge[x]));
+      server.apply_update(g, GraphDelta::remove(victim_tree->parent_edge(x)));
   ASSERT_TRUE(res.changed);
   EXPECT_GT(res.invalidated, 0u);
   size_t resident_new_epoch = 0;
