@@ -204,8 +204,13 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
 
   RepairOutcome out;
   // The repair mutates labels in place: start from a fat copy (identity
-  // copy when the cached tree was never compacted).
+  // copy when the cached tree was never compacted). Re-attach THIS graph's
+  // endpoint table: the cached tree may hold a pre-append clone of it, and
+  // the insert phase writes fresh slot ids into parent_edge -- compacting
+  // against the stale, shorter table would read out of bounds. Valid for
+  // every old id because slots are append-only with preserved order.
   out.tree = old_tree.thawed();
+  out.tree.attach_endpoints(g.shared_endpoints());
   out.repaired = true;
   Spt& nt = out.tree;
   auto& nt_hops = nt.mutable_hops();

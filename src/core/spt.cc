@@ -103,6 +103,11 @@ bool Spt::compact() {
     const int32_t h = hops_[v];
     if (h == kUnreachable) continue;
     if (h >= static_cast<int32_t>(kCompactUnreachable)) return false;
+    // A parent edge the attached table cannot describe (stale table from
+    // before a fresh-slot append) would make the derived parent(v) read out
+    // of bounds; stay fat rather than publish a corrupt tree.
+    const EdgeId pe = parent_edge_[v];
+    if (pe != kNoEdge && pe >= endpoints_->size()) return false;
     trunc = v + 1;
   }
   // Build into exactly-sized locals (capacity == size) so memory_bytes()
@@ -133,6 +138,10 @@ Spt Spt::compacted() const {
     const int32_t h = hops_[v];
     if (h == kUnreachable) continue;
     if (h >= static_cast<int32_t>(kCompactUnreachable)) return *this;
+    // Same guard as compact(): a parent edge beyond the attached table
+    // cannot derive parent(v); keep the fat form.
+    const EdgeId pe = parent_edge_[v];
+    if (pe != kNoEdge && pe >= endpoints_->size()) return *this;
     trunc = v + 1;
   }
   Spt out;

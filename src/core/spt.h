@@ -221,8 +221,9 @@ class Spt {
   }
 
   // In-place fat -> compact conversion. Returns false (tree unchanged) when
-  // the tree cannot be stored compactly: no endpoint table attached, or some
-  // hop count >= kCompactUnreachable (a >65534-hop path cannot fit u16 --
+  // the tree cannot be stored compactly: no endpoint table attached, some
+  // hop count >= kCompactUnreachable (a >65534-hop path cannot fit u16), or
+  // a parent-edge id the attached table cannot describe (stale table --
   // callers keep the fat form, correctness never depends on compaction).
   // Idempotent: returns true on an already-compact tree. The compact arrays
   // are truncated at the last reachable vertex and sized exactly

@@ -141,7 +141,18 @@ bool FrozenCsr::attach(bool verify_checksum) {
   epoch_ = get<uint64_t>(data_, kOffEpoch);
   const uint64_t payload = get<uint64_t>(data_, kOffPayload);
   if (present_ > m_) return false;
-  if (size_ < kHeaderBytes + payload) return false;
+  if (size_ < kHeaderBytes || payload > size_ - kHeaderBytes) return false;
+
+  // The header's u64 sizes are attacker-controlled (the checksum covers the
+  // payload WITH those sizes, so a crafted file can make both agree): bound
+  // n_/m_ by the id space first -- kNoVertex/kNoEdge are sentinels, so ids
+  // must stay strictly below them -- then by the image size, which makes
+  // every section-offset product below fit in 64 bits without wrapping
+  // (each term is < size_ * 16 and size_ is a real file length).
+  if (n_ >= kNoVertex || m_ >= kNoEdge) return false;
+  if ((n_ + 1) > size_ / sizeof(uint32_t)) return false;
+  if (m_ > size_ / (2 * sizeof(uint32_t))) return false;
+  if (present_ > size_ / (2 * sizeof(PackedArc))) return false;
 
   const bool has_present = flags & kFlagHasPresent;
   const size_t off_offsets = kHeaderBytes;
@@ -162,8 +173,12 @@ bool FrozenCsr::attach(bool verify_checksum) {
   edges_ = reinterpret_cast<const uint32_t*>(data_ + off_edges);
   labels_ = reinterpret_cast<const uint32_t*>(data_ + off_labels);
   present_map_ = has_present ? data_ + off_present : nullptr;
-  // The CSR must stay inside the arc section even if the offsets lie.
-  if (offsets_[n_] != 2 * present_) return false;
+  // The CSR must stay inside the arc section even if the offsets lie:
+  // monotonically nondecreasing and closing exactly at 2 * present_, so
+  // every arcs(v) span served off the image is in bounds.
+  if (offsets_[0] != 0 || offsets_[n_] != 2 * present_) return false;
+  for (uint64_t v = 0; v < n_; ++v)
+    if (offsets_[v] > offsets_[v + 1]) return false;
   return true;
 }
 

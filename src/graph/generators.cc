@@ -196,8 +196,14 @@ Graph sparse_connected(Vertex n, double avg_degree, uint64_t seed) {
   if (avg_degree < 2.0)
     throw std::invalid_argument("sparse_connected: avg_degree >= 2 required");
   Rng rng(seed);
-  const uint64_t target =
-      static_cast<uint64_t>(avg_degree * static_cast<double>(n) / 2.0);
+  // Clamp to the simple-graph maximum n(n-1)/2: beyond it the rejection
+  // loop below could never terminate (e.g. deg 3.0 at n == 3 asks for 4 of
+  // the 3 possible edges).
+  const uint64_t max_edges =
+      static_cast<uint64_t>(n) * (static_cast<uint64_t>(n) - 1) / 2;
+  const uint64_t target = std::min(
+      static_cast<uint64_t>(avg_degree * static_cast<double>(n) / 2.0),
+      max_edges);
   std::vector<Edge> edges;
   edges.reserve(target);
   // O(m)-sized dedup set keyed on the packed ordered pair; a std::set of

@@ -153,20 +153,22 @@ void CoalescingBatcher::flush_loop() {
           if (!tree)
             throw std::runtime_error(
                 "CoalescingBatcher: spt_batch returned a null tree");
-          computed_bytes_.fetch_add(tree->memory_bytes(),
-                                    std::memory_order_relaxed);
           // Publish to the cache; a budget-rejected insert returns null, in
           // which case waiters still get the computed tree. Usually this is
           // the SAME handle (zero-copy admission); a compacting cache gets
           // (and the waiters see) a compact copy instead -- spt_batch
           // already wrapped the tree, and nothing may mutate a published
           // handle, so conversion here must go through compacted().
-          if (cache_) {
-            if (cache_->compact_trees() && !tree->is_compact())
-              tree = std::make_shared<const Spt>(tree->compacted());
+          if (cache_ && cache_->compact_trees() && !tree->is_compact())
+            tree = std::make_shared<const Spt>(tree->compacted());
+          // Accounted on the handle actually published, AFTER compaction,
+          // so computed_bytes and OracleServer's direct_bytes (which also
+          // compacts first) measure the same storage form.
+          computed_bytes_.fetch_add(tree->memory_bytes(),
+                                    std::memory_order_relaxed);
+          if (cache_)
             if (auto resident = cache_->insert(batch[i].key, tree))
               tree = std::move(resident);
-          }
         } catch (...) {
           item_error = std::current_exception();
           tree = nullptr;

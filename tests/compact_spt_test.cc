@@ -96,6 +96,30 @@ TEST(CompactSpt, CompactDeclinesWithoutEndpointsOrPastU16Hops) {
   EXPECT_EQ(deep.hops(69999), 69999);
 }
 
+TEST(CompactSpt, CompactDeclinesOnParentEdgeBeyondEndpointTable) {
+  // Defensive guard behind the repair-path fix: a tree carrying parent-edge
+  // ids its attached endpoint table cannot describe (a stale, shorter table
+  // from before a fresh-slot append) must stay fat -- deriving parent(v)
+  // from such a table would read the endpoint vector out of bounds.
+  Spt t;
+  t.root = 0;
+  t.reset(2);
+  t.mutable_hops()[0] = 0;
+  t.mutable_hops()[1] = 1;
+  t.mutable_parent()[1] = 0;
+  t.mutable_parent_edge()[1] = 3;  // beyond the 1-entry table below
+  t.attach_endpoints(
+      std::make_shared<const std::vector<Edge>>(std::vector<Edge>{{0, 1}}));
+  EXPECT_FALSE(t.compact());
+  EXPECT_FALSE(t.is_compact());
+  EXPECT_FALSE(t.compacted().is_compact());
+  EXPECT_EQ(t.hops(1), 1);  // declined conversions leave the tree untouched
+  // With an id the table does cover, compaction proceeds normally.
+  t.mutable_parent_edge()[1] = 0;
+  ASSERT_TRUE(t.compact());
+  EXPECT_EQ(t.parent(1), 0u);
+}
+
 TEST(CompactSpt, MemoryBytesExactForBothForms) {
   // Freshly built fat tree: three n-sized arrays (12 bytes/vertex) whose
   // capacity equals their size, so the accounting is pinned exactly.

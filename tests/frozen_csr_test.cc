@@ -167,6 +167,33 @@ TEST(FrozenCsr, RejectsCorruptionAndTruncation) {
   EXPECT_FALSE(FrozenCsr::load(file.path() + ".missing").has_value());
 }
 
+TEST(FrozenCsr, RejectsCraftedHeaderSizes) {
+  // The checksum covers only the payload, so the header's u64 sizes are
+  // attacker-controlled: a vertex/edge count near 2^62 used to wrap the
+  // section-offset arithmetic into in-bounds-looking values. attach() must
+  // reject id-space-exceeding sizes before any offset math.
+  const Graph g = gnp_connected(50, 0.1, 3);
+  TempFile file("frozen_crafted.rcsr");
+  const FrozenCsr frozen = FrozenCsr::freeze(g);
+
+  auto patch_u64 = [&](size_t off, uint64_t value) {
+    ASSERT_TRUE(frozen.write(file.path()));
+    std::fstream f(file.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(off));
+    f.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+
+  patch_u64(16, uint64_t{1} << 62);  // n: offset arithmetic would wrap
+  EXPECT_FALSE(FrozenCsr::load(file.path()).has_value());
+  patch_u64(16, (uint64_t{1} << 32) - 1);  // n == kNoVertex sentinel
+  EXPECT_FALSE(FrozenCsr::load(file.path()).has_value());
+  patch_u64(24, uint64_t{1} << 62);  // m: same wrap through 2*m*4
+  EXPECT_FALSE(FrozenCsr::load(file.path()).has_value());
+  patch_u64(16, uint64_t{1} << 31);  // n in-range but larger than the file
+  EXPECT_FALSE(FrozenCsr::load(file.path()).has_value());
+}
+
 TEST(FrozenCsr, EmptyAndEdgelessGraphs) {
   const Graph none;
   TempFile file("frozen_empty.rcsr");

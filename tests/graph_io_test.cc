@@ -145,5 +145,18 @@ TEST(GraphIo, SparseConnectedGeneratorIsConnectedAndDedups) {
   EXPECT_EQ(reached, g.num_vertices());
 }
 
+TEST(GraphIo, SparseConnectedClampsTargetToSimpleGraphMax) {
+  // Regression: deg 3.0 at n == 3 asks for 4 of the 3 possible edges; the
+  // rejection loop must clamp to n(n-1)/2 and terminate with the complete
+  // graph instead of spinning forever.
+  const Graph g = sparse_connected(3, 3.0, 1);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+
+  // n == 2 with the minimum legal degree: the single possible edge.
+  const Graph tiny = sparse_connected(2, 2.0, 1);
+  EXPECT_EQ(tiny.num_edges(), 1u);
+}
+
 }  // namespace
 }  // namespace restorable

@@ -262,6 +262,48 @@ TEST(RepairTree, DisconnectionAndReattachment) {
   expect_same_tree(r2.tree, t0);  // the flap restored the original tree
 }
 
+// Regression: a repaired tree must carry the REPAIRING graph's endpoint
+// table, not the one the cached tree was built with. A fresh-slot insert
+// clones the shared table inside Graph::edges_mut (copy-on-write), so every
+// pre-existing tree keeps a stale, shorter table; the repair then writes the
+// new slot id into parent_edge, and publication-time compaction against the
+// stale table would read the endpoint vector out of bounds.
+TEST(RepairTree, ReattachesEndpointTableAcrossFreshInsert) {
+  Graph g = path_graph(8);
+  const IsolationRpts pi(g, IsolationAtw(4));
+  const Spt t0 = pi.spt(0);
+  ASSERT_TRUE(t0.endpoints());
+  const EdgeId old_slots = static_cast<EdgeId>(t0.endpoints()->size());
+
+  // Fresh chord 0-7: appends a slot, cloning the shared endpoint table out
+  // from under t0.
+  std::vector<GraphDelta> ins{GraphDelta::insert(0, 7)};
+  const DeltaBatch batch = g.apply(std::span<const GraphDelta>(ins));
+  const EdgeId fresh = batch.deltas[0].edge;
+  ASSERT_EQ(fresh, old_slots);  // appended, not a resurrected tombstone
+  ASSERT_EQ(t0.endpoints()->size(), old_slots);  // cached table is stale
+  ASSERT_GT(g.shared_endpoints()->size(), old_slots);
+
+  const auto r = pi.repair_tree(t0, batch, FaultSet{}, 1.0);
+  EXPECT_TRUE(r.repaired);
+  EXPECT_EQ(r.tree.parent_edge(7), fresh);  // the repair adopted the chord
+  ASSERT_TRUE(r.tree.endpoints());
+  EXPECT_GT(r.tree.endpoints()->size(), fresh);  // current table, covers it
+  Spt compacted = r.tree;
+  ASSERT_TRUE(compacted.compact());
+  EXPECT_EQ(compacted.parent(7), 0u);
+  expect_same_tree(compacted, pi.spt(0));
+
+  // Same contract on the epsilon repair path.
+  const auto re =
+      pi.repair_tree_eps(t0, batch, FaultSet{}, 1.0, quantize_epsilon(0.25));
+  ASSERT_TRUE(re.tree.endpoints());
+  EXPECT_GT(re.tree.endpoints()->size(), fresh);
+  Spt ce = re.tree;
+  ASSERT_TRUE(ce.compact());
+  EXPECT_EQ(ce.parent(7), 0u);
+}
+
 TEST(RepairTree, ThresholdFallsBackToRecompute) {
   Graph g = gnp_connected(50, 0.1, 44);
   const IsolationRpts pi(g, IsolationAtw(45));
