@@ -78,6 +78,7 @@
 //                     compute (docs/OBSERVABILITY.md has the span schema)
 //   --small           reduced families + query count (CI bench-smoke job)
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -96,6 +97,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/oracle_server.h"
+#include "serve/shard_aggregator.h"
 #include "util/cli.h"
 #include "util/json.h"
 #include "util/random.h"
@@ -134,16 +136,41 @@ struct ObsSinks {
 
 // One registry snapshot -> JSON rows, tagged so the flat per-metric rows can
 // be grouped back into their (bench, family, threads, mode) measurement.
-void dump_metrics(const ObsSinks& sinks, OracleServer& server,
-                  const char* bench, const std::string& family, int threads,
-                  const char* mode) {
+void dump_registry(const ObsSinks& sinks, obs::MetricsRegistry& registry,
+                   const char* bench, const std::string& family, int threads,
+                   const std::string& mode) {
   if (!sinks.metrics) return;
-  server.metrics().snapshot().to_json(*sinks.metrics, [&](JsonRows& rows) {
+  registry.snapshot().to_json(*sinks.metrics, [&](JsonRows& rows) {
     rows.field("bench", bench)
         .field("family", family)
         .field("threads", threads)
         .field("mode", mode);
   });
+}
+
+void dump_metrics(const ObsSinks& sinks, OracleServer& server,
+                  const char* bench, const std::string& family, int threads,
+                  const char* mode) {
+  dump_registry(sinks, server.metrics(), bench, family, threads, mode);
+}
+
+// Closed-loop thread accounting for scenarios whose engine computes
+// CONCURRENTLY with the drivers (serve_large, serve_sharded): --threads T
+// budgets the TOTAL thread footprint of a measurement, split into ceil(T/2)
+// closed-loop drivers and T - drivers engine workers. The earlier serve_large
+// rows spawned T drivers AND a T-thread engine -- a 2x oversubscription that
+// made per-thread scaling claims dishonest. T = 1 keeps a documented
+// 1 driver + 1 engine-worker floor (a BatchSsspEngine needs at least one
+// worker to flush); every affected JSON row records driver_threads and
+// engine_threads so the artifact is explicit about what actually ran.
+struct ThreadSplit {
+  int drivers;
+  int engine;
+};
+ThreadSplit split_threads(int total) {
+  if (total <= 1) return {1, 1};
+  const int drivers = (total + 1) / 2;
+  return {drivers, total - drivers};
 }
 
 // Whether the wait-free instruments are live in this build; recorded on
@@ -1469,7 +1496,8 @@ void bench_epsilon(Table& eps_table, JsonRows& json, const Options& opt,
 // (remove a hot parent edge, heal it) exercises repair-vs-recompute at
 // scale. CI asserts compact bytes_per_tree <= 0.6x fat, strictly more
 // trees resident at the fixed budget, and sample streams bit-identical
-// across all three modes.
+// across all three modes. Thread accounting: --threads T is the total
+// footprint, split by split_threads into drivers + engine workers.
 void bench_large(Table& large_table, JsonRows& json, const Options& opt,
                  const ObsSinks& sinks) {
   // --- Acquire the subject graph (gen_ms = driver-side acquisition cost).
@@ -1547,7 +1575,11 @@ void bench_large(Table& large_table, JsonRows& json, const Options& opt,
   };
 
   for (int threads : {1, 2, 8}) {
-    const BatchSsspEngine engine(threads);
+    // --threads is the TOTAL footprint: drivers + engine workers (see
+    // split_threads). The row's `threads` field keeps the total budget;
+    // driver_threads / engine_threads record the split that actually ran.
+    const ThreadSplit ts = split_threads(threads);
+    const BatchSsspEngine engine(ts.engine);
     auto run_mode = [&](const Graph& base, bool compact_trees,
                         const char* mode) {
       LargeRun r;
@@ -1562,13 +1594,14 @@ void bench_large(Table& large_table, JsonRows& json, const Options& opt,
       cfg.tracer = sinks.tracer;
       OracleServer server(pi, cfg);
 
-      const size_t per_thread = std::max<size_t>(1, lq / threads);
-      std::vector<std::vector<double>> lat(threads);
-      std::vector<std::vector<std::pair<Query, int32_t>>> sm(threads);
+      const size_t per_thread =
+          std::max<size_t>(1, lq / static_cast<size_t>(ts.drivers));
+      std::vector<std::vector<double>> lat(ts.drivers);
+      std::vector<std::vector<std::pair<Query, int32_t>>> sm(ts.drivers);
       Stopwatch wall;
       std::vector<std::thread> workers;
-      workers.reserve(threads);
-      for (int w = 0; w < threads; ++w) {
+      workers.reserve(ts.drivers);
+      for (int w = 0; w < ts.drivers; ++w) {
         workers.emplace_back([&, w] {
           lat[w].reserve(per_thread);
           for (size_t i = 0; i < per_thread; ++i) {
@@ -1676,6 +1709,8 @@ void bench_large(Table& large_table, JsonRows& json, const Options& opt,
           .field("n", static_cast<uint64_t>(mem.num_vertices()))
           .field("m", static_cast<uint64_t>(mem.num_edges()))
           .field("threads", threads)
+          .field("driver_threads", ts.drivers)
+          .field("engine_threads", ts.engine)
           .field("mode", row.mode)
           .field("metrics", metrics_build())
           .field("seed", opt.seed)
@@ -1710,6 +1745,292 @@ void bench_large(Table& large_table, JsonRows& json, const Options& opt,
   }
 }
 
+// Sharded-serving scenario (bench=serve_sharded rows): the three-layer
+// stack -- ShardRouter (consistent hashing on (scheme_id, root)), the
+// aggregating front-end's per-destination-shard outboxes, and the
+// OracleShard fleet -- swept over shards {1, 2, 4} x aggregation {on, off}
+// with the global cache budget split evenly across shards. The workload is
+// cross-shard-heavy by construction: 6/8 of queries are tree_batch fan-outs
+// over kShardFanout roots drawn uniformly from the whole vertex set (at 4
+// shards nearly every query touches every shard), 1/8 point distances and
+// 1/8 replacement distances off the hot set. Aggregation off is the naive
+// front-end baseline -- every routed sub-query is its own serve_batch
+// submission -- so the aggregation win is measured, not assumed.
+//
+// Judged signals, asserted by CI on the --small artifact:
+//   (a) the deterministic sample stream is bit-identical across ALL six
+//       configs at a thread count (reference: shards=1, aggregation off) --
+//       sharding repartitions work, it never changes answers;
+//   (b) the baseline runs at exactly one submission per routed sub-query
+//       while aggregation batches below 1 and cuts submissions >= 2x;
+//   (c) a churn phase flaps a hot tree edge through the front-end's
+//       epoch-coherent fan-out, and every sampled answer of every phase
+//       matches a from-scratch rebuild of that phase's topology.
+// Thread accounting: --threads T is the total footprint, split by
+// split_threads into closed-loop drivers + a shared engine.
+constexpr size_t kShardFanout = 16;  // roots per tree_batch fan-out query
+
+void bench_sharded(Table& sharded_table, JsonRows& json, const Options& opt,
+                   const ObsSinks& sinks, const std::string& family,
+                   const Graph& g0) {
+  struct SQuery {
+    enum Kind { kFanoutQ, kDistanceQ, kReplacementQ } kind;
+    std::array<Vertex, kShardFanout> roots;
+    Vertex s, t;
+    EdgeId e;
+  };
+  struct Sample {
+    uint64_t phase, seq, digest;
+  };
+
+  std::vector<Vertex> hot_roots;
+  for (size_t i = 0; i < opt.hot; ++i)
+    hot_roots.push_back(static_cast<Vertex>(
+        (static_cast<uint64_t>(i) * g0.num_vertices()) / opt.hot));
+
+  auto make_squery = [&](uint64_t seq) {
+    const uint64_t h = hash_combine(hash_combine(0x54a2d, opt.seed), seq);
+    SQuery q;
+    const uint64_t kind = hash_combine(h, 3) % 8;
+    q.kind = kind < 6   ? SQuery::kFanoutQ
+             : kind < 7 ? SQuery::kDistanceQ
+                        : SQuery::kReplacementQ;
+    q.s = hot_roots[h % hot_roots.size()];
+    q.t = static_cast<Vertex>(hash_combine(h, 1) % g0.num_vertices());
+    q.e = static_cast<EdgeId>(hash_combine(h, 2) % g0.num_edges());
+    for (size_t j = 0; j < kShardFanout; ++j)
+      q.roots[j] =
+          static_cast<Vertex>(hash_combine(h, 16 + j) % g0.num_vertices());
+    return q;
+  };
+
+  // A query's digest folds every answered distance, so one flipped hop in
+  // one of a fan-out's 16 trees flips the sample -- element-wise stream
+  // comparison across configs is a bit-identity check on every answer.
+  auto run_squery = [&](ShardAggregator& fe, const SQuery& q) -> uint64_t {
+    switch (q.kind) {
+      case SQuery::kFanoutQ: {
+        std::vector<SsspRequest> reqs;
+        reqs.reserve(kShardFanout);
+        for (const Vertex r : q.roots)
+          reqs.push_back({r, {}, Direction::kOut});
+        const auto trees = fe.tree_batch(reqs);
+        uint64_t d = 0x54a2d;
+        for (const auto& t : trees)
+          d = hash_combine(d, static_cast<uint32_t>(t->hops(q.t)));
+        return d;
+      }
+      case SQuery::kDistanceQ:
+        return static_cast<uint32_t>(fe.distance(q.s, q.t));
+      case SQuery::kReplacementQ:
+        return static_cast<uint32_t>(fe.replacement_distance(q.s, q.t, q.e));
+    }
+    return 0;
+  };
+  auto ref_squery = [&](const IRpts& pi, const SQuery& q) -> uint64_t {
+    switch (q.kind) {
+      case SQuery::kFanoutQ: {
+        uint64_t d = 0x54a2d;
+        for (const Vertex r : q.roots)
+          d = hash_combine(d, static_cast<uint32_t>(pi.distance(r, q.t)));
+        return d;
+      }
+      case SQuery::kDistanceQ:
+        return static_cast<uint32_t>(pi.distance(q.s, q.t));
+      case SQuery::kReplacementQ:
+        return static_cast<uint32_t>(pi.distance(q.s, q.t, FaultSet{q.e}));
+    }
+    return 0;
+  };
+
+  // Reference topologies: pristine and pristine-minus-victim, the two states
+  // the churn flap alternates between. One victim for every config (drawn
+  // off the pristine scheme, a hot tree's parent edge) keeps the sample
+  // streams comparable and guarantees each flap invalidates cached trees.
+  const IsolationRpts full_ref(g0, IsolationAtw(7));
+  EdgeId victim;
+  {
+    const auto vtree = full_ref.spt(hot_roots[0]);
+    const auto pool = parented_vertices(vtree);
+    Rng rng(hash_combine(opt.seed, 0x54a2d));
+    victim = vtree.parent_edge(pool[rng.next_below(pool.size())]);
+  }
+  const Edge ends = g0.endpoints(victim);
+  Graph removed_g = g0;
+  {
+    GraphDelta rm = GraphDelta::remove(victim);
+    removed_g.apply(rm);
+  }
+  const IsolationRpts removed_ref(removed_g, IsolationAtw(7));
+
+  const size_t sq = std::max<size_t>(64, opt.queries / 40);
+  const size_t cq = std::max<size_t>(16, sq / 4);
+  // Even flap count: the run ends healed, so every config finishes on the
+  // pristine topology no matter where its churn phases sampled.
+  const size_t sflaps = opt.flaps >= 4 ? 4 : 2;
+
+  for (int threads : opt.threads) {
+    const ThreadSplit ts = split_threads(threads);
+    const BatchSsspEngine engine(ts.engine);
+    // Digest stream of the (shards=1, aggregation off) config: the
+    // reference every other config must match element-wise. Sample order is
+    // deterministic (phases sequential, per-worker vectors merged in worker
+    // order), so positional comparison is exact.
+    std::vector<uint64_t> ref_digests;
+    for (const size_t shards_n : {size_t{1}, size_t{2}, size_t{4}}) {
+      for (const bool agg : {false, true}) {
+        Graph g = g0;  // private copy: the churn phases mutate it
+        const IsolationRpts pi(g, IsolationAtw(7));
+        FrontEndConfig fc;
+        fc.num_shards = shards_n;
+        fc.enable_aggregation = agg;
+        fc.flush_timeout_us = 100;
+        fc.shard.cache.shards = opt.shards;
+        fc.shard.cache.byte_budget = (opt.budget_mb << 20) / shards_n;
+        fc.shard.max_batch = opt.max_batch;
+        fc.shard.engine = &engine;
+        fc.tracer = sinks.tracer;
+        ShardAggregator fe(pi, fc);
+
+        std::vector<Sample> samples;
+        std::vector<double> steady_lat;
+        double steady_wall_ms = 0;
+        auto run_phase = [&](uint64_t phase_tag, size_t nq, bool steady) {
+          const size_t per_thread =
+              std::max<size_t>(1, nq / static_cast<size_t>(ts.drivers));
+          std::vector<std::vector<double>> lat(ts.drivers);
+          std::vector<std::vector<Sample>> sm(ts.drivers);
+          Stopwatch wall;
+          std::vector<std::thread> workers;
+          workers.reserve(ts.drivers);
+          for (int w = 0; w < ts.drivers; ++w) {
+            workers.emplace_back([&, w, phase_tag, per_thread] {
+              lat[w].reserve(per_thread);
+              for (size_t i = 0; i < per_thread; ++i) {
+                const uint64_t seq =
+                    (phase_tag * static_cast<uint64_t>(ts.drivers) +
+                     static_cast<uint64_t>(w)) *
+                        per_thread +
+                    i;
+                const SQuery q = make_squery(seq);
+                Stopwatch sw;
+                const uint64_t got = run_squery(fe, q);
+                lat[w].push_back(sw.micros());
+                if (i % 4 == 0) sm[w].push_back({phase_tag, seq, got});
+              }
+            });
+          }
+          for (auto& t : workers) t.join();
+          const double wall_ms = wall.millis();
+          for (auto& s : sm) samples.insert(samples.end(), s.begin(), s.end());
+          if (steady) {
+            steady_wall_ms = wall_ms;
+            for (auto& l : lat)
+              steady_lat.insert(steady_lat.end(), l.begin(), l.end());
+          }
+        };
+
+        // Phase 0: steady state on the pristine topology (the timed
+        // window). Then sflaps churn phases, each after one edge flap
+        // applied through the epoch-coherent fan-out.
+        run_phase(0, sq, true);
+        uint64_t carried = 0, invalidated = 0, prewarmed = 0, repaired = 0;
+        for (size_t f = 0; f < sflaps; ++f) {
+          const UpdateResult ur =
+              f % 2 == 0 ? fe.apply_update(g, GraphDelta::remove(victim))
+                         : fe.apply_update(g, GraphDelta::insert(ends.u,
+                                                                 ends.v));
+          carried += ur.carried;
+          invalidated += ur.invalidated;
+          prewarmed += ur.prewarmed;
+          repaired += ur.repaired;
+          run_phase(f + 1, cq, false);
+        }
+
+        // Audits, outside every timing window. Phase p odd = victim
+        // removed, even = healed back to pristine.
+        size_t checked = 0, correct = 0;
+        for (const Sample& s : samples) {
+          ++checked;
+          const IRpts& ref = s.phase % 2 == 1 ? removed_ref : full_ref;
+          if (s.digest == ref_squery(ref, make_squery(s.seq))) ++correct;
+        }
+        uint64_t match = 0;
+        if (ref_digests.empty()) {
+          for (const Sample& s : samples) ref_digests.push_back(s.digest);
+          match = samples.size();
+        } else if (ref_digests.size() == samples.size()) {
+          for (size_t i = 0; i < samples.size(); ++i)
+            if (samples[i].digest == ref_digests[i]) ++match;
+        }
+
+        const FrontEndStats fs = fe.stats();
+        Measurement m;
+        m.wall_ms = steady_wall_ms;
+        std::sort(steady_lat.begin(), steady_lat.end());
+        m.p50_us = steady_lat[steady_lat.size() / 2];
+        m.p99_us = steady_lat[std::min(steady_lat.size() - 1,
+                                       steady_lat.size() * 99 / 100)];
+        m.qps = static_cast<double>(steady_lat.size()) / (m.wall_ms / 1e3);
+        const double subs_per_subq =
+            fs.subqueries > 0
+                ? static_cast<double>(fs.submissions) /
+                      static_cast<double>(fs.subqueries)
+                : 0;
+        const std::string mode = "shards" + std::to_string(shards_n) +
+                                 (agg ? "_agg" : "_direct");
+        dump_registry(sinks, fe.metrics(), "serve_sharded", family, threads,
+                      mode);
+        sharded_table.add_row(
+            family, threads, static_cast<uint64_t>(shards_n),
+            agg ? "on" : "off", m.qps, fs.subqueries, fs.submissions,
+            subs_per_subq, fs.remote_hits,
+            match == samples.size() && correct == checked ? "yes" : "NO");
+        json.row()
+            .field("bench", "serve_sharded")
+            .field("family", family)
+            .field("n", static_cast<uint64_t>(g0.num_vertices()))
+            .field("m", static_cast<uint64_t>(g0.num_edges()))
+            .field("threads", threads)
+            .field("driver_threads", ts.drivers)
+            .field("engine_threads", ts.engine)
+            .field("shards", static_cast<uint64_t>(shards_n))
+            .field("aggregation", static_cast<uint64_t>(agg ? 1 : 0))
+            .field("mode", mode)
+            .field("metrics", metrics_build())
+            .field("seed", opt.seed)
+            .field("fanout_k", static_cast<uint64_t>(kShardFanout))
+            .field("queries", fs.queries)
+            .field("subqueries", fs.subqueries)
+            .field("submissions", fs.submissions)
+            .field("submissions_per_subquery", subs_per_subq)
+            .field("remote_hits", fs.remote_hits)
+            .field("aggregated", fs.aggregated)
+            .field("flush_capacity", fs.flush_capacity_trigger)
+            .field("flush_timeout", fs.flush_timeout_trigger)
+            .field("flush_explicit", fs.flush_explicit_trigger)
+            .field("fanouts", fs.fanouts)
+            .field("routed_epoch", fe.routed_epoch())
+            .field("qps", m.qps)
+            .field("p50_us", m.p50_us)
+            .field("p99_us", m.p99_us)
+            .field("flaps", static_cast<uint64_t>(sflaps))
+            .field("carried", carried)
+            .field("invalidated", invalidated)
+            .field("prewarmed", prewarmed)
+            .field("repaired", repaired)
+            .field("samples", static_cast<uint64_t>(samples.size()))
+            .field("samples_match", match)
+            .field("checked", static_cast<uint64_t>(checked))
+            .field("correct", static_cast<uint64_t>(correct))
+            .field("hw_threads",
+                   static_cast<uint64_t>(
+                       std::thread::hardware_concurrency()));
+      }
+    }
+  }
+}
+
 int run(const Options& opt) {
   std::cout << "Serving bench: closed-loop mixed (s, t, F) queries against "
                "OracleServer.\nhot root set = "
@@ -1731,6 +2052,9 @@ int run(const Options& opt) {
                    "carried_frac", "hit_rate", "max_excess", "in_bound"});
   Table large_table({"family", "n", "threads", "mode", "qps", "hit_rate",
                      "trees", "bytes_per_tree", "load_ms", "mmap"});
+  Table sharded_table({"family", "threads", "shards", "agg", "qps",
+                       "subqueries", "submissions", "subs_per_subq",
+                       "remote_hits", "answers_ok"});
   JsonRows json;
 
   // Observability sinks. The tracer (1-in-256 sampling) is shared by every
@@ -1789,6 +2113,7 @@ int run(const Options& opt) {
   bench_burst(burst_table, json, opt, sinks, "gnp(400)", g400);
   bench_churn_rcu(rcu_table, json, opt, sinks, "gnp(400)", g400);
   bench_epsilon(eps_table, json, opt, sinks, "gnp(400)", g400);
+  bench_sharded(sharded_table, json, opt, sinks, "gnp(400)", g400);
   bench_large(large_table, json, opt, sinks);
 
   table.print();
@@ -1820,6 +2145,15 @@ int run(const Options& opt) {
                "worst sampled (approx - exact) / exact,\nin_bound = every "
                "sampled answer within the (1+eps)^d * d stretch contract:\n";
   eps_table.print();
+  std::cout << "\nSharded-serving scenario: root-partitioned OracleShard "
+               "fleet behind the aggregating front-end, shards x "
+               "aggregation\n{off = one serve_batch submission per routed "
+               "sub-query (the naive front-end), on = per-shard outboxes};\n"
+               "subs_per_subq = submissions / routed sub-queries (the "
+               "aggregation win), answers_ok = every sampled digest\n"
+               "bit-identical to the shards=1 stream AND to a from-scratch "
+               "rebuild of its churn phase's topology:\n";
+  sharded_table.print();
   std::cout << "\nLarge-graph scenario: skewed hot-root traffic against a "
                "budget sized to half the hot set's FAT trees;\nmode fat = "
                "12 B/vertex publication, compact = 6 B/vertex "

@@ -217,6 +217,13 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
   auto& nt_parent = nt.mutable_parent();
   auto& nt_parent_edge = nt.mutable_parent_edge();
 
+  // Compact-aware fast path (same contract as the exact repair): when the
+  // cached tree arrived compact, record every vertex this repair writes and
+  // re-compact by patching those labels over the old compact image instead
+  // of the thaw -> full compact() round-trip.
+  const bool want_patch = old_tree.is_compact();
+  std::vector<Vertex> patch_touched;
+
   // Deterministic hops-only heap: (hops, vertex id), smallest first. Lazy
   // deletion -- stale entries are skipped by comparing against the current
   // label. Pop order is nondecreasing in hops (every relaxation offers
@@ -255,6 +262,7 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
         nt_hops[v] = kUnreachable;
         nt_parent[v] = kNoVertex;
         nt_parent_edge[v] = kNoEdge;
+        if (want_patch) patch_touched.push_back(v);
       }
       std::vector<char> settled(n, 0);
       auto relax_into = [&](Vertex w, int32_t h, Vertex par, EdgeId pe) {
@@ -313,6 +321,7 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
       nt_parent_edge[t_v] = e;
       if (!improved[t_v]) {
         improved[t_v] = 1;
+        if (want_patch) patch_touched.push_back(t_v);
         if (++improved_count > limit) bail = true;
       }
       pq.push({h, t_v});
@@ -335,6 +344,9 @@ RepairOutcome IRpts::repair_tree_eps(const Spt& old_tree,
     }
     if (bail) return full();
   }
+  // Patch-compact on success; on decline the tree stays fat and the caller's
+  // usual publication compact() applies.
+  if (want_patch) nt.compact_from(old_tree, patch_touched);
   return out;
 }
 

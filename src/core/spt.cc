@@ -161,6 +161,52 @@ Spt Spt::compacted() const {
   return out;
 }
 
+bool Spt::compact_from(const Spt& base, std::span<const Vertex> touched) {
+  if (compact_) return false;
+  if (!base.compact_ || !endpoints_) return false;
+  if (static_cast<Vertex>(hops_.size()) != base.n_) return false;
+  // Untouched labels are storable by construction: base already stored them
+  // compactly, and the endpoint table only ever grows (append-only edge
+  // slots), so only the touched labels need the compact() guards. The
+  // truncation point starts from base's and is (a) extended by any touched
+  // vertex that is reachable beyond it, then (b) shrunk while the tail is
+  // unreachable -- only touched vertices can have changed reachability, so
+  // this lands on exactly the "one past last reachable" point compact()
+  // computes from a full scan.
+  Vertex trunc = static_cast<Vertex>(base.chops_.size());
+  for (const Vertex v : touched) {
+    const int32_t h = hops_[v];
+    if (h == kUnreachable) continue;
+    if (h >= static_cast<int32_t>(kCompactUnreachable)) return false;
+    const EdgeId pe = parent_edge_[v];
+    if (pe != kNoEdge && pe >= endpoints_->size()) return false;
+    if (v + 1 > trunc) trunc = v + 1;
+  }
+  while (trunc > 0 && hops_[trunc - 1] == kUnreachable) --trunc;
+  // Exactly-sized locals (capacity == size), same as compact(), so
+  // memory_bytes() reports the true compact footprint.
+  std::vector<uint16_t> chops(trunc, kCompactUnreachable);
+  std::vector<EdgeId> cpe(trunc, kNoEdge);
+  const Vertex copied = std::min(trunc, static_cast<Vertex>(base.chops_.size()));
+  std::copy_n(base.chops_.begin(), copied, chops.begin());
+  std::copy_n(base.cpe_.begin(), copied, cpe.begin());
+  for (const Vertex v : touched) {
+    if (v >= trunc) continue;  // unreachable beyond the truncation point
+    const int32_t h = hops_[v];
+    chops[v] =
+        h == kUnreachable ? kCompactUnreachable : static_cast<uint16_t>(h);
+    cpe[v] = parent_edge_[v];
+  }
+  chops_.swap(chops);
+  cpe_.swap(cpe);
+  n_ = static_cast<Vertex>(hops_.size());
+  compact_ = true;
+  std::vector<int32_t>().swap(hops_);
+  std::vector<Vertex>().swap(parent_);
+  std::vector<EdgeId>().swap(parent_edge_);
+  return true;
+}
+
 Spt Spt::thawed() const {
   if (!compact_) return *this;
   Spt fat;

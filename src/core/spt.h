@@ -27,6 +27,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -241,6 +242,21 @@ class Spt {
   // A fat copy of this tree (plain copy if already fat). This is what the
   // repair paths start from when the cache hands them a compact tree.
   Spt thawed() const;
+
+  // In-place fat -> compact conversion that reuses a previous compact image
+  // instead of re-encoding all n labels: `base` is the compact tree this fat
+  // tree was thawed from, and `touched` lists every vertex whose label the
+  // caller may have changed since (a superset is fine; order and duplicates
+  // do not matter). The compact arrays start as a copy of base's and only
+  // the touched entries are re-encoded, so the conversion costs
+  // O(stored + |touched|) trivially-copyable bytes instead of compact()'s
+  // per-vertex branchy scan -- the repair fast path's publication step.
+  // Result is identical to calling compact() on this tree (same truncation,
+  // exact-sized arrays). Returns false (tree unchanged, stays fat) when the
+  // patched labels cannot be stored compactly (hop count >= 0xFFFF, parent
+  // edge beyond the attached endpoint table, no table attached) or the
+  // preconditions do not hold (base not compact, vertex-count mismatch).
+  bool compact_from(const Spt& base, std::span<const Vertex> touched);
 
  private:
   bool compact_ = false;

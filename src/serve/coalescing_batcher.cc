@@ -233,29 +233,38 @@ SptHandle CoalescingBatcher::get(const SsspRequest& req,
 }
 
 std::vector<SptHandle> CoalescingBatcher::get_batch(
-    std::span<const SsspRequest> requests) {
+    std::span<const SsspRequest> requests, const GenerationManager::Pin* pin,
+    std::vector<FetchObs>* obs) {
+  // An empty pin degrades to the live-version path, matching the pinned
+  // get() overload's contract that the pin's generation keys the flight.
+  if (pin && !*pin) pin = nullptr;
+  if (obs) obs->assign(requests.size(), FetchObs{});
+  const SchemeVersion version = pin ? (*pin)->version() : pi_->version();
   std::vector<SptHandle> out(requests.size());
   std::vector<std::pair<size_t, std::shared_ptr<InFlight>>> waits;
   bool leader = false;
   for (size_t i = 0; i < requests.size(); ++i) {
-    const SptKey key(pi_->version(), requests[i]);
+    const SptKey key(version, requests[i]);
     if (cache_) {
       if ((out[i] = cache_->lookup(key))) {
         requests_.fetch_add(1, std::memory_order_relaxed);
-        continue;
+        continue;  // obs stays kHit
       }
     }
-    Enrollment e = enroll(key, requests[i], nullptr);
+    Enrollment e = enroll(key, requests[i], pin);
     if (e.hit) {
       out[i] = std::move(e.hit);
-      continue;
+      continue;  // locked double-check hit: still kHit
     }
+    if (obs)
+      (*obs)[i].outcome =
+          e.leader ? FetchObs::kLeader : FetchObs::kCoalesced;
     waits.emplace_back(i, std::move(e.fl));
     leader |= e.leader;
   }
   // All misses are enqueued before the flush starts, so they form one batch.
   if (leader) flush_loop();
-  for (auto& [i, fl] : waits) out[i] = await(*fl, nullptr);
+  for (auto& [i, fl] : waits) out[i] = await(*fl, obs ? &(*obs)[i] : nullptr);
   return out;
 }
 

@@ -124,8 +124,16 @@ class CoalescingBatcher {
 
   // Batch variant: registers every miss before flushing once, so the whole
   // batch rides one engine submission (plus whatever concurrent callers
-  // piled on). Results in request order.
-  std::vector<SptHandle> get_batch(std::span<const SsspRequest> requests);
+  // piled on). Results in request order. `pin`, when non-null (and
+  // non-empty), keys and computes every fetch against that pinned
+  // generation, exactly as the pinned get() -- this is what
+  // OracleShard::serve_batch rides, so a whole per-shard sub-batch from the
+  // aggregation layer is one epoch-coherent engine submission. `obs`, when
+  // non-null, is resized to requests.size() and receives each fetch's
+  // outcome + latency decomposition.
+  std::vector<SptHandle> get_batch(std::span<const SsspRequest> requests,
+                                   const GenerationManager::Pin* pin = nullptr,
+                                   std::vector<FetchObs>* obs = nullptr);
 
   Stats stats() const;
 

@@ -1,4 +1,4 @@
-#include "serve/oracle_server.h"
+#include "serve/oracle_shard.h"
 
 #include <mutex>
 #include <stdexcept>
@@ -21,6 +21,10 @@ const char* fetch_outcome_name(FetchOutcome o) {
       return "approx_hit";
     case FetchOutcome::kEscalated:
       return "escalated";
+    case FetchOutcome::kRemoteHit:
+      return "remote_hit";
+    case FetchOutcome::kAggregated:
+      return "aggregated";
   }
   return "?";
 }
@@ -39,8 +43,8 @@ const char* escalation_reason_name(EscalationReason r) {
 }
 }  // namespace
 
-OracleServer::OracleServer(const IRpts& pi, ServerConfig config)
-    : pi_(&pi), config_(config) {
+OracleShard::OracleShard(const IRpts& pi, ServerConfig config)
+    : pi_(&pi), config_(std::move(config)) {
   if (config_.concurrency == QueryConcurrency::kEpochPinned) {
     // Bootstrap generation 0 from the current topology. A scheme that
     // cannot rebind to a snapshot (snapshot_view returns null) leaves gens_
@@ -66,9 +70,13 @@ OracleServer::OracleServer(const IRpts& pi, ServerConfig config)
   register_providers();
 }
 
-void OracleServer::register_providers() {
+std::string OracleShard::comp(const char* name) const {
+  return config_.metrics_prefix + name;
+}
+
+void OracleShard::register_providers() {
   registrations_.push_back(
-      metrics_->add("server", [this](obs::ComponentBuilder& b) {
+      metrics_->add(comp("server"), [this](obs::ComponentBuilder& b) {
         b.counter("queries", queries_.load(std::memory_order_relaxed));
         b.counter("updates", updates_.load(std::memory_order_relaxed));
         b.counter("stability_fast_paths",
@@ -105,7 +113,7 @@ void OracleServer::register_providers() {
       }));
   if (cache_) {
     registrations_.push_back(
-        metrics_->add("cache", [this](obs::ComponentBuilder& b) {
+        metrics_->add(comp("cache"), [this](obs::ComponentBuilder& b) {
           const SptCache::Stats s = cache_->stats();
           b.counter("hits", s.hits);
           b.counter("misses", s.misses);
@@ -129,7 +137,7 @@ void OracleServer::register_providers() {
   }
   if (batcher_) {
     registrations_.push_back(
-        metrics_->add("batcher", [this](obs::ComponentBuilder& b) {
+        metrics_->add(comp("batcher"), [this](obs::ComponentBuilder& b) {
           const CoalescingBatcher::Stats s = batcher_->stats();
           b.counter("requests", s.requests);
           b.counter("coalesced", s.coalesced);
@@ -147,7 +155,7 @@ void OracleServer::register_providers() {
   }
   if (gens_) {
     registrations_.push_back(
-        metrics_->add("generations", [this](obs::ComponentBuilder& b) {
+        metrics_->add(comp("generations"), [this](obs::ComponentBuilder& b) {
           const GenerationManager::Stats s = gens_->stats();
           b.counter("published", s.published);
           b.counter("retired", s.retired);
@@ -158,7 +166,7 @@ void OracleServer::register_providers() {
         }));
   }
   registrations_.push_back(
-      metrics_->add("engine", [this](obs::ComponentBuilder& b) {
+      metrics_->add(comp("engine"), [this](obs::ComponentBuilder& b) {
         // NOTE: with no configured engine this reads the process-wide
         // shared() engine -- totals cover every consumer in the process.
         const BatchSsspEngine::Stats s =
@@ -168,7 +176,7 @@ void OracleServer::register_providers() {
       }));
 }
 
-SptHandle OracleServer::fetch_tree(const SsspRequest& req, FetchObs* obs) {
+SptHandle OracleShard::fetch_tree(const SsspRequest& req, FetchObs* obs) {
   if (batcher_) return batcher_->get(req, obs);
   const SptKey key(pi_->version(), req);
   if (cache_) {
@@ -199,9 +207,9 @@ SptHandle OracleServer::fetch_tree(const SsspRequest& req, FetchObs* obs) {
   return t;
 }
 
-SptHandle OracleServer::fetch_tree_pinned(const SsspRequest& req,
-                                          const GenerationManager::Pin& pin,
-                                          FetchObs* obs) {
+SptHandle OracleShard::fetch_tree_pinned(const SsspRequest& req,
+                                         const GenerationManager::Pin& pin,
+                                         FetchObs* obs) {
   if (batcher_) return batcher_->get(req, pin, obs);
   const SptKey key(pin->version(), req);
   if (cache_) {
@@ -245,7 +253,7 @@ class CounterTimer {
 };
 }  // namespace
 
-OracleServer::QueryCtx OracleServer::begin_query(const char* kind) {
+OracleShard::QueryCtx OracleShard::begin_query(const char* kind) {
   QueryCtx ctx;
   if constexpr (!obs::kEnabled) return ctx;
   ctx.t0 = obs::now_ns();
@@ -259,7 +267,7 @@ OracleServer::QueryCtx OracleServer::begin_query(const char* kind) {
   return ctx;
 }
 
-void OracleServer::end_query(QueryCtx& ctx) {
+void OracleShard::end_query(QueryCtx& ctx) {
   if constexpr (!obs::kEnabled) return;
   query_latency_ns_.record(obs::now_ns() - ctx.t0);
   if (ctx.trace) {
@@ -268,30 +276,27 @@ void OracleServer::end_query(QueryCtx& ctx) {
   }
 }
 
-SptHandle OracleServer::fetch_classified(const SsspRequest& req,
-                                         const GenerationManager::Pin* pin,
-                                         QueryCtx& ctx, bool escalated) {
-  FetchObs fo;
-  const uint64_t f0 = obs::now_ns();
-  SptHandle tree = pin ? fetch_tree_pinned(req, *pin, &fo)
-                       : fetch_tree(req, &fo);
-  if constexpr (!obs::kEnabled) return tree;
-  const uint64_t dur = obs::now_ns() - f0;
-
+FetchOutcome OracleShard::classify_fetch(const SsspRequest& req,
+                                         const FetchObs& fo, bool escalated) {
   // Class precedence: escalated fetches are attributed to the escalation
   // tier whatever their hit/miss fate; approximate-tier cache hits get their
   // own class (misses keep the miss classes -- they reflect compute cost,
-  // and the batcher decomposition below applies to them unchanged).
-  const FetchOutcome outcome =
-      escalated
-          ? FetchOutcome::kEscalated
-          : (fo.outcome == FetchObs::kHit
-                 ? (req.eps_q ? FetchOutcome::kApproxHit
-                              : (req.faults.empty() ? FetchOutcome::kBaseHit
-                                                    : FetchOutcome::kFaultHit))
-                 : (fo.outcome == FetchObs::kLeader
-                        ? FetchOutcome::kMissLeader
-                        : FetchOutcome::kMissCoalesced));
+  // and the batcher decomposition applies to them unchanged).
+  return escalated
+             ? FetchOutcome::kEscalated
+             : (fo.outcome == FetchObs::kHit
+                    ? (req.eps_q ? FetchOutcome::kApproxHit
+                                 : (req.faults.empty()
+                                        ? FetchOutcome::kBaseHit
+                                        : FetchOutcome::kFaultHit))
+                    : (fo.outcome == FetchObs::kLeader
+                           ? FetchOutcome::kMissLeader
+                           : FetchOutcome::kMissCoalesced));
+}
+
+void OracleShard::book_fetch(FetchOutcome outcome, const SsspRequest& req,
+                             const FetchObs& fo, uint64_t f0, uint64_t dur,
+                             QueryCtx* ctx) {
   ClassMetrics& m = class_metrics_[static_cast<size_t>(outcome)];
   m.fetches.add();
   m.latency_ns.record(dur);
@@ -308,48 +313,93 @@ SptHandle OracleServer::fetch_classified(const SsspRequest& req,
           : 0;
   if (coalesce_wait) m.coalesce_wait_ns.add(coalesce_wait);
 
-  if (ctx.trace) {
-    const int32_t f = ctx.trace->add("fetch", ctx.root_span, f0, dur);
-    ctx.trace->attr(f, "outcome", std::string(fetch_outcome_name(outcome)));
-    ctx.trace->attr(f, "root", static_cast<uint64_t>(req.root));
-    ctx.trace->attr(f, "faults", static_cast<uint64_t>(req.faults.size()));
+  if (ctx && ctx->trace) {
+    const int32_t f = ctx->trace->add("fetch", ctx->root_span, f0, dur);
+    ctx->trace->attr(f, "outcome", std::string(fetch_outcome_name(outcome)));
+    ctx->trace->attr(f, "root", static_cast<uint64_t>(req.root));
+    ctx->trace->attr(f, "faults", static_cast<uint64_t>(req.faults.size()));
     if (req.eps_q)
-      ctx.trace->attr(f, "eps_q", static_cast<uint64_t>(req.eps_q));
+      ctx->trace->attr(f, "eps_q", static_cast<uint64_t>(req.eps_q));
     if (fo.outcome != FetchObs::kHit) {
       // Child spans synthesized from the decomposition durations: start
       // offsets are approximations (queue wait begins at enroll ~ f0; the
       // compute follows it), documented as such in docs/OBSERVABILITY.md.
       if (fo.queue_wait_ns)
-        ctx.trace->add("queue_wait", f, f0, fo.queue_wait_ns);
+        ctx->trace->add("queue_wait", f, f0, fo.queue_wait_ns);
       if (fo.compute_ns)
-        ctx.trace->add("compute", f, f0 + fo.queue_wait_ns, fo.compute_ns);
+        ctx->trace->add("compute", f, f0 + fo.queue_wait_ns, fo.compute_ns);
       if (coalesce_wait)
-        ctx.trace->add("coalesce_wait", f, f0 + fo.queue_wait_ns,
-                       coalesce_wait);
+        ctx->trace->add("coalesce_wait", f, f0 + fo.queue_wait_ns,
+                        coalesce_wait);
     }
   }
+}
+
+SptHandle OracleShard::fetch_classified(const SsspRequest& req,
+                                        const GenerationManager::Pin* pin,
+                                        QueryCtx& ctx, bool escalated) {
+  FetchObs fo;
+  const uint64_t f0 = obs::now_ns();
+  SptHandle tree = pin ? fetch_tree_pinned(req, *pin, &fo)
+                       : fetch_tree(req, &fo);
+  if constexpr (!obs::kEnabled) return tree;
+  const uint64_t dur = obs::now_ns() - f0;
+  book_fetch(classify_fetch(req, fo, escalated), req, fo, f0, dur, &ctx);
   return tree;
 }
 
-uint32_t OracleServer::effective_eps_q(const QueryOpts& opts) const {
+std::vector<SptHandle> OracleShard::serve_batch(
+    std::span<const SsspRequest> requests, const GenerationManager::Pin& pin,
+    std::vector<FetchObs>* obs) {
+  queries_.fetch_add(requests.size(), std::memory_order_relaxed);
+  std::vector<FetchObs> local_obs;
+  std::vector<FetchObs>& fos = obs ? *obs : local_obs;
+  fos.assign(requests.size(), FetchObs{});
+  const uint64_t f0 = obs::now_ns();
+  std::vector<SptHandle> out;
+  if (batcher_) {
+    out = batcher_->get_batch(requests, pin ? &pin : nullptr, &fos);
+  } else {
+    out.resize(requests.size());
+    // No batcher: fall back to per-request fetches (no coalescing to lose).
+    std::shared_lock<std::shared_mutex> guard(update_mu_, std::defer_lock);
+    if (!pin) guard.lock();
+    for (size_t i = 0; i < requests.size(); ++i)
+      out[i] = pin ? fetch_tree_pinned(requests[i], pin, &fos[i])
+                   : fetch_tree(requests[i], &fos[i]);
+  }
+  if constexpr (obs::kEnabled) {
+    // The whole batch's wall time is every element's latency sample: an
+    // aggregated submission's per-element cost IS the batch it rode.
+    const uint64_t dur = obs::now_ns() - f0;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      book_fetch(classify_fetch(requests[i], fos[i], /*escalated=*/false),
+                 requests[i], fos[i], f0, dur, nullptr);
+      query_latency_ns_.record(dur);
+    }
+  }
+  return out;
+}
+
+uint32_t OracleShard::effective_eps_q(const QueryOpts& opts) const {
   if (opts.require_exact) return 0;
   return opts.epsilon < 0.0 ? quantize_epsilon(config_.default_epsilon)
                             : quantize_epsilon(opts.epsilon);
 }
 
-void OracleServer::note_escalation(EscalationReason reason) {
+void OracleShard::note_escalation(EscalationReason reason) {
   escalations_total_.add();
   escalations_by_reason_[static_cast<size_t>(reason)].add();
 }
 
-bool OracleServer::stretch_probe_fires() {
+bool OracleShard::stretch_probe_fires() {
   if (config_.stretch_sample_every == 0) return false;
   return stretch_probe_.fetch_add(1, std::memory_order_relaxed) %
              config_.stretch_sample_every ==
          0;
 }
 
-void OracleServer::record_stretch(int32_t exact_hops, int32_t approx_hops) {
+void OracleShard::record_stretch(int32_t exact_hops, int32_t approx_hops) {
   // Reachability is preserved exactly by the relaxed tier (invariant F in
   // core/rpts.h), so both sides are finite or both are kUnreachable; the
   // latter is a perfect answer (excess 0).
@@ -367,7 +417,7 @@ void OracleServer::record_stretch(int32_t exact_hops, int32_t approx_hops) {
   }
 }
 
-SptHandle OracleServer::tree(const SsspRequest& req) {
+SptHandle OracleShard::tree(const SsspRequest& req) {
   QueryCtx ctx = begin_query("tree");
   SptHandle t;
   if (gens_) {
@@ -381,63 +431,65 @@ SptHandle OracleServer::tree(const SsspRequest& req) {
   return t;
 }
 
-uint64_t OracleServer::bytes_materialized() const {
+uint64_t OracleShard::bytes_materialized() const {
   uint64_t total = direct_bytes_.load(std::memory_order_relaxed);
   if (batcher_) total += batcher_->stats().computed_bytes;
   return total;
 }
 
-ServerStats OracleServer::stats() const {
+ServerStats OracleShard::stats() const {
   // ONE snapshot pass: every component's values are sampled within the same
   // window, so composites (bytes_materialized, the class sums) can never be
   // torn across two calls made at different times.
   const obs::MetricsSnapshot snap = metrics_->snapshot();
   ServerStats s;
-  s.queries = static_cast<uint64_t>(snap.value_or("server", "queries"));
-  s.updates = static_cast<uint64_t>(snap.value_or("server", "updates"));
+  const std::string server = comp("server");
+  const std::string batcher = comp("batcher");
+  s.queries = static_cast<uint64_t>(snap.value_or(server, "queries"));
+  s.updates = static_cast<uint64_t>(snap.value_or(server, "updates"));
   s.stability_fast_paths =
-      static_cast<uint64_t>(snap.value_or("server", "stability_fast_paths"));
+      static_cast<uint64_t>(snap.value_or(server, "stability_fast_paths"));
   s.bytes_materialized =
-      static_cast<uint64_t>(snap.value_or("server", "bytes_direct")) +
-      static_cast<uint64_t>(snap.value_or("batcher", "computed_bytes"));
-  uint64_t* counts[kNumFetchOutcomes] = {&s.base_hit,      &s.fault_hit,
-                                         &s.miss_coalesced, &s.miss_leader,
-                                         &s.approx_hit,     &s.escalated};
+      static_cast<uint64_t>(snap.value_or(server, "bytes_direct")) +
+      static_cast<uint64_t>(snap.value_or(batcher, "computed_bytes"));
+  uint64_t* counts[kNumFetchOutcomes] = {
+      &s.base_hit,   &s.fault_hit, &s.miss_coalesced, &s.miss_leader,
+      &s.approx_hit, &s.escalated, &s.remote_hit,     &s.aggregated};
   for (size_t i = 0; i < kNumFetchOutcomes; ++i) {
     const std::string cls = fetch_outcome_name(static_cast<FetchOutcome>(i));
     *counts[i] =
-        static_cast<uint64_t>(snap.value_or("server", cls + ".fetches"));
+        static_cast<uint64_t>(snap.value_or(server, cls + ".fetches"));
     s.queue_wait_ns += static_cast<uint64_t>(
-        snap.value_or("server", cls + ".queue_wait_ns"));
+        snap.value_or(server, cls + ".queue_wait_ns"));
     s.coalesce_wait_ns += static_cast<uint64_t>(
-        snap.value_or("server", cls + ".coalesce_wait_ns"));
+        snap.value_or(server, cls + ".coalesce_wait_ns"));
     s.compute_ns +=
-        static_cast<uint64_t>(snap.value_or("server", cls + ".compute_ns"));
+        static_cast<uint64_t>(snap.value_or(server, cls + ".compute_ns"));
   }
   s.escalations_total =
-      static_cast<uint64_t>(snap.value_or("server", "escalations_total"));
+      static_cast<uint64_t>(snap.value_or(server, "escalations_total"));
   s.escalations_path =
-      static_cast<uint64_t>(snap.value_or("server", "escalations.path"));
+      static_cast<uint64_t>(snap.value_or(server, "escalations.path"));
   s.escalations_explicit =
-      static_cast<uint64_t>(snap.value_or("server", "escalations.explicit"));
+      static_cast<uint64_t>(snap.value_or(server, "escalations.explicit"));
   s.escalations_stretch_recheck = static_cast<uint64_t>(
-      snap.value_or("server", "escalations.stretch_recheck"));
+      snap.value_or(server, "escalations.stretch_recheck"));
   // A histogram row's `value` is its sample count (obs/metrics.h).
   s.stretch_samples =
-      static_cast<uint64_t>(snap.value_or("server", "stretch.excess_ppm"));
+      static_cast<uint64_t>(snap.value_or(server, "stretch.excess_ppm"));
   s.max_stretch_excess_ppm = static_cast<uint64_t>(
-      snap.value_or("server", "stretch.max_excess_ppm"));
+      snap.value_or(server, "stretch.max_excess_ppm"));
   s.repair_ns =
-      static_cast<uint64_t>(snap.value_or("server", "update.repair_ns"));
+      static_cast<uint64_t>(snap.value_or(server, "update.repair_ns"));
   s.repaired =
-      static_cast<uint64_t>(snap.value_or("server", "update.repaired"));
+      static_cast<uint64_t>(snap.value_or(server, "update.repaired"));
   s.recomputed =
-      static_cast<uint64_t>(snap.value_or("server", "update.recomputed"));
+      static_cast<uint64_t>(snap.value_or(server, "update.recomputed"));
   return s;
 }
 
-int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults,
-                               const QueryOpts& opts) {
+int32_t OracleShard::distance(Vertex s, Vertex t, const FaultSet& faults,
+                              const QueryOpts& opts) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   QueryCtx ctx = begin_query("distance");
   const uint32_t eps_q = effective_eps_q(opts);
@@ -483,7 +535,7 @@ int32_t OracleServer::distance(Vertex s, Vertex t, const FaultSet& faults,
   return ans;
 }
 
-Path OracleServer::path(Vertex s, Vertex t, const FaultSet& faults) {
+Path OracleShard::path(Vertex s, Vertex t, const FaultSet& faults) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   QueryCtx ctx = begin_query("path");
   // Path reconstruction always runs on the exact tier: on an
@@ -504,7 +556,7 @@ Path OracleServer::path(Vertex s, Vertex t, const FaultSet& faults) {
   return p;
 }
 
-int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
+int32_t OracleShard::replacement_distance(Vertex s, Vertex t, EdgeId e) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   QueryCtx ctx = begin_query("replacement_distance");
   // The stability fast path walks an exact parent chain, and the fault tree
@@ -549,12 +601,52 @@ int32_t OracleServer::replacement_distance(Vertex s, Vertex t, EdgeId e) {
   return finish(fetch({s, FaultSet{e}, Direction::kOut})->hops(t));
 }
 
-UpdateResult OracleServer::apply_update(Graph& graph, GraphDelta delta) {
+UpdateResult OracleShard::apply_update(Graph& graph, GraphDelta delta) {
   return apply_updates(graph, std::span<const GraphDelta>(&delta, 1));
 }
 
-UpdateResult OracleServer::apply_updates(Graph& graph,
-                                         std::span<const GraphDelta> deltas) {
+void OracleShard::repair_invalidated(
+    const DeltaBatch& batch, std::vector<SptCache::Invalidated>& invalidated,
+    UpdateResult& res) {
+  if (invalidated.empty() || !cache_) return;
+  CounterTimer repair_timer(&repair_ns_);
+  const BatchSsspEngine& eng = BatchSsspEngine::or_shared(config_.engine);
+  std::vector<RepairOutcome> outcomes(invalidated.size());
+  eng.parallel_for(invalidated.size(), [&](size_t i) {
+    const SptCache::Invalidated& inv = invalidated[i];
+    outcomes[i] =
+        inv.key.eps_q
+            ? pi_->repair_tree_eps(*inv.old_tree, batch,
+                                   inv.key.fault_set(),
+                                   config_.repair_fraction, inv.key.eps_q)
+            : pi_->repair_tree(*inv.old_tree, batch,
+                               inv.key.fault_set(), config_.repair_fraction);
+  });
+  for (size_t i = 0; i < invalidated.size(); ++i) {
+    // Publication point: compact before wrapping (never behind a handle).
+    // The repair's compact-aware fast path usually already returned the
+    // tree compact (Spt::compact_from), making this a no-op.
+    if (cache_->compact_trees()) outcomes[i].tree.compact();
+    auto tree = std::make_shared<const Spt>(std::move(outcomes[i].tree));
+    direct_bytes_.fetch_add(tree->memory_bytes(),
+                            std::memory_order_relaxed);
+    // Count only entries actually re-populated: a null return means the
+    // cache refused the entry (budget) -- queries will recompute it on
+    // demand, so claiming it pre-warmed would overstate readiness.
+    if (cache_->insert(invalidated[i].key, std::move(tree))) {
+      ++res.prewarmed;
+      if (outcomes[i].repaired) {
+        ++res.repaired;
+        repaired_.add();
+      } else {
+        recomputed_.add();
+      }
+    }
+  }
+}
+
+UpdateResult OracleShard::apply_updates(Graph& graph,
+                                        std::span<const GraphDelta> deltas) {
   if (&graph != &pi_->graph())
     throw std::invalid_argument(
         "apply_updates: graph is not the served scheme's graph");
@@ -590,6 +682,9 @@ UpdateResult OracleServer::apply_updates(Graph& graph,
         },
         config_.prewarm_on_update ? &invalidated : nullptr);
   }
+  res.carried = adv.carried;
+  res.invalidated = adv.invalidated;
+  res.purged_stale = adv.purged_stale;
 
   if (!invalidated.empty()) {
     // Re-admit exactly the trees the batch touched, as ONE engine batch at
@@ -602,47 +697,12 @@ UpdateResult OracleServer::apply_updates(Graph& graph,
     // the CSR mid-batch. A query racing the repair at worst duplicates one
     // compute; first-writer-wins keeps the cache consistent.
     std::shared_lock<std::shared_mutex> guard(update_mu_);
-    CounterTimer repair_timer(&repair_ns_);
-    const BatchSsspEngine& eng = BatchSsspEngine::or_shared(config_.engine);
-    std::vector<RepairOutcome> outcomes(invalidated.size());
-    eng.parallel_for(invalidated.size(), [&](size_t i) {
-      const SptCache::Invalidated& inv = invalidated[i];
-      outcomes[i] =
-          inv.key.eps_q
-              ? pi_->repair_tree_eps(*inv.old_tree, res.batch,
-                                     inv.key.fault_set(),
-                                     config_.repair_fraction, inv.key.eps_q)
-              : pi_->repair_tree(*inv.old_tree, res.batch,
-                                 inv.key.fault_set(), config_.repair_fraction);
-    });
-    for (size_t i = 0; i < invalidated.size(); ++i) {
-      // Publication point: compact before wrapping (never behind a handle).
-      if (cache_->compact_trees()) outcomes[i].tree.compact();
-      auto tree = std::make_shared<const Spt>(std::move(outcomes[i].tree));
-      direct_bytes_.fetch_add(tree->memory_bytes(),
-                              std::memory_order_relaxed);
-      // Count only entries actually re-populated: a null return means the
-      // cache refused the entry (budget) -- queries will recompute it on
-      // demand, so claiming it pre-warmed would overstate readiness.
-      if (cache_->insert(invalidated[i].key, std::move(tree))) {
-        ++res.prewarmed;
-        if (outcomes[i].repaired) {
-          ++adv.repaired;
-          repaired_.add();
-        } else {
-          recomputed_.add();
-        }
-      }
-    }
+    repair_invalidated(res.batch, invalidated, res);
   }
-  res.carried = adv.carried;
-  res.invalidated = adv.invalidated;
-  res.purged_stale = adv.purged_stale;
-  res.repaired = adv.repaired;
   return res;
 }
 
-UpdateResult OracleServer::apply_updates_pinned(
+UpdateResult OracleShard::apply_updates_pinned(
     Graph& graph, std::span<const GraphDelta> deltas) {
   // Build-publish-retire. Everything here runs under the mutator mutex and
   // NEVER blocks a query: readers compute on pinned generations, and the
@@ -658,12 +718,39 @@ UpdateResult OracleServer::apply_updates_pinned(
   res.new_epoch = res.batch.new_epoch;
   res.changed = res.batch.changed();
   if (!res.changed) return res;
+  absorb_locked(res, graph.snapshot(), nullptr);
+  return res;
+}
+
+UpdateResult OracleShard::absorb_update(
+    const DeltaBatch& batch, const GraphSnapshot& snap,
+    std::vector<SptCache::Invalidated>* deferred) {
+  if (!gens_)
+    throw std::logic_error(
+        "absorb_update: shard is not epoch-pinned (shared-lock fallback "
+        "cannot absorb an externally-applied mutation)");
+  UpdateResult res;
+  std::lock_guard<std::mutex> mutator(mutator_mu_);
+  CounterTimer apply_timer(&apply_ns_);
+  res.batch = batch;
+  if (!res.batch.deltas.empty()) res.delta = res.batch.deltas.front();
+  res.old_epoch = res.batch.old_epoch;
+  res.new_epoch = res.batch.new_epoch;
+  res.changed = res.batch.changed();
+  if (!res.changed) return res;
+  absorb_locked(res, snap, deferred);
+  return res;
+}
+
+void OracleShard::absorb_locked(
+    UpdateResult& res, GraphSnapshot snap,
+    std::vector<SptCache::Invalidated>* deferred) {
   updates_.fetch_add(1, std::memory_order_relaxed);
 
   // Build the next generation off to the side while readers keep serving
   // the published one.
   auto next = std::make_unique<Generation>();
-  next->graph = graph.snapshot();
+  next->graph = std::move(snap);
   next->scheme = pi_->snapshot_view(*next->graph);
 
   SptCache::AdvanceStats adv;
@@ -691,47 +778,28 @@ UpdateResult OracleServer::apply_updates_pinned(
 
   // The swap: queries that pin after this point see the new topology.
   gens_->publish(std::move(next));
-
-  if (!invalidated.empty()) {
-    // Repair the non-survivors at the new epoch, exactly as the shared-lock
-    // path does, but with no guard at all: the mutator mutex already
-    // excludes the only other writer of the live CSR, and readers never
-    // dereference it.
-    CounterTimer repair_timer(&repair_ns_);
-    const BatchSsspEngine& eng = BatchSsspEngine::or_shared(config_.engine);
-    std::vector<RepairOutcome> outcomes(invalidated.size());
-    eng.parallel_for(invalidated.size(), [&](size_t i) {
-      const SptCache::Invalidated& inv = invalidated[i];
-      outcomes[i] =
-          inv.key.eps_q
-              ? pi_->repair_tree_eps(*inv.old_tree, res.batch,
-                                     inv.key.fault_set(),
-                                     config_.repair_fraction, inv.key.eps_q)
-              : pi_->repair_tree(*inv.old_tree, res.batch,
-                                 inv.key.fault_set(), config_.repair_fraction);
-    });
-    for (size_t i = 0; i < invalidated.size(); ++i) {
-      // Publication point: compact before wrapping (never behind a handle).
-      if (cache_->compact_trees()) outcomes[i].tree.compact();
-      auto tree = std::make_shared<const Spt>(std::move(outcomes[i].tree));
-      direct_bytes_.fetch_add(tree->memory_bytes(),
-                              std::memory_order_relaxed);
-      if (cache_->insert(invalidated[i].key, std::move(tree))) {
-        ++res.prewarmed;
-        if (outcomes[i].repaired) {
-          ++adv.repaired;
-          repaired_.add();
-        } else {
-          recomputed_.add();
-        }
-      }
-    }
-  }
   res.carried = adv.carried;
   res.invalidated = adv.invalidated;
   res.purged_stale = adv.purged_stale;
-  res.repaired = adv.repaired;
-  return res;
+
+  if (deferred) {
+    // Epoch-coherent fan-out: hand the non-survivors back so the caller can
+    // publish EVERY shard before ANY shard's repair batch runs.
+    *deferred = std::move(invalidated);
+    return;
+  }
+  // Repair the non-survivors at the new epoch, exactly as the shared-lock
+  // path does, but with no guard at all: the mutator mutex already
+  // excludes the only other writer of the live CSR, and readers never
+  // dereference it.
+  repair_invalidated(res.batch, invalidated, res);
+}
+
+void OracleShard::repair_deferred(
+    const DeltaBatch& batch, std::vector<SptCache::Invalidated>& invalidated,
+    UpdateResult& res) {
+  std::lock_guard<std::mutex> mutator(mutator_mu_);
+  repair_invalidated(batch, invalidated, res);
 }
 
 }  // namespace restorable

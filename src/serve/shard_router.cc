@@ -1,0 +1,60 @@
+#include "serve/shard_router.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace restorable {
+
+uint64_t ShardRouter::weight(uint32_t slot, size_t shard) {
+  // splitmix64 over the concatenated inputs; slot and shard both influence
+  // the high bits before the finalizer so nearby (slot, shard) pairs draw
+  // independent weights.
+  uint64_t x = (static_cast<uint64_t>(slot) << 20) ^
+               static_cast<uint64_t>(shard);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+ShardRouter::ShardRouter(size_t num_shards, uint32_t num_slots)
+    : num_shards_(num_shards) {
+  if (num_shards == 0)
+    throw std::invalid_argument("ShardRouter: num_shards must be >= 1");
+  if (num_shards > std::numeric_limits<uint16_t>::max())
+    throw std::invalid_argument("ShardRouter: too many shards");
+  if (num_slots == 0)
+    throw std::invalid_argument("ShardRouter: num_slots must be >= 1");
+  table_.resize(num_slots);
+  for (uint32_t s = 0; s < num_slots; ++s) {
+    // Rendezvous: the shard with the highest draw owns the slot. Strict >
+    // breaks ties toward the lower shard id, deterministically.
+    size_t best = 0;
+    uint64_t best_w = weight(s, 0);
+    for (size_t k = 1; k < num_shards; ++k) {
+      const uint64_t w = weight(s, k);
+      if (w > best_w) {
+        best_w = w;
+        best = k;
+      }
+    }
+    table_[s] = static_cast<uint16_t>(best);
+  }
+}
+
+ShardRouter::Plan ShardRouter::decompose(
+    uint64_t scheme_id, std::span<const SsspRequest> requests) const {
+  Plan plan;
+  plan.by_shard.resize(num_shards_);
+  plan.origin.resize(num_shards_);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const size_t k = shard_of(scheme_id, requests[i].root);
+    plan.by_shard[k].push_back(requests[i]);
+    plan.origin[k].push_back(i);
+  }
+  for (size_t k = 0; k < num_shards_; ++k)
+    if (!plan.by_shard[k].empty()) plan.touched.push_back(k);
+  return plan;
+}
+
+}  // namespace restorable

@@ -1,0 +1,82 @@
+// Root -> shard routing for the sharded serving tier: consistent hashing
+// on (scheme_id, root) through a fixed slot table.
+//
+// Keys are first hashed into one of `num_slots` fixed slots
+// (shard_route_hash, serve/spt_cache.h -- deliberately epoch/eps/fault
+// free, so every tree a root can ever produce is owned by one shard), and
+// each slot is assigned an owning shard by rendezvous (highest-random-
+// weight) hashing: owner(slot) = argmax_k mix(slot, k). Growing the fleet
+// from N to N+1 shards reassigns a slot ONLY when the new shard wins its
+// rendezvous draw, so the expected moved fraction is 1/(N+1) -- the
+// consistent-hashing property shard_test pins down (2 -> 3 shards moves
+// about a third of a seeded key population, never more than 1/3 + slack).
+// The slot table is built once in the constructor and immutable after, so
+// routing is a wait-free array read from any number of threads.
+//
+// Multi-root queries (replacement-path reconstructions, two-fault probes,
+// batched tree fetches) decompose into per-shard sub-batches via
+// decompose(); results merge deterministically because the plan records
+// every sub-request's original position -- the merged output is in request
+// order no matter how many shards were touched or in which order their
+// sub-batches completed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/spt.h"
+#include "serve/spt_cache.h"
+
+namespace restorable {
+
+class ShardRouter {
+ public:
+  // 4096 slots keeps the worst-case shard imbalance of the slot partition
+  // under ~5% at 16 shards while the table stays one cache line per 16
+  // slots (uint16_t entries).
+  static constexpr uint32_t kDefaultSlots = 4096;
+
+  explicit ShardRouter(size_t num_shards, uint32_t num_slots = kDefaultSlots);
+
+  size_t num_shards() const { return num_shards_; }
+  uint32_t num_slots() const { return static_cast<uint32_t>(table_.size()); }
+
+  // The fixed slot a key hashes to (shard-count independent).
+  uint32_t slot_of(uint64_t scheme_id, Vertex root) const {
+    return static_cast<uint32_t>(shard_route_hash(scheme_id, root) %
+                                 table_.size());
+  }
+  // The shard owning a slot under the current shard count.
+  size_t shard_of_slot(uint32_t slot) const { return table_[slot]; }
+  // The shard owning a key. Wait-free; identical from every thread (the
+  // table is immutable after construction).
+  size_t shard_of(uint64_t scheme_id, Vertex root) const {
+    return table_[slot_of(scheme_id, root)];
+  }
+
+  // A multi-root batch decomposed into per-shard sub-batches. by_shard[k]
+  // holds shard k's sub-requests in original relative order; origin[k][j]
+  // is the position in `requests` that by_shard[k][j] came from -- the
+  // deterministic merge is scatter-by-origin, so merged results are in
+  // request order regardless of shard completion order.
+  struct Plan {
+    std::vector<std::vector<SsspRequest>> by_shard;
+    std::vector<std::vector<size_t>> origin;
+    // Shards with at least one sub-request, ascending -- the fan-out set.
+    std::vector<size_t> touched;
+  };
+  Plan decompose(uint64_t scheme_id,
+                 std::span<const SsspRequest> requests) const;
+
+ private:
+  // Rendezvous weight of (slot, shard): a second splitmix64 round over the
+  // two mixed inputs. Fixed forever -- the movement bound test depends on
+  // draws being identical across router instances.
+  static uint64_t weight(uint32_t slot, size_t shard);
+
+  size_t num_shards_;
+  std::vector<uint16_t> table_;  // slot -> owning shard
+};
+
+}  // namespace restorable

@@ -103,6 +103,21 @@ struct SptKeyHash {
   size_t operator()(const SptKey& k) const;
 };
 
+// Root-routing hash of the sharded serving tier (serve/shard_router.h).
+// Deliberately coarser than even epoch_free: it depends ONLY on
+// (scheme_id, root) -- no epoch, no eps_q, no faults, no direction -- so
+// every tree a root can ever produce (base, fault fan-outs, approximate
+// tier, any topology epoch) is owned by ONE oracle shard, and routing stays
+// stable across churn. splitmix64 finalizer: cheap, well-mixed, and fixed
+// forever (the router's slot table and the stability tests depend on it).
+inline uint64_t shard_route_hash(uint64_t scheme_id, Vertex root) {
+  uint64_t x = scheme_id * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(root);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 class SptCache {
  public:
   struct Config {
